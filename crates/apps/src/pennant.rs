@@ -1,0 +1,598 @@
+//! The Pennant benchmark (§8, \[12\]), simplified.
+//!
+//! Pennant is a 2-D Lagrangian hydrodynamics code on an unstructured mesh.
+//! This reproduction keeps the *data-movement structure* that stresses the
+//! coherence analysis while simplifying the physics to dyadic arithmetic:
+//!
+//! * a mesh of quad **zones** partitioned into vertical strips (disjoint,
+//!   complete), and mesh **points** with two partitions: the disjoint
+//!   *master* partition `MP` (each boundary point column owned by the piece
+//!   to its left) and the aliased *needed* partition `NP` (each piece names
+//!   both of its boundary columns — shared with its neighbors);
+//! * **gather** phases reading point positions through `NP` (cross-piece
+//!   reads of neighbor-written columns);
+//! * **scatter** phases applying `reduce+` point forces through `NP`
+//!   (shared corner points accumulate from two pieces);
+//! * a global `reduce min` time-step reduction into a one-element control
+//!   region — Pennant's "several distinct reduction operators used in
+//!   different parts of the code".
+//!
+//! Each iteration, per piece: `calc_zones` (point positions → zone
+//! pressure), `calc_dt` (`reduce min` into a per-piece partial), and
+//! `gather_forces` (`reduce+`); then one global `reduce_dt` task folds the
+//! partials into the control region (Pennant's `dtH`), and `move_points`
+//! advances the owned points reading it back — one global synchronization
+//! per iteration, discovered by the dependence analysis.
+
+use crate::workload::{Workload, WorkloadRun};
+use std::sync::Arc;
+use viz_geometry::{IndexSpace, Point, Rect};
+use viz_region::RedOpRegistry;
+use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody};
+
+const CZ_NS_PER_ZONE: f64 = 4.0;
+const DT_NS_PER_ZONE: f64 = 1.0;
+const GF_NS_PER_ZONE: f64 = 4.0;
+const MV_NS_PER_ZONE: f64 = 2.0;
+const REDUCE_DT_NS_PER_PIECE: u64 = 50;
+const INIT_TASK_NS: u64 = 30_000_000;
+
+/// Exact dyadic step factors.
+const DT0: f64 = 64.0;
+const VEL_K: f64 = 0.0009765625; // 2^-10
+const POS_K: f64 = 0.0009765625; // 2^-10
+
+#[derive(Clone, Debug)]
+pub struct PennantConfig {
+    pub pieces: usize,
+    /// Zone columns per piece.
+    pub zones_x_per_piece: i64,
+    /// Zone rows (global).
+    pub zones_y: i64,
+    pub iterations: usize,
+    pub nodes: usize,
+    pub with_bodies: bool,
+    /// Wrap each iteration in a runtime trace (\[15\]).
+    pub traced: bool,
+}
+
+impl PennantConfig {
+    pub fn small(pieces: usize, iterations: usize) -> Self {
+        PennantConfig {
+            pieces,
+            zones_x_per_piece: 4,
+            zones_y: 3,
+            iterations,
+            nodes: 1,
+            with_bodies: true,
+            traced: false,
+        }
+    }
+
+    /// The weak-scaling configuration of Figs 14/17: one piece per node,
+    /// ≈ 4·10⁵ zones per piece (≈ 90·10⁶ zones/s/node single-node
+    /// throughput at ≈ 4.4 ms per iteration).
+    pub fn paper(nodes: usize) -> Self {
+        PennantConfig {
+            pieces: nodes,
+            zones_x_per_piece: 800,
+            zones_y: 500,
+            iterations: 10,
+            nodes,
+            with_bodies: false,
+            traced: false,
+        }
+    }
+
+    pub fn zones_x(&self) -> i64 {
+        self.pieces as i64 * self.zones_x_per_piece
+    }
+
+    pub fn zones_per_piece(&self) -> i64 {
+        self.zones_x_per_piece * self.zones_y
+    }
+}
+
+pub struct Pennant {
+    pub cfg: PennantConfig,
+}
+
+/// Zone "pressure" from its corner coordinates (dyadic).
+#[inline]
+fn zone_pressure(px_sw: f64, px_se: f64, py_sw: f64, py_nw: f64) -> f64 {
+    ((px_se - px_sw) + (py_nw - py_sw)) * 0.25
+}
+
+/// Per-zone dt contribution (dyadic).
+#[inline]
+fn zone_dt(zp: f64) -> f64 {
+    DT0 - zp * 0.0625
+}
+
+/// Corner force contributions of a zone with pressure `zp`:
+/// `(dx, dy, fx, fy)` for the four corners relative to the zone's SW point.
+#[inline]
+fn corner_forces(zp: f64) -> [(i64, i64, f64, f64); 4] {
+    let f = zp * 0.25;
+    [
+        (0, 0, -f, -f), // SW
+        (1, 0, f, -f),  // SE
+        (0, 1, -f, f),  // NW
+        (1, 1, f, f),   // NE
+    ]
+}
+
+impl Pennant {
+    pub fn new(cfg: PennantConfig) -> Self {
+        Pennant { cfg }
+    }
+
+    fn initial_px(p: Point) -> f64 {
+        p.x as f64 + ((p.y % 4) as f64) * 0.125
+    }
+
+    fn initial_py(p: Point) -> f64 {
+        p.y as f64 + ((p.x % 8) as f64) * 0.0625
+    }
+
+    /// Zone strip for a piece.
+    fn zone_strip(&self, i: usize) -> Rect {
+        let zxpp = self.cfg.zones_x_per_piece;
+        Rect::xy(
+            i as i64 * zxpp,
+            (i as i64 + 1) * zxpp - 1,
+            0,
+            self.cfg.zones_y - 1,
+        )
+    }
+
+    /// Master (owned) point columns for a piece: boundary columns belong to
+    /// the left piece.
+    fn master_points(&self, i: usize) -> Rect {
+        let zxpp = self.cfg.zones_x_per_piece;
+        let lo = if i == 0 { 0 } else { i as i64 * zxpp + 1 };
+        Rect::xy(lo, (i as i64 + 1) * zxpp, 0, self.cfg.zones_y)
+    }
+
+    /// Needed point columns for a piece (both boundaries — aliased).
+    fn needed_points(&self, i: usize) -> Rect {
+        let zxpp = self.cfg.zones_x_per_piece;
+        Rect::xy(
+            i as i64 * zxpp,
+            (i as i64 + 1) * zxpp,
+            0,
+            self.cfg.zones_y,
+        )
+    }
+}
+
+impl Workload for Pennant {
+    fn name(&self) -> &'static str {
+        "pennant"
+    }
+
+    fn unit(&self) -> &'static str {
+        "zones"
+    }
+
+    fn execute(&self, rt: &mut Runtime) -> WorkloadRun {
+        let cfg = &self.cfg;
+        let zx = self.cfg.zones_x();
+        let zy = cfg.zones_y;
+        let zones_root = rt.forest_mut().create_root(
+            "zones",
+            IndexSpace::from_rect(Rect::xy(0, zx - 1, 0, zy - 1)),
+        );
+        let f_zp = rt.forest_mut().add_field(zones_root, "zp");
+        let points_root = rt
+            .forest_mut()
+            .create_root("points", IndexSpace::from_rect(Rect::xy(0, zx, 0, zy)));
+        let f_px = rt.forest_mut().add_field(points_root, "px");
+        let f_py = rt.forest_mut().add_field(points_root, "py");
+        let f_pu = rt.forest_mut().add_field(points_root, "pu");
+        let f_pv = rt.forest_mut().add_field(points_root, "pv");
+        let f_fx = rt.forest_mut().add_field(points_root, "pfx");
+        let f_fy = rt.forest_mut().add_field(points_root, "pfy");
+        let ctrl_root = rt.forest_mut().create_root_1d("ctrl", 1);
+        let f_dt = rt.forest_mut().add_field(ctrl_root, "dt");
+        // Per-piece dt partials: `reduce min` lands in disjoint elements, a
+        // single gather task folds them (the scalable reduction pattern
+        // real Pennant uses for dtH).
+        let partials_root = rt.forest_mut().create_root_1d("partials", cfg.pieces as i64);
+        let f_pm = rt.forest_mut().add_field(partials_root, "pmin");
+        rt.set_initial(partials_root, f_pm, |_| f64::INFINITY);
+        let partials = rt
+            .forest_mut()
+            .create_equal_partition_1d(partials_root, "PART", cfg.pieces);
+
+        let z = rt.forest_mut().create_partition_with_flags(
+            zones_root,
+            "Z",
+            (0..cfg.pieces)
+                .map(|i| IndexSpace::from_rect(self.zone_strip(i)))
+                .collect(),
+            true,
+            true,
+        );
+        let mp = rt.forest_mut().create_partition_with_flags(
+            points_root,
+            "MP",
+            (0..cfg.pieces)
+                .map(|i| IndexSpace::from_rect(self.master_points(i)))
+                .collect(),
+            true,
+            true,
+        );
+        let np = rt.forest_mut().create_partition_with_flags(
+            points_root,
+            "NP",
+            (0..cfg.pieces)
+                .map(|i| IndexSpace::from_rect(self.needed_points(i)))
+                .collect(),
+            cfg.pieces == 1,
+            true,
+        );
+
+        let zpp = cfg.zones_per_piece() as f64;
+        let cz_ns = (zpp * CZ_NS_PER_ZONE) as u64;
+        let dt_ns = (zpp * DT_NS_PER_ZONE) as u64;
+        let gf_ns = (zpp * GF_NS_PER_ZONE) as u64;
+        let mv_ns = (zpp * MV_NS_PER_ZONE) as u64;
+        let mut run = WorkloadRun {
+            elements_per_iter: (zx * zy) as u64,
+            ..Default::default()
+        };
+
+        // Setup: positions, velocities, forces per piece (master points),
+        // and the control region.
+        for i in 0..cfg.pieces {
+            let mpiece = rt.forest().subregion(mp, i);
+            let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|p, _| Pennant::initial_px(p));
+                    rs[1].update_all(|p, _| Pennant::initial_py(p));
+                    for r in rs[2..6].iter_mut() {
+                        r.update_all(|_, _| 0.0);
+                    }
+                }) as TaskBody
+            });
+            rt.launch(
+                "init_points",
+                i % cfg.nodes,
+                vec![
+                    RegionRequirement::read_write(mpiece, f_px),
+                    RegionRequirement::read_write(mpiece, f_py),
+                    RegionRequirement::read_write(mpiece, f_pu),
+                    RegionRequirement::read_write(mpiece, f_pv),
+                    RegionRequirement::read_write(mpiece, f_fx),
+                    RegionRequirement::read_write(mpiece, f_fy),
+                ],
+                INIT_TASK_NS,
+                body,
+            );
+        }
+
+        let min_op = RedOpRegistry::MIN;
+        let sum = RedOpRegistry::SUM;
+        for iter in 0..cfg.iterations {
+            if cfg.traced {
+                rt.begin_trace(0);
+            }
+            // Phase 1: calc_zones — point positions → zone pressure.
+            for i in 0..cfg.pieces {
+                let zpiece = rt.forest().subregion(z, i);
+                let npiece = rt.forest().subregion(np, i);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        // rs[0] = zp (rw), rs[1] = px (NP), rs[2] = py (NP).
+                        let (zp, pos) = rs.split_at_mut(1);
+                        zp[0].update_all(|zpt, _| {
+                            let sw = zpt;
+                            let se = zpt.offset(1, 0);
+                            let nw = zpt.offset(0, 1);
+                            zone_pressure(
+                                pos[0].get(sw),
+                                pos[0].get(se),
+                                pos[1].get(sw),
+                                pos[1].get(nw),
+                            )
+                        });
+                    }) as TaskBody
+                });
+                rt.launch(
+                    format!("calc_zones[{iter}]"),
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read_write(zpiece, f_zp),
+                        RegionRequirement::read(npiece, f_px),
+                        RegionRequirement::read(npiece, f_py),
+                    ],
+                    cz_ns,
+                    body,
+                );
+            }
+            // Phase 2: calc_dt — reduce min into the piece's partial.
+            for i in 0..cfg.pieces {
+                let zpiece = rt.forest().subregion(z, i);
+                let ppiece = rt.forest().subregion(partials, i);
+                let slot = Point::p1(i as i64);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        // rs[0] = zp (read), rs[1] = partial (reduce min).
+                        let mut m = f64::INFINITY;
+                        for (_, zp) in rs[0].iter() {
+                            m = m.min(zone_dt(zp));
+                        }
+                        rs[1].reduce(slot, m);
+                    }) as TaskBody
+                });
+                rt.launch(
+                    format!("calc_dt[{iter}]"),
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read(zpiece, f_zp),
+                        RegionRequirement::reduce(ppiece, f_pm, min_op),
+                    ],
+                    dt_ns,
+                    body,
+                );
+            }
+            // reduce_dt: fold the partials, reset them, publish dt — the
+            // per-iteration global synchronization (Pennant's dtH).
+            let pieces = cfg.pieces;
+            let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    // rs[0] = partials (rw root), rs[1] = dt (rw ctrl).
+                    let mut m = DT0;
+                    for i in 0..pieces as i64 {
+                        m = m.min(rs[0].get(Point::p1(i)));
+                        rs[0].set(Point::p1(i), f64::INFINITY);
+                    }
+                    rs[1].set(Point::p1(0), m);
+                }) as TaskBody
+            });
+            rt.launch(
+                format!("reduce_dt[{iter}]"),
+                0,
+                vec![
+                    RegionRequirement::read_write(partials_root, f_pm),
+                    RegionRequirement::read_write(ctrl_root, f_dt),
+                ],
+                20_000 + REDUCE_DT_NS_PER_PIECE * cfg.pieces as u64,
+                body,
+            );
+            // Phase 3: gather_forces — zones scatter to their corners.
+            for i in 0..cfg.pieces {
+                let zpiece = rt.forest().subregion(z, i);
+                let npiece = rt.forest().subregion(np, i);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        // rs[0] = zp (read), rs[1] = pfx (+), rs[2] = pfy (+).
+                        let contributions: Vec<(Point, f64, f64)> = rs[0]
+                            .iter()
+                            .flat_map(|(zpt, zp)| {
+                                corner_forces(zp).map(|(dx, dy, fx, fy)| {
+                                    (zpt.offset(dx, dy), fx, fy)
+                                })
+                            })
+                            .collect();
+                        for (pt, fx, fy) in contributions {
+                            rs[1].reduce(pt, fx);
+                            rs[2].reduce(pt, fy);
+                        }
+                    }) as TaskBody
+                });
+                rt.launch(
+                    format!("gather_forces[{iter}]"),
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read(zpiece, f_zp),
+                        RegionRequirement::reduce(npiece, f_fx, sum),
+                        RegionRequirement::reduce(npiece, f_fy, sum),
+                    ],
+                    gf_ns,
+                    body,
+                );
+            }
+            // Phase 4: move_points — advance owned points, clear forces.
+            let mut last = None;
+            for i in 0..cfg.pieces {
+                let mpiece = rt.forest().subregion(mp, i);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        // rs[0..6] = px, py, pu, pv, pfx, pfy (rw on MP),
+                        // rs[6] = dt (read).
+                        let dt = rs[6].get(Point::p1(0));
+                        let dom = rs[0].domain().clone();
+                        for pt in dom.points() {
+                            let fx = rs[4].get(pt);
+                            let fy = rs[5].get(pt);
+                            let u = rs[2].get(pt) + fx * dt * VEL_K;
+                            let v = rs[3].get(pt) + fy * dt * VEL_K;
+                            rs[2].set(pt, u);
+                            rs[3].set(pt, v);
+                            rs[0].set(pt, rs[0].get(pt) + u * POS_K);
+                            rs[1].set(pt, rs[1].get(pt) + v * POS_K);
+                            rs[4].set(pt, 0.0);
+                            rs[5].set(pt, 0.0);
+                        }
+                    }) as TaskBody
+                });
+                last = Some(rt.launch(
+                    format!("move_points[{iter}]"),
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read_write(mpiece, f_px),
+                        RegionRequirement::read_write(mpiece, f_py),
+                        RegionRequirement::read_write(mpiece, f_pu),
+                        RegionRequirement::read_write(mpiece, f_pv),
+                        RegionRequirement::read_write(mpiece, f_fx),
+                        RegionRequirement::read_write(mpiece, f_fy),
+                        RegionRequirement::read(ctrl_root, f_dt),
+                    ],
+                    mv_ns,
+                    body,
+                ));
+            }
+            if cfg.traced {
+                rt.end_trace(0);
+            }
+            run.iter_end.push(last.unwrap());
+        }
+
+        if cfg.with_bodies {
+            run.probes.push(rt.inline_read(points_root, f_px));
+            run.probes.push(rt.inline_read(points_root, f_py));
+            run.probes.push(rt.inline_read(points_root, f_pu));
+            run.probes.push(rt.inline_read(zones_root, f_zp));
+            run.probes.push(rt.inline_read(ctrl_root, f_dt));
+        }
+        run
+    }
+
+    fn reference(&self) -> Vec<Vec<f64>> {
+        let cfg = &self.cfg;
+        let zx = cfg.zones_x();
+        let zy = cfg.zones_y;
+        let (pw, ph) = (zx + 1, zy + 1);
+        let pidx = |x: i64, y: i64| (y * pw + x) as usize;
+        let zidx = |x: i64, y: i64| (y * zx + x) as usize;
+        let mut px: Vec<f64> = (0..pw * ph)
+            .map(|k| Pennant::initial_px(Point::new(k % pw, k / pw)))
+            .collect();
+        let mut py: Vec<f64> = (0..pw * ph)
+            .map(|k| Pennant::initial_py(Point::new(k % pw, k / pw)))
+            .collect();
+        let mut pu = vec![0.0f64; (pw * ph) as usize];
+        let mut pv = vec![0.0f64; (pw * ph) as usize];
+        let mut fx = vec![0.0f64; (pw * ph) as usize];
+        let mut fy = vec![0.0f64; (pw * ph) as usize];
+        let mut zp = vec![0.0f64; (zx * zy) as usize];
+        let mut dt = 0.0f64;
+        for _ in 0..cfg.iterations {
+            dt = DT0;
+            for y in 0..zy {
+                for x in 0..zx {
+                    zp[zidx(x, y)] = zone_pressure(
+                        px[pidx(x, y)],
+                        px[pidx(x + 1, y)],
+                        py[pidx(x, y)],
+                        py[pidx(x, y + 1)],
+                    );
+                }
+            }
+            // dt: per-piece partial minima, folded by the gather task.
+            for i in 0..cfg.pieces as i64 {
+                let mut m = f64::INFINITY;
+                for y in 0..zy {
+                    for x in i * cfg.zones_x_per_piece..(i + 1) * cfg.zones_x_per_piece {
+                        m = m.min(zone_dt(zp[zidx(x, y)]));
+                    }
+                }
+                dt = dt.min(m);
+            }
+            // Forces: per-piece accumulators folded in piece order, zone
+            // iteration in the tasks' domain order (row-major per strip).
+            for i in 0..cfg.pieces as i64 {
+                let mut ax = std::collections::BTreeMap::new();
+                let mut ay = std::collections::BTreeMap::new();
+                for y in 0..zy {
+                    for x in i * cfg.zones_x_per_piece..(i + 1) * cfg.zones_x_per_piece {
+                        for (dx, dy, cfx, cfy) in corner_forces(zp[zidx(x, y)]) {
+                            *ax.entry(pidx(x + dx, y + dy)).or_insert(0.0) += cfx;
+                            *ay.entry(pidx(x + dx, y + dy)).or_insert(0.0) += cfy;
+                        }
+                    }
+                }
+                for (k, a) in ax {
+                    fx[k] += a;
+                }
+                for (k, a) in ay {
+                    fy[k] += a;
+                }
+            }
+            for k in 0..(pw * ph) as usize {
+                pu[k] += fx[k] * dt * VEL_K;
+                pv[k] += fy[k] * dt * VEL_K;
+                px[k] += pu[k] * POS_K;
+                py[k] += pv[k] * POS_K;
+                fx[k] = 0.0;
+                fy[k] = 0.0;
+            }
+        }
+        vec![px, py, pu, zp, vec![dt]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
+
+    fn run_and_verify(engine: EngineKind, cfg: PennantConfig, nodes: usize, dcr: bool) {
+        let app = Pennant::new(PennantConfig { nodes, ..cfg });
+        let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+        let run = app.execute(&mut rt);
+        let violations =
+            viz_runtime::validate::check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(violations.is_empty(), "{engine:?}: {violations:?}");
+        let store = rt.execute_values();
+        let expect = app.reference();
+        for (k, (probe, exp)) in run.probes.iter().zip(&expect).enumerate() {
+            let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
+            assert_eq!(&got, exp, "{engine:?} probe {k} diverged");
+        }
+    }
+
+    #[test]
+    fn all_engines_match_reference() {
+        for engine in EngineKind::all() {
+            run_and_verify(engine, PennantConfig::small(3, 3), 1, false);
+        }
+    }
+
+    #[test]
+    fn multi_node_dcr_matches_reference() {
+        for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+            run_and_verify(engine, PennantConfig::small(3, 2), 3, true);
+        }
+    }
+
+    #[test]
+    fn single_piece_runs() {
+        run_and_verify(EngineKind::RayCast, PennantConfig::small(1, 2), 1, false);
+    }
+
+    #[test]
+    fn point_partitions_are_consistent() {
+        let app = Pennant::new(PennantConfig::small(4, 1));
+        // Master partition: disjoint, covers all point columns.
+        let mut total = 0;
+        for i in 0..4 {
+            let m = app.master_points(i);
+            total += m.volume();
+            for j in 0..i {
+                assert!(!m.overlaps(&app.master_points(j)));
+            }
+        }
+        let (zx, zy) = (app.cfg.zones_x(), app.cfg.zones_y);
+        assert_eq!(total, ((zx + 1) * (zy + 1)) as u64);
+        // Needed partition: neighbors share exactly one point column.
+        let shared = IndexSpace::from_rect(app.needed_points(0))
+            .intersect(&IndexSpace::from_rect(app.needed_points(1)));
+        assert_eq!(shared.volume(), (zy + 1) as u64);
+    }
+
+    #[test]
+    fn dt_reduction_serializes_iterations() {
+        // Every piece's move_points reads dt, which every piece's calc_dt
+        // reduced: one global synchronization per iteration.
+        let app = Pennant::new(PennantConfig::small(3, 2));
+        let mut rt = Runtime::single_node(EngineKind::RayCast);
+        app.execute(&mut rt);
+        // First iteration: init → calc_zones → calc_dt → move (4 levels);
+        // each further iteration adds ≥ 3 levels (reset/calc_dt/move chain
+        // through the dt control region).
+        assert!(rt.dag().critical_path_len() >= 4 + 3);
+    }
+}

@@ -1,0 +1,395 @@
+//! The 2-D stencil benchmark (§8, \[26\]).
+//!
+//! A 9-point *star* stencil of radius 2 (two cells in each direction from
+//! the center, no corners) over a structured grid of cells, intermixed with
+//! a data-parallel increment — the Parallel Research Kernels "stencil"
+//! pattern. The grid is tiled into `pieces` square tiles (the disjoint,
+//! complete primary partition); each tile also names its two-cell **halo**
+//! ring (an aliased, incomplete partition), which is where the coherence
+//! analysis earns its keep: every iteration, each tile's stencil task reads
+//! halo cells most recently written by its neighbors' increment tasks.
+//!
+//! Arithmetic uses dyadic weights (1/4, 1/8) so value-mode results are
+//! bit-exact against the serial reference.
+
+use crate::workload::{Workload, WorkloadRun};
+use std::sync::Arc;
+use viz_geometry::{IndexSpace, Point, Rect};
+use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody};
+
+/// Stencil radius (PRK default 2) and weights: distance-1 neighbors 1/4,
+/// distance-2 neighbors 1/8.
+pub const RADIUS: i64 = 2;
+const W1: f64 = 0.25;
+const W2: f64 = 0.125;
+
+/// Modeled GPU time per grid point for the stencil task (calibrated so a
+/// 6400² per-node tile runs ≈ 4 ms, matching the paper's ≈ 8·10⁹
+/// points/s/node single-node throughput).
+const STENCIL_NS_PER_POINT: f64 = 0.100;
+const ADD_NS_PER_POINT: f64 = 0.025;
+/// One-time per-piece data initialization (matches the paper's ≈ 60 ms
+/// single-node init for stencil).
+const INIT_TASK_NS: u64 = 30_000_000;
+
+#[derive(Clone, Debug)]
+pub struct StencilConfig {
+    /// Number of tiles (= pieces). Arranged in a near-square grid.
+    pub pieces: usize,
+    /// Tile side length in cells.
+    pub tile: i64,
+    /// Top-level loop iterations.
+    pub iterations: usize,
+    /// Simulated machine nodes (pieces are mapped round-robin).
+    pub nodes: usize,
+    /// Attach real task bodies (value mode).
+    pub with_bodies: bool,
+    /// Wrap each top-level iteration in a runtime trace (dynamic tracing,
+    /// the paper's reference \[15\]; §8 disables it — this knob measures the
+    /// extension).
+    pub traced: bool,
+}
+
+impl StencilConfig {
+    /// A small value-mode configuration for correctness tests.
+    pub fn small(pieces: usize, tile: i64, iterations: usize) -> Self {
+        StencilConfig {
+            pieces,
+            tile,
+            iterations,
+            nodes: 1,
+            with_bodies: true,
+            traced: false,
+        }
+    }
+
+    /// The weak-scaling configuration of Figs 12/15: one piece per node,
+    /// fixed per-node tile, timed mode.
+    pub fn paper(nodes: usize) -> Self {
+        StencilConfig {
+            pieces: nodes,
+            tile: 6400,
+            iterations: 10,
+            nodes,
+            with_bodies: false,
+            traced: false,
+        }
+    }
+
+    /// Tile arrangement: the largest divisor of `pieces` at most √pieces.
+    pub fn tiles_xy(&self) -> (i64, i64) {
+        let p = self.pieces as i64;
+        let mut tx = (p as f64).sqrt() as i64;
+        while tx > 1 && p % tx != 0 {
+            tx -= 1;
+        }
+        (tx.max(1), p / tx.max(1))
+    }
+
+    pub fn grid_extent(&self) -> (i64, i64) {
+        let (tx, ty) = self.tiles_xy();
+        (tx * self.tile, ty * self.tile)
+    }
+}
+
+/// The stencil application.
+pub struct Stencil {
+    pub cfg: StencilConfig,
+}
+
+impl Stencil {
+    pub fn new(cfg: StencilConfig) -> Self {
+        Stencil { cfg }
+    }
+
+    fn tile_rect(&self, i: usize) -> Rect {
+        let (tx, _) = self.cfg.tiles_xy();
+        let col = (i as i64) % tx;
+        let row = (i as i64) / tx;
+        Rect::xy(
+            col * self.cfg.tile,
+            (col + 1) * self.cfg.tile - 1,
+            row * self.cfg.tile,
+            (row + 1) * self.cfg.tile - 1,
+        )
+    }
+
+    fn halo_space(&self, i: usize) -> IndexSpace {
+        let (w, h) = self.cfg.grid_extent();
+        let t = self.tile_rect(i);
+        let grown = Rect::xy(
+            (t.lo.x - RADIUS).max(0),
+            (t.hi.x + RADIUS).min(w - 1),
+            (t.lo.y - RADIUS).max(0),
+            (t.hi.y + RADIUS).min(h - 1),
+        );
+        IndexSpace::from_rect(grown).subtract(&IndexSpace::from_rect(t))
+    }
+
+    /// The star-stencil value at `p` given an `in` accessor.
+    #[inline]
+    fn star(get: &impl Fn(Point) -> f64, p: Point) -> f64 {
+        W1 * (get(p.offset(-1, 0)) + get(p.offset(1, 0)) + get(p.offset(0, -1))
+            + get(p.offset(0, 1)))
+            + W2 * (get(p.offset(-2, 0))
+                + get(p.offset(2, 0))
+                + get(p.offset(0, -2))
+                + get(p.offset(0, 2)))
+    }
+
+    fn initial_in(p: Point) -> f64 {
+        ((p.x + 2 * p.y) % 64) as f64
+    }
+}
+
+impl Workload for Stencil {
+    fn name(&self) -> &'static str {
+        "stencil"
+    }
+
+    fn unit(&self) -> &'static str {
+        "points"
+    }
+
+    fn execute(&self, rt: &mut Runtime) -> WorkloadRun {
+        let cfg = &self.cfg;
+        let (w, h) = cfg.grid_extent();
+        let grid = rt
+            .forest_mut()
+            .create_root("grid", IndexSpace::from_rect(Rect::xy(0, w - 1, 0, h - 1)));
+        let f_in = rt.forest_mut().add_field(grid, "in");
+        let f_out = rt.forest_mut().add_field(grid, "out");
+        let tiles: Vec<IndexSpace> = (0..cfg.pieces)
+            .map(|i| IndexSpace::from_rect(self.tile_rect(i)))
+            .collect();
+        let p = rt
+            .forest_mut()
+            .create_partition_with_flags(grid, "P", tiles, true, true);
+        let halos: Vec<IndexSpace> = (0..cfg.pieces).map(|i| self.halo_space(i)).collect();
+        let hp = rt
+            .forest_mut()
+            .create_partition_with_flags(grid, "H", halos, false, false);
+
+        let tile_points = (cfg.tile * cfg.tile) as u64;
+        let stencil_ns = (tile_points as f64 * STENCIL_NS_PER_POINT) as u64;
+        let add_ns = (tile_points as f64 * ADD_NS_PER_POINT) as u64;
+        let mut run = WorkloadRun {
+            elements_per_iter: (w * h) as u64,
+            ..Default::default()
+        };
+
+        // Setup: per-piece initialization of both fields.
+        for i in 0..cfg.pieces {
+            let piece = rt.forest().subregion(p, i);
+            let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|pt, _| Stencil::initial_in(pt));
+                    rs[1].update_all(|_, _| 0.0);
+                }) as TaskBody
+            });
+            rt.launch(
+                "init",
+                i % cfg.nodes,
+                vec![
+                    RegionRequirement::read_write(piece, f_in),
+                    RegionRequirement::read_write(piece, f_out),
+                ],
+                INIT_TASK_NS,
+                body,
+            );
+        }
+
+        for iter in 0..cfg.iterations {
+            if cfg.traced {
+                rt.begin_trace(0);
+            }
+            let mut last = None;
+            for i in 0..cfg.pieces {
+                let piece = rt.forest().subregion(p, i);
+                let halo = rt.forest().subregion(hp, i);
+                let (gw, gh) = (w, h);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        // rs[0] = out (rw tile), rs[1] = in (tile),
+                        // rs[2] = in (halo).
+                        let (out, ins) = rs.split_at_mut(1);
+                        let get = |pt: Point| {
+                            if ins[0].contains(pt) {
+                                ins[0].get(pt)
+                            } else {
+                                ins[1].get(pt)
+                            }
+                        };
+                        out[0].update_all(|pt, v| {
+                            // PRK computes interior points only.
+                            if pt.x >= RADIUS
+                                && pt.x < gw - RADIUS
+                                && pt.y >= RADIUS
+                                && pt.y < gh - RADIUS
+                            {
+                                v + Stencil::star(&get, pt)
+                            } else {
+                                v
+                            }
+                        });
+                    }) as TaskBody
+                });
+                rt.launch(
+                    format!("stencil[{iter}]"),
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read_write(piece, f_out),
+                        RegionRequirement::read(piece, f_in),
+                        RegionRequirement::read(halo, f_in),
+                    ],
+                    stencil_ns,
+                    body,
+                );
+            }
+            // Second phase: the data-parallel increment `in += 1` (all
+            // stencil tasks of the iteration read the pre-increment `in`).
+            for i in 0..cfg.pieces {
+                let piece = rt.forest().subregion(p, i);
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        rs[0].update_all(|_, v| v + 1.0);
+                    }) as TaskBody
+                });
+                last = Some(rt.launch(
+                    format!("add[{iter}]"),
+                    i % cfg.nodes,
+                    vec![RegionRequirement::read_write(piece, f_in)],
+                    add_ns,
+                    body,
+                ));
+            }
+            if cfg.traced {
+                rt.end_trace(0);
+            }
+            run.iter_end.push(last.unwrap());
+        }
+
+        if cfg.with_bodies {
+            run.probes.push(rt.inline_read(grid, f_out));
+            run.probes.push(rt.inline_read(grid, f_in));
+        }
+        run
+    }
+
+    fn reference(&self) -> Vec<Vec<f64>> {
+        let cfg = &self.cfg;
+        let (w, h) = cfg.grid_extent();
+        let idx = |x: i64, y: i64| (y * w + x) as usize;
+        let mut vin: Vec<f64> = (0..w * h)
+            .map(|k| Stencil::initial_in(Point::new(k % w, k / w)))
+            .collect();
+        let mut vout = vec![0.0f64; (w * h) as usize];
+        for _ in 0..cfg.iterations {
+            // The stencil tasks all read the same `in` version; apply them
+            // as one grid-wide step (their tiles are disjoint).
+            let prev = vin.clone();
+            let get = |p: Point| prev[idx(p.x, p.y)];
+            for y in RADIUS..h - RADIUS {
+                for x in RADIUS..w - RADIUS {
+                    vout[idx(x, y)] += Stencil::star(&get, Point::new(x, y));
+                }
+            }
+            for v in vin.iter_mut() {
+                *v += 1.0;
+            }
+        }
+        vec![vout, vin]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
+
+    fn run_and_verify(engine: EngineKind, cfg: StencilConfig, nodes: usize, dcr: bool) {
+        let app = Stencil::new(StencilConfig {
+            nodes,
+            ..cfg.clone()
+        });
+        let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+        let run = app.execute(&mut rt);
+        let violations =
+            viz_runtime::validate::check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(violations.is_empty(), "{engine:?}: {violations:?}");
+        let store = rt.execute_values();
+        let expect = app.reference();
+        for (probe, exp) in run.probes.iter().zip(&expect) {
+            let got = store.inline(*probe);
+            let vals: Vec<f64> = got.iter().map(|(_, v)| v).collect();
+            assert_eq!(&vals, exp, "{engine:?} diverged from serial stencil");
+        }
+    }
+
+    #[test]
+    fn single_piece_matches_reference() {
+        for engine in EngineKind::all() {
+            run_and_verify(engine, StencilConfig::small(1, 8, 3), 1, false);
+        }
+    }
+
+    #[test]
+    fn four_pieces_exchange_halos_correctly() {
+        for engine in EngineKind::all() {
+            run_and_verify(engine, StencilConfig::small(4, 6, 3), 1, false);
+        }
+    }
+
+    #[test]
+    fn multi_node_dcr_matches_reference() {
+        for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+            run_and_verify(engine, StencilConfig::small(4, 6, 2), 4, true);
+        }
+    }
+
+    #[test]
+    fn rectangular_piece_grids() {
+        // 6 pieces → 2×3 tiles; 8 pieces → 2×4.
+        for pieces in [2, 6, 8] {
+            run_and_verify(
+                EngineKind::RayCast,
+                StencilConfig::small(pieces, 5, 2),
+                2,
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn stencil_parallelism_within_iteration() {
+        // All stencil tasks of one iteration can run concurrently: the DAG
+        // waves are (init)(stencil*)(add*)(stencil*)…
+        let app = Stencil::new(StencilConfig::small(4, 6, 2));
+        let mut rt = Runtime::single_node(EngineKind::RayCast);
+        app.execute(&mut rt);
+        let waves = rt.dag().waves();
+        // init wave, then 2 iterations × (stencil wave + add wave), probes.
+        assert!(waves[0].len() >= 4, "init tasks are parallel");
+        assert!(waves[1].len() == 4, "stencil tasks are parallel");
+    }
+
+    #[test]
+    fn tiles_xy_factors_pieces() {
+        for pieces in 1..=64usize {
+            let cfg = StencilConfig::small(pieces, 4, 1);
+            let (tx, ty) = cfg.tiles_xy();
+            assert_eq!((tx * ty) as usize, pieces);
+            assert!(tx <= ty);
+        }
+    }
+
+    #[test]
+    fn halo_never_overlaps_own_tile() {
+        let app = Stencil::new(StencilConfig::small(9, 5, 1));
+        for i in 0..9 {
+            let tile = IndexSpace::from_rect(app.tile_rect(i));
+            let halo = app.halo_space(i);
+            assert!(!tile.overlaps(&halo));
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The common workload interface the benchmark harness drives.
+
+use viz_runtime::{Runtime, TaskId};
+
+/// The record of one application run: iteration boundaries for the paper's
+/// two measurement phases (§8: initialization = application start through
+/// the end of the first iteration of the top-level loop; steady state = the
+/// remaining iterations) plus verification probes.
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadRun {
+    /// Last task id of each top-level-loop iteration. `iter_end[0]` closes
+    /// the initialization phase (setup tasks + the first iteration).
+    pub iter_end: Vec<TaskId>,
+    /// Application elements processed per iteration (points / wires /
+    /// zones) — the numerator of the weak-scaling throughput figures.
+    pub elements_per_iter: u64,
+    /// Inline-read probes appended after the last iteration (value mode
+    /// only), for verification against the serial reference.
+    pub probes: Vec<TaskId>,
+}
+
+/// A benchmark application.
+pub trait Workload {
+    fn name(&self) -> &'static str;
+
+    /// The element unit of the weak-scaling figure ("points", "wires",
+    /// "zones").
+    fn unit(&self) -> &'static str;
+
+    /// Build regions/partitions in the runtime and launch every iteration.
+    fn execute(&self, rt: &mut Runtime) -> WorkloadRun;
+
+    /// The expected final field values (value mode), one vector per probe
+    /// in [`WorkloadRun::probes`], computed by an independent serial
+    /// implementation.
+    fn reference(&self) -> Vec<Vec<f64>>;
+}

@@ -1,0 +1,133 @@
+//! Property test: random deferred array pipelines match a direct `Vec`
+//! interpretation, under every engine and machine shape.
+
+use proptest::prelude::*;
+use viz_array::DistArray;
+use viz_runtime::validate::check_sufficiency;
+use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
+
+const LEN: i64 = 32;
+const PIECES: usize = 4;
+const PIECE: usize = (LEN as usize) / PIECES;
+
+#[derive(Clone, Debug)]
+enum Op {
+    MapAdd(i8),
+    MapScale(bool), // ×2 or ×0.5 (exact)
+    ShiftAdd { offset: i8, coeff_quarters: u8 },
+    FillSlice { lo: u8, len: u8, value: i8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-8i8..8).prop_map(Op::MapAdd),
+        any::<bool>().prop_map(Op::MapScale),
+        ((1i8..3), (1u8..4)).prop_map(|(offset, coeff_quarters)| Op::ShiftAdd {
+            offset,
+            coeff_quarters,
+        }),
+        ((0u8..28), (1u8..8), (-5i8..5)).prop_map(|(lo, len, value)| Op::FillSlice {
+            lo,
+            len,
+            value,
+        }),
+    ]
+}
+
+/// Apply one op to the reference vector, mirroring sequential task order
+/// (see `DistArray::shift_add`: the task for piece j sees pieces < j
+/// already updated; same-piece reads are pre-update).
+fn apply_ref(r: &mut [f64], op: &Op) {
+    match op {
+        Op::MapAdd(a) => r.iter_mut().for_each(|v| *v += *a as f64),
+        Op::MapScale(up) => {
+            let k = if *up { 2.0 } else { 0.5 };
+            r.iter_mut().for_each(|v| *v *= k);
+        }
+        Op::ShiftAdd {
+            offset,
+            coeff_quarters,
+        } => {
+            let coeff = *coeff_quarters as f64 * 0.25;
+            let off = *offset as i64;
+            for piece in 0..PIECES {
+                let lo = piece * PIECE;
+                let old: Vec<f64> = r[lo..lo + PIECE].to_vec();
+                for k in 0..PIECE {
+                    let i = lo + k;
+                    let q = i as i64 + off;
+                    let n = if !(0..LEN).contains(&q) {
+                        0.0
+                    } else if (q as usize) >= lo && (q as usize) < lo + PIECE {
+                        old[q as usize - lo]
+                    } else {
+                        r[q as usize]
+                    };
+                    r[i] += coeff * n;
+                }
+            }
+        }
+        Op::FillSlice { lo, len, value } => {
+            let lo = *lo as usize;
+            let hi = (lo + *len as usize).min(LEN as usize - 1);
+            for v in &mut r[lo..=hi] {
+                *v = *value as f64;
+            }
+        }
+    }
+}
+
+fn apply_rt(rt: &mut Runtime, arr: &DistArray, op: &Op) {
+    match op {
+        Op::MapAdd(a) => {
+            let a = *a as f64;
+            arr.map_inplace(rt, move |v| v + a);
+        }
+        Op::MapScale(up) => {
+            let k = if *up { 2.0 } else { 0.5 };
+            arr.map_inplace(rt, move |v| v * k);
+        }
+        Op::ShiftAdd {
+            offset,
+            coeff_quarters,
+        } => arr.shift_add(rt, *offset as i64, *coeff_quarters as f64 * 0.25),
+        Op::FillSlice { lo, len, value } => {
+            let lo = *lo as i64;
+            let hi = (lo + *len as i64).min(LEN - 1);
+            arr.fill_slice(rt, lo, hi, *value as f64);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pipelines_match_vec_reference(ops in prop::collection::vec(op(), 1..8)) {
+        let mut reference: Vec<f64> = (0..LEN).map(|i| (i % 6) as f64).collect();
+        for o in &ops {
+            apply_ref(&mut reference, o);
+        }
+        let ref_sum: f64 = reference.iter().sum();
+
+        for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+            for nodes in [1usize, 3] {
+                let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes));
+                let arr = DistArray::from_fn(&mut rt, LEN, PIECES, |i| (i % 6) as f64);
+                for o in &ops {
+                    apply_rt(&mut rt, &arr, o);
+                }
+                let sum = arr.sum(&mut rt);
+                let probe = arr.probe(&mut rt);
+                prop_assert!(
+                    check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty(),
+                    "{:?} nodes={}", engine, nodes
+                );
+                let store = rt.execute_values();
+                prop_assert_eq!(probe.get(&store), reference.clone(),
+                    "{:?} nodes={} ops={:?}", engine, nodes, ops);
+                prop_assert_eq!(sum.get(&store), ref_sum);
+            }
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 12: stencil initialization time — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(12, viz_bench::AppKind::Stencil, true);
+}

@@ -1,0 +1,8 @@
+//! Figure 13: circuit initialization time — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(13, viz_bench::AppKind::Circuit, true);
+}

@@ -1,0 +1,8 @@
+//! Figure 14: pennant initialization time — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(14, viz_bench::AppKind::Pennant, true);
+}

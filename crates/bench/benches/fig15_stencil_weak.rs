@@ -1,0 +1,8 @@
+//! Figure 15: stencil weak scaling — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(15, viz_bench::AppKind::Stencil, false);
+}

@@ -1,0 +1,8 @@
+//! Figure 16: circuit weak scaling — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(16, viz_bench::AppKind::Circuit, false);
+}

@@ -1,0 +1,8 @@
+//! Figure 17: pennant weak scaling — see `figcommon`.
+
+#[path = "figcommon.rs"]
+mod figcommon;
+
+fn main() {
+    figcommon::run(17, viz_bench::AppKind::Pennant, false);
+}

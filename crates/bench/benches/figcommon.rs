@@ -1,0 +1,68 @@
+//! Shared driver for the per-figure benches.
+//!
+//! Each `figNN_*` bench does two things:
+//!
+//! 1. **Regenerates the figure's data series** (simulated machine times from
+//!    the real analysis runs) and prints the TSV — the same rows the
+//!    `figures` binary emits. Environment knobs:
+//!    `VIZ_FIG_MAX_NODES` (default 64) and `VIZ_PAPER_SCALE=1` for the full
+//!    per-piece sizes (default is the scaled-down bench size).
+//! 2. **Criterion-times the analysis itself** (host wall time of this
+//!    implementation) at a few machine scales per configuration.
+
+use criterion::{BenchmarkId, Criterion};
+use viz_bench::{
+    init_figure_tsv, measure, paper_node_counts, sweep, weak_figure_tsv, AppKind, RunConfig,
+};
+
+pub fn run(fig: u32, app: AppKind, init_figure: bool) {
+    // ---- Phase 1: regenerate the figure series.
+    let max_nodes: usize = std::env::var("VIZ_FIG_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let paper_scale = std::env::var("VIZ_PAPER_SCALE").ok().as_deref() == Some("1");
+    let nodes = paper_node_counts(max_nodes);
+    let rows = sweep(app, &nodes, paper_scale);
+    let table = if init_figure {
+        init_figure_tsv(&rows)
+    } else {
+        weak_figure_tsv(app, &rows)
+    };
+    println!(
+        "\n# Figure {fig}: {} {} ({} scale, nodes<= {max_nodes})\n{table}",
+        app.label(),
+        if init_figure {
+            "initialization time (simulated s)"
+        } else {
+            "weak scaling (throughput/node)"
+        },
+        if paper_scale { "paper" } else { "bench" },
+    );
+
+    // ---- Phase 2: criterion timing of the analysis implementation.
+    // Short measurement windows: the workloads are deterministic
+    // simulations, so tight confidence intervals come cheap.
+    let mut c = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(1))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .configure_from_args();
+    let mut g = c.benchmark_group(format!("fig{fig}_{}", app.label()));
+    g.sample_size(10);
+    for n in [1usize, 8, 32] {
+        for cfg in RunConfig::evaluated() {
+            g.bench_with_input(
+                BenchmarkId::new(cfg.label().replace(", ", "_"), n),
+                &n,
+                |b, &n| {
+                    b.iter(|| {
+                        let w = app.bench_scale(n);
+                        measure(app, w.as_ref(), cfg, n)
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+    c.final_summary();
+}

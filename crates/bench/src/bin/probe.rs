@@ -1,0 +1,97 @@
+//! Diagnostic probe: per-iteration completion deltas, counters, and state
+//! sizes for one app × configuration × node count.
+//!
+//! ```text
+//! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> [--quick]
+//! ```
+
+use viz_bench::AppKind;
+use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let app = match args[0].as_str() {
+        "stencil" => AppKind::Stencil,
+        "circuit" => AppKind::Circuit,
+        "pennant" => AppKind::Pennant,
+        a => panic!("unknown app {a}"),
+    };
+    let engine = match args[1].as_str() {
+        "raycast" => EngineKind::RayCast,
+        "warnock" => EngineKind::Warnock,
+        "paint" => EngineKind::Paint,
+        "paintnaive" => EngineKind::PaintNaive,
+        a => panic!("unknown engine {a}"),
+    };
+    let dcr = args[2] == "dcr";
+    let nodes: usize = args[3].parse().unwrap();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let workload = if quick {
+        app.bench_scale(nodes)
+    } else {
+        app.paper(nodes)
+    };
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(engine)
+            .nodes(nodes)
+            .dcr(dcr)
+            .validate(false),
+    );
+    let host = std::time::Instant::now();
+    let run = workload.execute(&mut rt);
+    let host_analysis = host.elapsed().as_secs_f64();
+    let report = rt.timed_schedule();
+    println!(
+        "app={} engine={} dcr={} nodes={} launches={} host_analysis={:.2}s",
+        app.label(),
+        engine.label(),
+        dcr,
+        nodes,
+        rt.num_tasks(),
+        host_analysis
+    );
+    let mut prev = 0u64;
+    for (k, end) in run.iter_end.iter().enumerate() {
+        let t = report.completion_through(*end);
+        println!(
+            "iter {k:>3}: completion {:>12.6}s  delta {:>10.6}s",
+            t as f64 * 1e-9,
+            (t - prev) as f64 * 1e-9
+        );
+        prev = t;
+    }
+    let mut clocks: Vec<(usize, u64)> = rt
+        .machine()
+        .clocks()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    clocks.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!(
+        "top clocks: {:?}",
+        clocks
+            .iter()
+            .take(5)
+            .map(|(n, c)| (*n, *c as f64 * 1e-9))
+            .collect::<Vec<_>>()
+    );
+    let mut svc: Vec<(usize, u64)> = rt
+        .machine()
+        .service_clocks()
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
+    svc.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    println!(
+        "top service: {:?}",
+        svc.iter()
+            .take(3)
+            .map(|(n, c)| (*n, *c as f64 * 1e-9))
+            .collect::<Vec<_>>()
+    );
+    println!("state: {:?}", rt.state_size());
+    println!("counters: {:#?}", rt.machine().counters());
+}

@@ -1,0 +1,159 @@
+//! Terminal rendering of the figure series — log₂-x line charts like the
+//! paper's log-linear plots, drawn with unicode block characters.
+
+use crate::Measurement;
+use crate::RunConfig;
+
+/// Per-configuration glyphs, in `RunConfig::evaluated()` order (matching
+/// the paper's five-curve legend).
+const GLYPHS: [char; 5] = ['R', 'r', 'W', 'w', 'P'];
+
+/// Render one figure as an ASCII chart: x = log₂(nodes), y = value.
+///
+/// `value` extracts the plotted quantity; `log_y` uses a log₁₀ y-axis
+/// (natural for the init-time figures, whose curves span decades).
+pub fn render(
+    title: &str,
+    unit: &str,
+    rows: &[Measurement],
+    value: impl Fn(&Measurement) -> f64,
+    log_y: bool,
+) -> String {
+    let configs = RunConfig::evaluated();
+    let mut nodes: Vec<usize> = rows.iter().map(|m| m.nodes).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    if nodes.is_empty() {
+        return format!("{title}: no data\n");
+    }
+    let width = nodes.len();
+    let height = 16usize;
+
+    // Gather the series and the y range.
+    let mut series: Vec<Vec<Option<f64>>> = Vec::new();
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for c in configs {
+        let mut s = Vec::with_capacity(width);
+        for n in &nodes {
+            let v = rows
+                .iter()
+                .find(|m| m.nodes == *n && m.config == c)
+                .map(&value);
+            if let Some(v) = v {
+                let v = if log_y { v.max(1e-12).log10() } else { v };
+                lo = lo.min(v);
+                hi = hi.max(v);
+                s.push(Some(v));
+            } else {
+                s.push(None);
+            }
+        }
+        series.push(s);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return format!("{title}: no data\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    // Paint the canvas; later series overwrite earlier at collisions.
+    let mut canvas = vec![vec![' '; width * 4 + 1]; height];
+    for (si, s) in series.iter().enumerate() {
+        for (xi, v) in s.iter().enumerate() {
+            let Some(v) = v else { continue };
+            let y = ((v - lo) / (hi - lo) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y;
+            // Each node gets a 4-column slot; series are offset within it
+            // so coincident curves stay visible.
+            canvas[row][xi * 4 + si.min(4)] = GLYPHS[si];
+        }
+    }
+
+    let fmt_tick = |v: f64| -> String {
+        let v = if log_y { 10f64.powf(v) } else { v };
+        if v >= 100.0 {
+            format!("{v:>8.0}")
+        } else if v >= 1.0 {
+            format!("{v:>8.2}")
+        } else {
+            format!("{v:>8.4}")
+        }
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("{title}   [{unit}{}]\n", if log_y { ", log y" } else { "" }));
+    for (ri, row) in canvas.iter().enumerate() {
+        let tick = if ri == 0 {
+            fmt_tick(hi)
+        } else if ri == height - 1 {
+            fmt_tick(lo)
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("{tick} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{} +{}\n", " ".repeat(8), "-".repeat(width * 4)));
+    out.push_str(&format!(
+        "{}  {}\n",
+        " ".repeat(8),
+        nodes
+            .iter()
+            .map(|n| format!("{n:<4}"))
+            .collect::<String>()
+    ));
+    out.push_str("legend: ");
+    for (c, g) in configs.iter().zip(GLYPHS) {
+        out.push_str(&format!("{g}={}  ", c.label()));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{measure, AppKind, RunConfig};
+
+    fn sample_rows() -> Vec<Measurement> {
+        let mut rows = Vec::new();
+        for nodes in [1usize, 2] {
+            for config in RunConfig::evaluated() {
+                let wl = AppKind::Circuit.bench_scale(nodes);
+                rows.push(measure(AppKind::Circuit, wl.as_ref(), config, nodes));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn renders_all_series_with_legend() {
+        let rows = sample_rows();
+        let chart = render("test chart", "s", &rows, |m| m.init_time_s, true);
+        assert!(chart.contains("test chart"));
+        assert!(chart.contains("legend:"));
+        for g in GLYPHS {
+            assert!(
+                chart.contains(g),
+                "glyph {g} missing from chart:\n{chart}"
+            );
+        }
+        // Axis ticks and node labels present.
+        assert!(chart.contains('|') && chart.contains('+'));
+        assert!(chart.contains("1   2"));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let chart = render("empty", "s", &[], |m| m.init_time_s, false);
+        assert!(chart.contains("no data"));
+    }
+
+    #[test]
+    fn linear_and_log_axes_render() {
+        let rows = sample_rows();
+        let lin = render("lin", "x", &rows, |m| m.throughput_per_node, false);
+        let log = render("log", "x", &rows, |m| m.throughput_per_node, true);
+        assert!(lin.contains("lin") && log.contains("log y"));
+    }
+}

@@ -1,0 +1,219 @@
+//! A static bounding-volume hierarchy (paper §6.1).
+//!
+//! Warnock's algorithm and the region tree use a BVH as the acceleration
+//! structure for "which stored entries does this region overlap" queries.
+//! This BVH is built once over a fixed set of `(id, bbox)` leaves (e.g. the
+//! children of a partition) and queried many times.
+
+use crate::rect::Rect;
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        bbox: Rect,
+        /// Range into `items` (leaves store a handful of items each).
+        start: u32,
+        len: u32,
+    },
+    Inner {
+        bbox: Rect,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// Static BVH over `(id, bbox)` items, built with spatial-median splits on
+/// the longer axis of the centroid bounds.
+#[derive(Clone, Debug, Default)]
+pub struct Bvh {
+    nodes: Vec<Node>,
+    items: Vec<(u32, Rect)>,
+    root: Option<u32>,
+}
+
+const LEAF_SIZE: usize = 4;
+
+impl Bvh {
+    /// Build a BVH over the given items. Empty bboxes are dropped.
+    pub fn build(items: Vec<(u32, Rect)>) -> Self {
+        let mut items: Vec<(u32, Rect)> =
+            items.into_iter().filter(|(_, r)| !r.is_empty()).collect();
+        let mut bvh = Bvh {
+            nodes: Vec::new(),
+            items: Vec::new(),
+            root: None,
+        };
+        if items.is_empty() {
+            return bvh;
+        }
+        let n = items.len();
+        let root = bvh.build_range(&mut items, 0, n);
+        bvh.items = items;
+        bvh.root = Some(root);
+        bvh
+    }
+
+    fn build_range(&mut self, items: &mut [(u32, Rect)], start: usize, end: usize) -> u32 {
+        let slice = &mut items[start..end];
+        let bbox = slice
+            .iter()
+            .fold(Rect::EMPTY, |acc, (_, r)| acc.union_bbox(r));
+        if slice.len() <= LEAF_SIZE {
+            let id = self.nodes.len() as u32;
+            self.nodes.push(Node::Leaf {
+                bbox,
+                start: start as u32,
+                len: slice.len() as u32,
+            });
+            return id;
+        }
+        // Split on the longer axis of the centroid extent.
+        let centers: Rect = slice.iter().fold(Rect::EMPTY, |acc, (_, r)| {
+            acc.union_bbox(&Rect::point(r.center()))
+        });
+        let x_extent = centers.hi.x - centers.lo.x;
+        let y_extent = centers.hi.y - centers.lo.y;
+        if x_extent >= y_extent {
+            slice.sort_unstable_by_key(|(_, r)| r.center().x);
+        } else {
+            slice.sort_unstable_by_key(|(_, r)| r.center().y);
+        }
+        let mid = start + (end - start) / 2;
+        let left = self.build_range(items, start, mid);
+        let right = self.build_range(items, mid, end);
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node::Inner { bbox, left, right });
+        id
+    }
+
+    /// Append the ids of every stored item whose bbox overlaps `query`.
+    pub fn query(&self, query: &Rect, out: &mut Vec<u32>) {
+        let Some(root) = self.root else { return };
+        if query.is_empty() {
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n as usize] {
+                Node::Leaf { bbox, start, len } => {
+                    if bbox.overlaps(query) {
+                        for (id, r) in
+                            &self.items[*start as usize..(*start + *len) as usize]
+                        {
+                            if r.overlaps(query) {
+                                out.push(*id);
+                            }
+                        }
+                    }
+                }
+                Node::Inner { bbox, left, right } => {
+                    if bbox.overlaps(query) {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn query_vec(&self, query: &Rect) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query(query, &mut out);
+        out
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn grid_tiles(n: i64, tile: i64) -> Vec<(u32, Rect)> {
+        let mut out = Vec::new();
+        let mut id = 0;
+        for ty in 0..n {
+            for tx in 0..n {
+                out.push((
+                    id,
+                    Rect::xy(tx * tile, (tx + 1) * tile - 1, ty * tile, (ty + 1) * tile - 1),
+                ));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_bvh_returns_nothing() {
+        let bvh = Bvh::build(vec![]);
+        assert!(bvh.is_empty());
+        assert!(bvh.query_vec(&Rect::span(0, 100)).is_empty());
+    }
+
+    #[test]
+    fn finds_exactly_overlapping_tiles() {
+        let bvh = Bvh::build(grid_tiles(8, 10));
+        // Query covering tiles (2,2)..(4,4) plus one-cell bleed.
+        let q = Rect::xy(20, 45, 20, 45);
+        let mut hits = bvh.query_vec(&q);
+        hits.sort_unstable();
+        let mut expect: Vec<u32> = grid_tiles(8, 10)
+            .into_iter()
+            .filter(|(_, r)| r.overlaps(&q))
+            .map(|(id, _)| id)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(hits, expect);
+        assert_eq!(hits.len(), 9);
+    }
+
+    #[test]
+    fn point_query_hits_single_tile() {
+        let bvh = Bvh::build(grid_tiles(16, 4));
+        let q = Rect::point(Point::new(33, 7));
+        let hits = bvh.query_vec(&q);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_rects() {
+        // Deterministic pseudo-random rects; BVH must agree with brute force.
+        let mut state = 0x12345678u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as i64
+        };
+        let items: Vec<(u32, Rect)> = (0..200)
+            .map(|i| {
+                let x = rnd();
+                let y = rnd();
+                (i, Rect::xy(x, x + rnd() % 50, y, y + rnd() % 50))
+            })
+            .collect();
+        let bvh = Bvh::build(items.clone());
+        for _ in 0..50 {
+            let x = rnd();
+            let y = rnd();
+            let q = Rect::xy(x, x + 80, y, y + 80);
+            let mut hits = bvh.query_vec(&q);
+            hits.sort_unstable();
+            let mut expect: Vec<u32> = items
+                .iter()
+                .filter(|(_, r)| r.overlaps(&q))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(hits, expect);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! Sparse index sets as normalized lists of disjoint rectangles.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use std::fmt;
+
+/// A set of points in the index space, stored as a list of **disjoint**
+/// rectangles sorted by `(lo.y, lo.x)` with adjacent rectangles coalesced
+/// where a single normalization pass finds them.
+///
+/// This is the representation of a region's *domain* in the paper's sense: a
+/// set of n-dimensional points. All of the set algebra the visibility
+/// algorithms rely on is provided:
+///
+/// * `X/Y` (points of `X` shared with `Y`) — [`IndexSpace::intersect`]
+/// * `X\Y` (points of `X` not in `Y`) — [`IndexSpace::subtract`]
+/// * `X ∪ Y` — [`IndexSpace::union`]
+///
+/// The rectangle list is kept normalized, so structural equality of two
+/// spaces is *not* guaranteed for equal point sets built differently; use
+/// [`IndexSpace::same_points`] for set equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct IndexSpace {
+    rects: Vec<Rect>,
+}
+
+impl IndexSpace {
+    /// The empty set.
+    #[inline]
+    pub fn empty() -> Self {
+        IndexSpace { rects: Vec::new() }
+    }
+
+    /// A dense rectangle.
+    pub fn from_rect(r: Rect) -> Self {
+        if r.is_empty() {
+            Self::empty()
+        } else {
+            IndexSpace { rects: vec![r] }
+        }
+    }
+
+    /// A dense 1-D span `[lo, hi]`.
+    pub fn span(lo: i64, hi: i64) -> Self {
+        Self::from_rect(Rect::span(lo, hi))
+    }
+
+    /// Build from arbitrary (possibly overlapping, possibly empty)
+    /// rectangles.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        let mut acc = Self::empty();
+        for r in rects {
+            acc.add_rect(r);
+        }
+        acc.normalize();
+        acc
+    }
+
+    /// Build from a set of points; consecutive 1-D runs are coalesced.
+    pub fn from_points<I: IntoIterator<Item = Point>>(points: I) -> Self {
+        let mut pts: Vec<Point> = points.into_iter().collect();
+        pts.sort_unstable();
+        pts.dedup();
+        let mut rects = Vec::new();
+        let mut run: Option<Rect> = None;
+        for p in pts {
+            match run {
+                Some(ref mut r) if r.hi.y == p.y && r.hi.x + 1 == p.x => {
+                    r.hi.x = p.x;
+                }
+                _ => {
+                    if let Some(r) = run.take() {
+                        rects.push(r);
+                    }
+                    run = Some(Rect::point(p));
+                }
+            }
+        }
+        if let Some(r) = run {
+            rects.push(r);
+        }
+        let mut s = IndexSpace { rects };
+        s.normalize();
+        s
+    }
+
+    /// Add a rectangle's points (keeps the disjointness invariant, does not
+    /// re-normalize; callers batch adds and call `normalize` once).
+    fn add_rect(&mut self, r: Rect) {
+        if r.is_empty() {
+            return;
+        }
+        // Insert only the parts of `r` not already covered.
+        let mut pending = vec![r];
+        for have in &self.rects {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(pending.len());
+            for p in pending {
+                if p.overlaps(have) {
+                    next.extend(p.subtract(have));
+                } else {
+                    next.push(p);
+                }
+            }
+            pending = next;
+        }
+        self.rects.extend(pending);
+    }
+
+    /// Restore sorted order and coalesce adjacent rectangles.
+    fn normalize(&mut self) {
+        if self.rects.len() <= 1 {
+            return;
+        }
+        loop {
+            self.rects.sort_unstable_by_key(|r| (r.lo, r.hi));
+            let mut merged = false;
+            let mut out: Vec<Rect> = Vec::with_capacity(self.rects.len());
+            for r in self.rects.drain(..) {
+                if let Some(last) = out.last_mut() {
+                    // Horizontal merge: same row band, x-adjacent.
+                    if last.lo.y == r.lo.y && last.hi.y == r.hi.y && last.hi.x + 1 == r.lo.x {
+                        last.hi.x = r.hi.x;
+                        merged = true;
+                        continue;
+                    }
+                }
+                out.push(r);
+            }
+            // Vertical merge: same column band, y-adjacent. Quadratic in the
+            // worst case but rect lists are short after horizontal merging.
+            let mut i = 0;
+            while i < out.len() {
+                let mut j = i + 1;
+                while j < out.len() {
+                    let (a, b) = (out[i], out[j]);
+                    if a.lo.x == b.lo.x && a.hi.x == b.hi.x && a.hi.y + 1 == b.lo.y {
+                        out[i].hi.y = b.hi.y;
+                        out.remove(j);
+                        merged = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i += 1;
+            }
+            self.rects = out;
+            if !merged {
+                break;
+            }
+        }
+    }
+
+    /// The disjoint rectangles making up this set.
+    #[inline]
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// If every rectangle spans the same single `y` band, return it: the
+    /// set is effectively one-dimensional and the set operations can run
+    /// as linear interval sweeps instead of pairwise rectangle tests. All
+    /// 1-D element-id spaces (graphs, meshes) hit this path.
+    fn linear_band(&self) -> Option<(i64, i64)> {
+        let first = self.rects.first()?;
+        let band = (first.lo.y, first.hi.y);
+        self.rects
+            .iter()
+            .all(|r| (r.lo.y, r.hi.y) == band)
+            .then_some(band)
+    }
+
+    /// Shared linear band of two sets, if any.
+    fn common_band(&self, other: &IndexSpace) -> Option<(i64, i64)> {
+        match (self.linear_band(), other.linear_band()) {
+            (Some(a), Some(b)) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Number of points in the set.
+    pub fn volume(&self) -> u64 {
+        self.rects.iter().map(Rect::volume).sum()
+    }
+
+    /// The bounding rectangle (empty rect if the set is empty).
+    pub fn bbox(&self) -> Rect {
+        self.rects
+            .iter()
+            .fold(Rect::EMPTY, |acc, r| acc.union_bbox(r))
+    }
+
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.rects.iter().any(|r| r.contains_point(p))
+    }
+
+    /// `self ∩ other ≠ ∅`, with a bounding-box early exit: this is the
+    /// single hottest predicate in the dependence analysis.
+    pub fn overlaps(&self, other: &IndexSpace) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        if !self.bbox().overlaps(&other.bbox()) {
+            return false;
+        }
+        if self.common_band(other).is_some() {
+            // Linear sweep over the sorted, disjoint runs.
+            let (mut i, mut j) = (0, 0);
+            while i < self.rects.len() && j < other.rects.len() {
+                let a = &self.rects[i];
+                let b = &other.rects[j];
+                if a.hi.x < b.lo.x {
+                    i += 1;
+                } else if b.hi.x < a.lo.x {
+                    j += 1;
+                } else {
+                    return true;
+                }
+            }
+            return false;
+        }
+        for a in &self.rects {
+            for b in &other.rects {
+                if a.overlaps(b) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// `X/Y`: the subset of `self` sharing points with `other`.
+    pub fn intersect(&self, other: &IndexSpace) -> IndexSpace {
+        if self.is_empty() || other.is_empty() || !self.bbox().overlaps(&other.bbox()) {
+            return IndexSpace::empty();
+        }
+        if let Some((ylo, yhi)) = self.common_band(other) {
+            // Linear sweep; output runs are sorted and disjoint, and only
+            // adjacent-run coalescing is needed.
+            let mut rects: Vec<Rect> = Vec::new();
+            let (mut i, mut j) = (0, 0);
+            while i < self.rects.len() && j < other.rects.len() {
+                let a = &self.rects[i];
+                let b = &other.rects[j];
+                let lo = a.lo.x.max(b.lo.x);
+                let hi = a.hi.x.min(b.hi.x);
+                if lo <= hi {
+                    match rects.last_mut() {
+                        Some(r) if r.hi.x + 1 == lo => r.hi.x = hi,
+                        _ => rects.push(Rect::xy(lo, hi, ylo, yhi)),
+                    }
+                }
+                if a.hi.x <= b.hi.x {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+            }
+            return IndexSpace { rects };
+        }
+        let mut rects = Vec::new();
+        for a in &self.rects {
+            for b in &other.rects {
+                let i = a.intersect(b);
+                if !i.is_empty() {
+                    rects.push(i);
+                }
+            }
+        }
+        // Pairwise intersections of two disjoint families are disjoint.
+        let mut s = IndexSpace { rects };
+        s.normalize();
+        s
+    }
+
+    /// `X\Y`: the subset of `self` not sharing points with `other`.
+    pub fn subtract(&self, other: &IndexSpace) -> IndexSpace {
+        if self.is_empty() {
+            return IndexSpace::empty();
+        }
+        if other.is_empty() || !self.bbox().overlaps(&other.bbox()) {
+            return self.clone();
+        }
+        if let Some((ylo, yhi)) = self.common_band(other) {
+            // Linear sweep: walk each of our runs, carving out the other's.
+            let mut rects = Vec::new();
+            let mut j = 0;
+            for a in &self.rects {
+                let mut cur = a.lo.x;
+                let end = a.hi.x;
+                while j < other.rects.len() && other.rects[j].hi.x < cur {
+                    j += 1;
+                }
+                let mut k = j;
+                while cur <= end {
+                    if k >= other.rects.len() || other.rects[k].lo.x > end {
+                        rects.push(Rect::xy(cur, end, ylo, yhi));
+                        break;
+                    }
+                    let b = &other.rects[k];
+                    if b.lo.x > cur {
+                        rects.push(Rect::xy(cur, b.lo.x - 1, ylo, yhi));
+                    }
+                    cur = cur.max(b.hi.x + 1);
+                    k += 1;
+                }
+            }
+            // Runs are sorted & disjoint; coalesce adjacency.
+            let mut out: Vec<Rect> = Vec::with_capacity(rects.len());
+            for r in rects {
+                match out.last_mut() {
+                    Some(l) if l.hi.x + 1 == r.lo.x => l.hi.x = r.hi.x,
+                    _ => out.push(r),
+                }
+            }
+            return IndexSpace { rects: out };
+        }
+        let mut pending: Vec<Rect> = self.rects.clone();
+        for b in &other.rects {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::with_capacity(pending.len());
+            for a in pending {
+                if a.overlaps(b) {
+                    next.extend(a.subtract(b));
+                } else {
+                    next.push(a);
+                }
+            }
+            pending = next;
+        }
+        let mut s = IndexSpace { rects: pending };
+        s.normalize();
+        s
+    }
+
+    /// `X ∪ Y` as point sets.
+    pub fn union(&self, other: &IndexSpace) -> IndexSpace {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        if let Some((ylo, yhi)) = self.common_band(other) {
+            // Linear merge of two sorted run lists.
+            let mut rects: Vec<Rect> = Vec::with_capacity(self.rects.len() + other.rects.len());
+            let (mut i, mut j) = (0, 0);
+            while i < self.rects.len() || j < other.rects.len() {
+                let next = if j >= other.rects.len()
+                    || (i < self.rects.len() && self.rects[i].lo.x <= other.rects[j].lo.x)
+                {
+                    let r = self.rects[i];
+                    i += 1;
+                    r
+                } else {
+                    let r = other.rects[j];
+                    j += 1;
+                    r
+                };
+                match rects.last_mut() {
+                    Some(l) if l.hi.x + 1 >= next.lo.x => l.hi.x = l.hi.x.max(next.hi.x),
+                    _ => rects.push(Rect::xy(next.lo.x, next.hi.x, ylo, yhi)),
+                }
+            }
+            return IndexSpace { rects };
+        }
+        let mut s = self.clone();
+        for r in &other.rects {
+            s.add_rect(*r);
+        }
+        s.normalize();
+        s
+    }
+
+    /// Does `self` contain every point of `other`?
+    pub fn contains(&self, other: &IndexSpace) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        if !self.bbox().contains_rect(&other.bbox()) {
+            // Quick accept is impossible, but quick reject is: some point of
+            // `other` lies outside our bounding box.
+            if !self.bbox().overlaps(&other.bbox()) {
+                return false;
+            }
+        }
+        other.subtract(self).is_empty()
+    }
+
+    /// Set equality (independent of rectangle decomposition).
+    pub fn same_points(&self, other: &IndexSpace) -> bool {
+        self.volume() == other.volume() && self.contains(other)
+    }
+
+    /// Iterate all points in row-major order of the rectangle list.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        self.rects.iter().flat_map(|r| r.points())
+    }
+
+    /// Number of rectangles (a fragmentation measure used by the
+    /// instrumentation counters and the cost model).
+    #[inline]
+    pub fn rect_count(&self) -> usize {
+        self.rects.len()
+    }
+}
+
+impl fmt::Debug for IndexSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, r) in self.rects.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{r:?}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl From<Rect> for IndexSpace {
+    fn from(r: Rect) -> Self {
+        IndexSpace::from_rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(lo: i64, hi: i64) -> IndexSpace {
+        IndexSpace::span(lo, hi)
+    }
+
+    #[test]
+    fn empty_space() {
+        let e = IndexSpace::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0);
+        assert!(e.bbox().is_empty());
+        assert!(sp(0, 5).contains(&e));
+        assert!(e.contains(&e));
+    }
+
+    #[test]
+    fn from_overlapping_rects_dedups() {
+        let s = IndexSpace::from_rects([Rect::span(0, 10), Rect::span(5, 15)]);
+        assert_eq!(s.volume(), 16);
+        assert_eq!(s.rect_count(), 1, "adjacent spans coalesce: {s:?}");
+    }
+
+    #[test]
+    fn from_points_builds_runs() {
+        let s = IndexSpace::from_points([1, 2, 3, 7, 8, 20].map(Point::p1));
+        assert_eq!(s.volume(), 6);
+        assert_eq!(s.rect_count(), 3);
+        assert!(s.contains_point(Point::p1(2)));
+        assert!(!s.contains_point(Point::p1(4)));
+    }
+
+    #[test]
+    fn intersect_subtract_partition_the_set() {
+        let a = IndexSpace::from_rect(Rect::xy(0, 9, 0, 9));
+        let b = IndexSpace::from_rect(Rect::xy(5, 14, 5, 14));
+        let i = a.intersect(&b);
+        let d = a.subtract(&b);
+        assert_eq!(i.volume() + d.volume(), a.volume());
+        assert!(!i.overlaps(&d));
+        assert!(a.contains(&i) && a.contains(&d));
+        assert!(i.union(&d).same_points(&a));
+    }
+
+    #[test]
+    fn union_is_idempotent_and_commutative() {
+        let a = IndexSpace::from_rects([Rect::span(0, 4), Rect::span(10, 14)]);
+        let b = IndexSpace::from_rects([Rect::span(3, 11)]);
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        assert!(u1.same_points(&u2));
+        assert!(u1.union(&a).same_points(&u1));
+        assert_eq!(u1.volume(), 15);
+        assert_eq!(u1.rect_count(), 1);
+    }
+
+    #[test]
+    fn subtract_self_is_empty() {
+        let a = IndexSpace::from_rect(Rect::xy(3, 9, 2, 4));
+        assert!(a.subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn two_dimensional_coalescing() {
+        // Four quadrant tiles reassemble to one rect.
+        let s = IndexSpace::from_rects([
+            Rect::xy(0, 4, 0, 4),
+            Rect::xy(5, 9, 0, 4),
+            Rect::xy(0, 4, 5, 9),
+            Rect::xy(5, 9, 5, 9),
+        ]);
+        assert_eq!(s.volume(), 100);
+        assert_eq!(s.rect_count(), 1, "{s:?}");
+    }
+
+    #[test]
+    fn contains_rejects_partial_overlap() {
+        let a = sp(0, 10);
+        let b = sp(5, 15);
+        assert!(!a.contains(&b));
+        assert!(!b.contains(&a));
+        assert!(a.contains(&sp(2, 8)));
+    }
+
+    #[test]
+    fn same_points_ignores_decomposition() {
+        let a = IndexSpace::from_rects([Rect::span(0, 3), Rect::span(4, 9)]);
+        let b = sp(0, 9);
+        assert!(a.same_points(&b));
+        assert_eq!(a, b, "normalization should coalesce to identical form");
+    }
+
+    #[test]
+    fn points_iteration_matches_volume() {
+        let s = IndexSpace::from_rects([Rect::xy(0, 2, 0, 1), Rect::span(10, 12)]);
+        assert_eq!(s.points().count() as u64, s.volume());
+        for p in s.points() {
+            assert!(s.contains_point(p));
+        }
+    }
+
+    #[test]
+    fn overlaps_early_exit_correct() {
+        let a = sp(0, 4);
+        let b = sp(100, 104);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&sp(4, 8)));
+    }
+
+    #[test]
+    fn ghost_halo_shape() {
+        // The classic stencil halo: a tile's ghost ring.
+        let tile = Rect::xy(10, 19, 10, 19);
+        let grown = Rect::xy(8, 21, 8, 21);
+        let halo = IndexSpace::from_rect(grown).subtract(&IndexSpace::from_rect(tile));
+        assert_eq!(halo.volume(), grown.volume() - tile.volume());
+        assert!(!halo.overlaps(&IndexSpace::from_rect(tile)));
+    }
+}

@@ -1,0 +1,325 @@
+//! A dynamic K-d tree (paper §7.1).
+//!
+//! The ray-casting engine keeps its equivalence sets in a structure derived
+//! from a disjoint-and-complete partition of the root region. "In rare cases
+//! when no subtree with disjoint-complete partitions exists, the runtime
+//! creates a K-d tree" — this is that K-d tree. Unlike the static
+//! [`crate::Bvh`], it supports insertion and removal, because ray casting's
+//! dominating writes both create and destroy equivalence sets.
+//!
+//! Removal is by tombstone; the tree is rebuilt once more than half of its
+//! nodes are dead, keeping amortized costs logarithmic.
+
+use crate::rect::Rect;
+
+#[derive(Clone, Debug)]
+struct KdNode {
+    id: u64,
+    rect: Rect,
+    /// Split axis: even depth splits on x, odd on y.
+    axis: u8,
+    /// Splitting coordinate (the rect's center on `axis` at insert time).
+    split: i64,
+    dead: bool,
+    left: Option<u32>,
+    right: Option<u32>,
+}
+
+/// Dynamic K-d tree over `(id, rect)` items.
+#[derive(Clone, Debug, Default)]
+pub struct KdTree {
+    nodes: Vec<KdNode>,
+    root: Option<u32>,
+    live: usize,
+    dead: usize,
+}
+
+impl KdTree {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert an item. `id`s are caller-managed; duplicates are allowed and
+    /// both copies will be reported by queries.
+    pub fn insert(&mut self, id: u64, rect: Rect) {
+        if rect.is_empty() {
+            return;
+        }
+        let (axis, split) = match self.root {
+            None => (0u8, rect.center().x),
+            Some(_) => (0u8, rect.center().x), // fixed up during descent
+        };
+        let new = KdNode {
+            id,
+            rect,
+            axis,
+            split,
+            dead: false,
+            left: None,
+            right: None,
+        };
+        self.live += 1;
+        let Some(mut cur) = self.root else {
+            self.nodes.push(new);
+            self.root = Some((self.nodes.len() - 1) as u32);
+            return;
+        };
+        loop {
+            let node = &self.nodes[cur as usize];
+            let key = if node.axis == 0 {
+                rect.center().x
+            } else {
+                rect.center().y
+            };
+            let go_left = key < node.split;
+            let child = if go_left { node.left } else { node.right };
+            match child {
+                Some(c) => cur = c,
+                None => {
+                    let child_axis = (node.axis + 1) % 2;
+                    let child_split = if child_axis == 0 {
+                        rect.center().x
+                    } else {
+                        rect.center().y
+                    };
+                    let mut n = new;
+                    n.axis = child_axis;
+                    n.split = child_split;
+                    self.nodes.push(n);
+                    let idx = (self.nodes.len() - 1) as u32;
+                    let node = &mut self.nodes[cur as usize];
+                    if go_left {
+                        node.left = Some(idx);
+                    } else {
+                        node.right = Some(idx);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Remove the first live item with this id (tombstoned; the structure is
+    /// rebuilt when half the nodes are dead). Returns whether an item was
+    /// removed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let mut found = false;
+        for n in &mut self.nodes {
+            if !n.dead && n.id == id {
+                n.dead = true;
+                found = true;
+                break;
+            }
+        }
+        if found {
+            self.live -= 1;
+            self.dead += 1;
+            if self.dead > self.live.max(8) {
+                self.rebuild();
+            }
+        }
+        found
+    }
+
+    fn rebuild(&mut self) {
+        let items: Vec<(u64, Rect)> = self
+            .nodes
+            .iter()
+            .filter(|n| !n.dead)
+            .map(|n| (n.id, n.rect))
+            .collect();
+        self.nodes.clear();
+        self.root = None;
+        self.live = 0;
+        self.dead = 0;
+        // Re-insert in a balanced order: recursively insert medians.
+        fn insert_balanced(tree: &mut KdTree, mut items: Vec<(u64, Rect)>, axis: u8) {
+            if items.is_empty() {
+                return;
+            }
+            if axis == 0 {
+                items.sort_unstable_by_key(|(_, r)| r.center().x);
+            } else {
+                items.sort_unstable_by_key(|(_, r)| r.center().y);
+            }
+            let mid = items.len() / 2;
+            let right = items.split_off(mid + 1);
+            let (id, rect) = items.pop().unwrap();
+            tree.insert(id, rect);
+            insert_balanced(tree, items, (axis + 1) % 2);
+            insert_balanced(tree, right, (axis + 1) % 2);
+        }
+        insert_balanced(self, items, 0);
+    }
+
+    /// Ids of all live items whose rect overlaps `query`.
+    ///
+    /// A K-d tree stores *points* (rect centers) but our items are rects, so
+    /// the descent cannot prune purely on the split plane: an item inserted
+    /// left of the plane may still straddle it. We track, per subtree, the
+    /// loose bound that items in the left subtree have centers `< split`;
+    /// pruning uses the query rect expanded by the maximum item half-extent.
+    /// For simplicity and correctness we descend both children whenever the
+    /// query is within `max_extent` of the plane.
+    pub fn query(&self, query: &Rect, out: &mut Vec<u64>) {
+        let Some(root) = self.root else { return };
+        if query.is_empty() {
+            return;
+        }
+        let max_half = self.max_half_extent();
+        let mut stack = vec![root];
+        while let Some(cur) = stack.pop() {
+            let n = &self.nodes[cur as usize];
+            if !n.dead && n.rect.overlaps(query) {
+                out.push(n.id);
+            }
+            let (qlo, qhi) = if n.axis == 0 {
+                (query.lo.x, query.hi.x)
+            } else {
+                (query.lo.y, query.hi.y)
+            };
+            if let Some(l) = n.left {
+                // Left subtree holds centers < split; an item's rect can
+                // extend at most max_half beyond its center.
+                if qlo < n.split + max_half {
+                    stack.push(l);
+                }
+            }
+            if let Some(r) = n.right {
+                if qhi >= n.split - max_half {
+                    stack.push(r);
+                }
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn query_vec(&self, query: &Rect) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query(query, &mut out);
+        out
+    }
+
+    fn max_half_extent(&self) -> i64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.dead)
+            .map(|n| {
+                let w = (n.rect.hi.x - n.rect.lo.x + 1) / 2 + 1;
+                let h = (n.rect.hi.y - n.rect.lo.y + 1) / 2 + 1;
+                w.max(h)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterate all live `(id, rect)` items.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Rect)> + '_ {
+        self.nodes.iter().filter(|n| !n.dead).map(|n| (n.id, n.rect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut t = KdTree::new();
+        for i in 0..100i64 {
+            t.insert(i as u64, Rect::span(i * 10, i * 10 + 9));
+        }
+        assert_eq!(t.len(), 100);
+        let mut hits = t.query_vec(&Rect::span(95, 125));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn remove_hides_items() {
+        let mut t = KdTree::new();
+        t.insert(1, Rect::span(0, 9));
+        t.insert(2, Rect::span(10, 19));
+        assert!(t.remove(1));
+        assert!(!t.remove(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.query_vec(&Rect::span(0, 19)), vec![2]);
+    }
+
+    #[test]
+    fn rebuild_preserves_contents() {
+        let mut t = KdTree::new();
+        for i in 0..64i64 {
+            t.insert(i as u64, Rect::span(i, i));
+        }
+        // Remove enough to trigger a rebuild.
+        for i in 0..40u64 {
+            assert!(t.remove(i));
+        }
+        assert_eq!(t.len(), 24);
+        let mut hits = t.query_vec(&Rect::span(0, 63));
+        hits.sort_unstable();
+        assert_eq!(hits, (40..64).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn matches_linear_scan_with_churn() {
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 500) as i64
+        };
+        let mut t = KdTree::new();
+        let mut live: Vec<(u64, Rect)> = Vec::new();
+        for i in 0..300u64 {
+            let x = rnd();
+            let y = rnd();
+            let r = Rect::xy(x, x + rnd() % 30, y, y + rnd() % 30);
+            t.insert(i, r);
+            live.push((i, r));
+            if i % 3 == 0 && !live.is_empty() {
+                let victim = live.remove((rnd() as usize) % live.len());
+                assert!(t.remove(victim.0));
+            }
+        }
+        for _ in 0..40 {
+            let x = rnd();
+            let y = rnd();
+            let q = Rect::xy(x, x + 60, y, y + 60);
+            let mut hits = t.query_vec(&q);
+            hits.sort_unstable();
+            let mut expect: Vec<u64> = live
+                .iter()
+                .filter(|(_, r)| r.overlaps(&q))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(hits, expect);
+        }
+    }
+
+    #[test]
+    fn two_dimensional_queries() {
+        let mut t = KdTree::new();
+        let mut id = 0u64;
+        for ty in 0..10i64 {
+            for tx in 0..10i64 {
+                t.insert(id, Rect::xy(tx * 5, tx * 5 + 4, ty * 5, ty * 5 + 4));
+                id += 1;
+            }
+        }
+        let hits = t.query_vec(&Rect::xy(12, 13, 12, 13));
+        assert_eq!(hits, vec![22]);
+        let hits = t.query_vec(&Rect::xy(4, 5, 4, 5));
+        assert_eq!(hits.len(), 4);
+    }
+}

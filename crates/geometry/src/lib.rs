@@ -1,0 +1,41 @@
+//! # viz-geometry
+//!
+//! Index-space geometry for the visibility-based coherence runtime.
+//!
+//! Regions in the runtime (see `viz-region`) name *arbitrary subsets* of a
+//! collection's index space. This crate provides the machinery those subsets
+//! are made of:
+//!
+//! * [`Point`] — an integer point in a (up to) 2-D index space. One
+//!   dimensional spaces are embedded at `y == 0`; two dimensions are
+//!   sufficient for every benchmark in the paper (stencil is 2-D, circuit and
+//!   Pennant use 1-D element id spaces).
+//! * [`Rect`] — a dense, inclusive rectangle of points.
+//! * [`IndexSpace`] — a sparse set of points represented as a normalized list
+//!   of disjoint rectangles, with the full set algebra the visibility
+//!   algorithms need: intersection, difference, union, covering tests.
+//! * [`Bvh`] — a static bounding-volume hierarchy used to find overlapping
+//!   partition children quickly.
+//! * [`KdTree`] — a dynamic K-d tree used by the ray-casting engine when no
+//!   disjoint-and-complete partition subtree exists (paper §7.1).
+//! * [`hash`] — a fast, non-cryptographic hasher (`FxHashMap`/`FxHashSet`)
+//!   for the hot analysis paths.
+//!
+//! The set operations mirror the auxiliary functions of the paper (§5):
+//! `X/Y` is [`IndexSpace::intersect`], `X\Y` is [`IndexSpace::subtract`], and
+//! `X ⊕ Y` (union preferring `Y`'s values) is realized at the value layer in
+//! `viz-runtime` on top of these domain operations.
+
+pub mod bvh;
+pub mod hash;
+pub mod index_space;
+pub mod kdtree;
+pub mod point;
+pub mod rect;
+
+pub use bvh::Bvh;
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use index_space::IndexSpace;
+pub use kdtree::KdTree;
+pub use point::Point;
+pub use rect::Rect;

@@ -1,0 +1,98 @@
+//! Integer points in an index space.
+
+use std::fmt;
+
+/// A point in a (up to) 2-D integer index space.
+///
+/// One-dimensional index spaces (element-id spaces for graphs and meshes)
+/// are embedded on the `y == 0` line; see [`Point::p1`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// Row-major ordering sorts on `y` first, so `y` is declared first.
+    pub y: i64,
+    pub x: i64,
+}
+
+impl Point {
+    /// A 2-D point.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// A 1-D point embedded at `y == 0`.
+    #[inline]
+    pub const fn p1(x: i64) -> Self {
+        Point { x, y: 0 }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, other: Self) -> Self {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub fn offset(self, dx: i64, dy: i64) -> Self {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Debug for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl From<(i64, i64)> for Point {
+    fn from((x, y): (i64, i64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<i64> for Point {
+    fn from(x: i64) -> Self {
+        Point::p1(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_row_major() {
+        // Points sort by row (y) first, then column (x): the order in which
+        // normalized rectangle lists are kept.
+        let a = Point::new(5, 0);
+        let b = Point::new(0, 1);
+        assert!(a < b);
+        assert!(Point::new(0, 1) < Point::new(1, 1));
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, 2);
+        assert_eq!(a.min(b), Point::new(1, 2));
+        assert_eq!(a.max(b), Point::new(4, 9));
+    }
+
+    #[test]
+    fn one_dimensional_embedding() {
+        assert_eq!(Point::p1(7), Point::new(7, 0));
+        assert_eq!(Point::from(7), Point::p1(7));
+    }
+
+    #[test]
+    fn offset_translates() {
+        assert_eq!(Point::new(1, 2).offset(3, -4), Point::new(4, -2));
+    }
+}

@@ -1,0 +1,301 @@
+//! Dense rectangles of points (inclusive bounds).
+
+use crate::point::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle of points with *inclusive* bounds.
+///
+/// A rectangle is empty when `lo.x > hi.x` or `lo.y > hi.y`; all empty
+/// rectangles are considered equal by the set layer and are never stored in a
+/// normalized [`crate::IndexSpace`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Rect {
+    pub lo: Point,
+    pub hi: Point,
+}
+
+impl Rect {
+    /// The canonical empty rectangle.
+    pub const EMPTY: Rect = Rect {
+        lo: Point { x: 0, y: 0 },
+        hi: Point { x: -1, y: -1 },
+    };
+
+    /// Rectangle spanning `lo..=hi` in both dimensions.
+    #[inline]
+    pub const fn new(lo: Point, hi: Point) -> Self {
+        Rect { lo, hi }
+    }
+
+    /// 2-D rectangle `[x0, x1] × [y0, y1]`.
+    #[inline]
+    pub const fn xy(x0: i64, x1: i64, y0: i64, y1: i64) -> Self {
+        Rect {
+            lo: Point { x: x0, y: y0 },
+            hi: Point { x: x1, y: y1 },
+        }
+    }
+
+    /// 1-D span `[lo, hi]` embedded at `y == 0`.
+    #[inline]
+    pub const fn span(lo: i64, hi: i64) -> Self {
+        Rect::xy(lo, hi, 0, 0)
+    }
+
+    /// A single point.
+    #[inline]
+    pub const fn point(p: Point) -> Self {
+        Rect { lo: p, hi: p }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo.x > self.hi.x || self.lo.y > self.hi.y
+    }
+
+    /// Number of points contained.
+    #[inline]
+    pub fn volume(&self) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        ((self.hi.x - self.lo.x + 1) as u64) * ((self.hi.y - self.lo.y + 1) as u64)
+    }
+
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.lo.x && p.x <= self.hi.x && p.y >= self.lo.y && p.y <= self.hi.y
+    }
+
+    /// Does `self` contain every point of `other`? (Empty rectangles are
+    /// contained in everything.)
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (self.contains_point(other.lo) && self.contains_point(other.hi))
+    }
+
+    /// Do the two rectangles share at least one point?
+    #[inline]
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.lo.x <= other.hi.x
+            && other.lo.x <= self.hi.x
+            && self.lo.y <= other.hi.y
+            && other.lo.y <= self.hi.y
+    }
+
+    /// Intersection (possibly empty).
+    #[inline]
+    pub fn intersect(&self, other: &Rect) -> Rect {
+        if !self.overlaps(other) {
+            return Rect::EMPTY;
+        }
+        Rect {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// The smallest rectangle containing both (the BVH merge operation).
+    #[inline]
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// `self` minus `other`, as up to four disjoint rectangles (a guillotine
+    /// split: full-height left/right slabs, then middle top/bottom slabs).
+    pub fn subtract(&self, other: &Rect) -> impl Iterator<Item = Rect> {
+        let mut out = [Rect::EMPTY; 4];
+        if self.is_empty() {
+            // nothing
+        } else if !self.overlaps(other) {
+            out[0] = *self;
+        } else {
+            let i = self.intersect(other);
+            // Left slab.
+            if self.lo.x < i.lo.x {
+                out[0] = Rect::xy(self.lo.x, i.lo.x - 1, self.lo.y, self.hi.y);
+            }
+            // Right slab.
+            if i.hi.x < self.hi.x {
+                out[1] = Rect::xy(i.hi.x + 1, self.hi.x, self.lo.y, self.hi.y);
+            }
+            // Bottom middle.
+            if self.lo.y < i.lo.y {
+                out[2] = Rect::xy(i.lo.x, i.hi.x, self.lo.y, i.lo.y - 1);
+            }
+            // Top middle.
+            if i.hi.y < self.hi.y {
+                out[3] = Rect::xy(i.lo.x, i.hi.x, i.hi.y + 1, self.hi.y);
+            }
+        }
+        out.into_iter().filter(|r| !r.is_empty())
+    }
+
+    /// Center point, used for spatial-median splits in the BVH and K-d tree.
+    #[inline]
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.lo.x + (self.hi.x - self.lo.x) / 2,
+            self.lo.y + (self.hi.y - self.lo.y) / 2,
+        )
+    }
+
+    /// Iterate the contained points in row-major order.
+    pub fn points(&self) -> RectPoints {
+        RectPoints {
+            rect: *self,
+            next: if self.is_empty() { None } else { Some(self.lo) },
+        }
+    }
+}
+
+impl fmt::Debug for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "[empty]")
+        } else if self.lo.y == 0 && self.hi.y == 0 {
+            write!(f, "[{}..{}]", self.lo.x, self.hi.x)
+        } else {
+            write!(
+                f,
+                "[{}..{} x {}..{}]",
+                self.lo.x, self.hi.x, self.lo.y, self.hi.y
+            )
+        }
+    }
+}
+
+/// Row-major point iterator over a rectangle.
+pub struct RectPoints {
+    rect: Rect,
+    next: Option<Point>,
+}
+
+impl Iterator for RectPoints {
+    type Item = Point;
+
+    fn next(&mut self) -> Option<Point> {
+        let p = self.next?;
+        let mut n = p;
+        n.x += 1;
+        if n.x > self.rect.hi.x {
+            n.x = self.rect.lo.x;
+            n.y += 1;
+        }
+        self.next = if n.y > self.rect.hi.y { None } else { Some(n) };
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_rect_properties() {
+        assert!(Rect::EMPTY.is_empty());
+        assert_eq!(Rect::EMPTY.volume(), 0);
+        assert!(!Rect::EMPTY.overlaps(&Rect::span(0, 10)));
+        assert!(Rect::span(0, 10).contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn volume_counts_inclusive_points() {
+        assert_eq!(Rect::span(3, 3).volume(), 1);
+        assert_eq!(Rect::span(0, 9).volume(), 10);
+        assert_eq!(Rect::xy(0, 9, 0, 4).volume(), 50);
+    }
+
+    #[test]
+    fn intersection_basic() {
+        let a = Rect::xy(0, 10, 0, 10);
+        let b = Rect::xy(5, 15, 5, 15);
+        assert_eq!(a.intersect(&b), Rect::xy(5, 10, 5, 10));
+        assert_eq!(b.intersect(&a), a.intersect(&b));
+        let c = Rect::xy(11, 12, 0, 10);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn touching_rects_overlap_only_when_sharing_points() {
+        // Inclusive bounds: [0,5] and [5,9] share x == 5.
+        assert!(Rect::span(0, 5).overlaps(&Rect::span(5, 9)));
+        assert!(!Rect::span(0, 5).overlaps(&Rect::span(6, 9)));
+    }
+
+    #[test]
+    fn subtract_produces_disjoint_cover() {
+        let a = Rect::xy(0, 9, 0, 9);
+        let b = Rect::xy(3, 6, 3, 6);
+        let pieces: Vec<Rect> = a.subtract(&b).collect();
+        assert_eq!(pieces.len(), 4);
+        let vol: u64 = pieces.iter().map(Rect::volume).sum();
+        assert_eq!(vol, a.volume() - b.volume());
+        for (i, p) in pieces.iter().enumerate() {
+            assert!(!p.overlaps(&b), "piece {p:?} overlaps subtrahend");
+            for q in &pieces[i + 1..] {
+                assert!(!p.overlaps(q), "pieces {p:?} and {q:?} overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_disjoint_returns_self() {
+        let a = Rect::span(0, 4);
+        let b = Rect::span(10, 12);
+        assert_eq!(a.subtract(&b).collect::<Vec<_>>(), vec![a]);
+    }
+
+    #[test]
+    fn subtract_covered_returns_nothing() {
+        let a = Rect::span(2, 4);
+        let b = Rect::span(0, 10);
+        assert_eq!(a.subtract(&b).count(), 0);
+    }
+
+    #[test]
+    fn subtract_partial_overlap_1d() {
+        let a = Rect::span(0, 10);
+        let b = Rect::span(5, 20);
+        assert_eq!(a.subtract(&b).collect::<Vec<_>>(), vec![Rect::span(0, 4)]);
+    }
+
+    #[test]
+    fn point_iteration_row_major() {
+        let r = Rect::xy(0, 1, 0, 1);
+        let pts: Vec<Point> = r.points().collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(0, 0),
+                Point::new(1, 0),
+                Point::new(0, 1),
+                Point::new(1, 1)
+            ]
+        );
+        assert_eq!(Rect::EMPTY.points().count(), 0);
+    }
+
+    #[test]
+    fn union_bbox_handles_empties() {
+        let a = Rect::span(0, 3);
+        assert_eq!(Rect::EMPTY.union_bbox(&a), a);
+        assert_eq!(a.union_bbox(&Rect::EMPTY), a);
+        assert_eq!(
+            a.union_bbox(&Rect::span(10, 12)),
+            Rect::span(0, 12)
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests pinning the linear (1-D) fast paths of the set algebra
+//! against brute-force point sets. Sparse element-id spaces (the circuit's
+//! ghost node sets, Pennant's point columns) exercise exactly these paths,
+//! so they get their own coverage in addition to the generic 2-D laws.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use viz_geometry::{IndexSpace, Point};
+
+const N: i64 = 200;
+
+/// A sparse 1-D set built from random points (worst-case fragmentation).
+fn sparse() -> impl Strategy<Value = IndexSpace> {
+    prop::collection::btree_set(0i64..N, 0..60)
+        .prop_map(|pts| IndexSpace::from_points(pts.into_iter().map(Point::p1)))
+}
+
+fn points_of(s: &IndexSpace) -> BTreeSet<i64> {
+    s.points().map(|p| p.x).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn linear_intersect(a in sparse(), b in sparse()) {
+        let expect: BTreeSet<i64> =
+            points_of(&a).intersection(&points_of(&b)).copied().collect();
+        prop_assert_eq!(points_of(&a.intersect(&b)), expect);
+    }
+
+    #[test]
+    fn linear_subtract(a in sparse(), b in sparse()) {
+        let expect: BTreeSet<i64> =
+            points_of(&a).difference(&points_of(&b)).copied().collect();
+        prop_assert_eq!(points_of(&a.subtract(&b)), expect);
+    }
+
+    #[test]
+    fn linear_union(a in sparse(), b in sparse()) {
+        let expect: BTreeSet<i64> =
+            points_of(&a).union(&points_of(&b)).copied().collect();
+        prop_assert_eq!(points_of(&a.union(&b)), expect);
+    }
+
+    #[test]
+    fn linear_overlaps(a in sparse(), b in sparse()) {
+        let expect = points_of(&a).intersection(&points_of(&b)).next().is_some();
+        prop_assert_eq!(a.overlaps(&b), expect);
+    }
+
+    #[test]
+    fn linear_results_stay_normalized(a in sparse(), b in sparse()) {
+        // Fast-path outputs must preserve the invariant: sorted, disjoint,
+        // maximal runs (no two adjacent runs uncoalesced).
+        for s in [a.intersect(&b), a.subtract(&b), a.union(&b)] {
+            let rects = s.rects();
+            for w in rects.windows(2) {
+                prop_assert!(w[0].hi.x + 1 < w[1].lo.x,
+                    "runs {:?} and {:?} should have been coalesced or ordered",
+                    w[0], w[1]);
+            }
+        }
+    }
+
+    /// Mixed-dimensionality operands (one 1-D, one 2-D) must fall back to
+    /// the general path and still obey the laws.
+    #[test]
+    fn mixed_band_falls_back(a in sparse(), y in 1i64..4) {
+        let b = IndexSpace::from_rect(viz_geometry::Rect::xy(0, N, 0, y));
+        let i = a.intersect(&b);
+        prop_assert!(i.same_points(&a), "a is contained in the tall rect");
+        let d = a.subtract(&b);
+        prop_assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the index-space set algebra.
+//!
+//! The coherence algorithms' correctness rests entirely on these laws: the
+//! paper's `X/Y`, `X\Y`, and `X ⊕ Y` operators must behave as genuine set
+//! operations for the histories and equivalence sets to mean anything.
+
+use proptest::prelude::*;
+use viz_geometry::{IndexSpace, Point, Rect};
+
+/// Strategy: a small random index space out of up to 4 random rects in a
+/// 64x64 universe (small enough that brute-force point checks are cheap).
+fn space() -> impl Strategy<Value = IndexSpace> {
+    prop::collection::vec(
+        (0i64..64, 0i64..16, 0i64..64, 0i64..16).prop_map(|(x, w, y, h)| {
+            Rect::xy(x, x + w, y, y + h)
+        }),
+        0..4,
+    )
+    .prop_map(IndexSpace::from_rects)
+}
+
+/// Brute-force membership set for cross-checking.
+fn points_of(s: &IndexSpace) -> std::collections::BTreeSet<Point> {
+    s.points().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn intersect_matches_pointwise(a in space(), b in space()) {
+        let i = a.intersect(&b);
+        let pa = points_of(&a);
+        let pb = points_of(&b);
+        let expect: std::collections::BTreeSet<Point> =
+            pa.intersection(&pb).copied().collect();
+        prop_assert_eq!(points_of(&i), expect);
+    }
+
+    #[test]
+    fn subtract_matches_pointwise(a in space(), b in space()) {
+        let d = a.subtract(&b);
+        let pa = points_of(&a);
+        let pb = points_of(&b);
+        let expect: std::collections::BTreeSet<Point> =
+            pa.difference(&pb).copied().collect();
+        prop_assert_eq!(points_of(&d), expect);
+    }
+
+    #[test]
+    fn union_matches_pointwise(a in space(), b in space()) {
+        let u = a.union(&b);
+        let pa = points_of(&a);
+        let pb = points_of(&b);
+        let expect: std::collections::BTreeSet<Point> =
+            pa.union(&pb).copied().collect();
+        prop_assert_eq!(points_of(&u), expect);
+    }
+
+    #[test]
+    fn normalized_rects_are_disjoint(a in space()) {
+        let rects = a.rects();
+        for (i, r) in rects.iter().enumerate() {
+            prop_assert!(!r.is_empty());
+            for q in &rects[i + 1..] {
+                prop_assert!(!r.overlaps(q), "rects {:?} and {:?} overlap", r, q);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_is_point_count(a in space()) {
+        prop_assert_eq!(a.volume(), points_of(&a).len() as u64);
+    }
+
+    #[test]
+    fn overlaps_iff_nonempty_intersection(a in space(), b in space()) {
+        prop_assert_eq!(a.overlaps(&b), !a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn contains_iff_subtract_empty(a in space(), b in space()) {
+        prop_assert_eq!(a.contains(&b), b.subtract(&a).is_empty());
+    }
+
+    #[test]
+    fn partition_law(a in space(), b in space()) {
+        // X = (X/Y) ∪ (X\Y), disjointly — the refinement step of Warnock's
+        // algorithm (Fig 9, line 11) depends on exactly this.
+        let i = a.intersect(&b);
+        let d = a.subtract(&b);
+        prop_assert!(!i.overlaps(&d));
+        prop_assert!(i.union(&d).same_points(&a));
+    }
+
+    #[test]
+    fn same_points_is_equivalence(a in space(), b in space()) {
+        prop_assert!(a.same_points(&a));
+        if a.same_points(&b) {
+            prop_assert!(b.same_points(&a));
+            prop_assert_eq!(points_of(&a), points_of(&b));
+        }
+    }
+
+    #[test]
+    fn bbox_contains_all_points(a in space()) {
+        let bb = a.bbox();
+        for p in a.points() {
+            prop_assert!(bb.contains_point(p));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: the BVH and the dynamic K-d tree must agree with brute
+//! force on arbitrary rectangle sets and query patterns (including
+//! degenerate shapes: points, lines, heavy overlap, churn).
+
+use proptest::prelude::*;
+use viz_geometry::{Bvh, KdTree, Rect};
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (0i64..500, 0i64..60, 0i64..500, 0i64..60)
+        .prop_map(|(x, w, y, h)| Rect::xy(x, x + w, y, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bvh_matches_brute_force(
+        items in prop::collection::vec(rect(), 0..60),
+        queries in prop::collection::vec(rect(), 1..10),
+    ) {
+        let tagged: Vec<(u32, Rect)> = items
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i as u32, *r))
+            .collect();
+        let bvh = Bvh::build(tagged.clone());
+        prop_assert_eq!(bvh.len(), items.len());
+        for q in &queries {
+            let mut got = bvh.query_vec(q);
+            got.sort_unstable();
+            let mut expect: Vec<u32> = tagged
+                .iter()
+                .filter(|(_, r)| r.overlaps(q))
+                .map(|(i, _)| *i)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn kdtree_matches_brute_force_under_churn(
+        inserts in prop::collection::vec(rect(), 1..60),
+        removals in prop::collection::vec(any::<prop::sample::Index>(), 0..20),
+        queries in prop::collection::vec(rect(), 1..8),
+    ) {
+        let mut tree = KdTree::new();
+        let mut live: Vec<(u64, Rect)> = Vec::new();
+        for (i, r) in inserts.iter().enumerate() {
+            tree.insert(i as u64, *r);
+            live.push((i as u64, *r));
+        }
+        for idx in &removals {
+            if live.is_empty() {
+                break;
+            }
+            let k = idx.index(live.len());
+            let (id, _) = live.remove(k);
+            prop_assert!(tree.remove(id));
+        }
+        prop_assert_eq!(tree.len(), live.len());
+        for q in &queries {
+            let mut got = tree.query_vec(q);
+            got.sort_unstable();
+            let mut expect: Vec<u64> = live
+                .iter()
+                .filter(|(_, r)| r.overlaps(q))
+                .map(|(i, _)| *i)
+                .collect();
+            expect.sort_unstable();
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    /// Degenerate single-point items still index correctly.
+    #[test]
+    fn point_items(xs in prop::collection::vec((0i64..100, 0i64..100), 1..40)) {
+        let items: Vec<(u32, Rect)> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| (i as u32, Rect::xy(*x, *x, *y, *y)))
+            .collect();
+        let bvh = Bvh::build(items.clone());
+        for (i, (x, y)) in xs.iter().enumerate() {
+            let hits = bvh.query_vec(&Rect::xy(*x, *x, *y, *y));
+            prop_assert!(hits.contains(&(i as u32)));
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Region trees: regions, partitions, fields (paper §2, Fig 2(c)).
+
+use std::fmt;
+use viz_geometry::{Bvh, IndexSpace, Rect};
+
+/// A logical region: a named subset of a collection's index space.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+/// A partition: an array of subregions of one parent region.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub u32);
+
+/// A field of a region tree (e.g. `up` / `down` in Fig 1). Coherence is
+/// analyzed independently per field.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldId(pub u32);
+
+impl fmt::Debug for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+impl fmt::Debug for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+impl fmt::Debug for FieldId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RegionNode {
+    name: String,
+    domain: IndexSpace,
+    /// The partition this region is a child of (`None` for roots).
+    parent: Option<PartitionId>,
+    /// Partitions dividing this region.
+    partitions: Vec<PartitionId>,
+    root: RegionId,
+    depth: u32,
+}
+
+#[derive(Clone, Debug)]
+struct PartitionNode {
+    name: String,
+    parent: RegionId,
+    children: Vec<RegionId>,
+    disjoint: bool,
+    complete: bool,
+    /// BVH over children bounding boxes, for `overlapping_children`.
+    child_bvh: Bvh,
+}
+
+/// A forest of region trees (Fig 2(c)): the shared, immutable-by-analysis
+/// naming structure for all data in a program.
+///
+/// The forest records *names and domains only* — values live in physical
+/// instances owned by the runtime. Partitions are verified (or declared) to
+/// be disjoint and/or complete at creation time; the analyses consult these
+/// flags constantly (e.g. the painter's algorithm skips composite views for
+/// disjoint siblings, ray casting anchors equivalence sets under
+/// disjoint-and-complete partitions).
+#[derive(Clone, Debug, Default)]
+pub struct RegionForest {
+    regions: Vec<RegionNode>,
+    partitions: Vec<PartitionNode>,
+    roots: Vec<RegionId>,
+    /// Field names per root region tree, indexed by `FieldId`.
+    fields: Vec<(RegionId, String)>,
+}
+
+impl RegionForest {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a new root region (a whole collection).
+    pub fn create_root(&mut self, name: impl Into<String>, domain: IndexSpace) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(RegionNode {
+            name: name.into(),
+            domain,
+            parent: None,
+            partitions: Vec::new(),
+            root: id,
+            depth: 0,
+        });
+        self.roots.push(id);
+        id
+    }
+
+    /// Add a field to the region tree rooted at `root`.
+    pub fn add_field(&mut self, root: RegionId, name: impl Into<String>) -> FieldId {
+        debug_assert_eq!(self.regions[root.0 as usize].root, root, "not a root");
+        let id = FieldId(self.fields.len() as u32);
+        self.fields.push((root, name.into()));
+        id
+    }
+
+    /// All fields of the tree containing `region`.
+    pub fn fields_of(&self, region: RegionId) -> Vec<FieldId> {
+        let root = self.root_of(region);
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, _))| *r == root)
+            .map(|(i, _)| FieldId(i as u32))
+            .collect()
+    }
+
+    pub fn field_name(&self, f: FieldId) -> &str {
+        &self.fields[f.0 as usize].1
+    }
+
+    /// Partition `parent` into the given subdomains. Disjointness and
+    /// completeness are computed from the geometry.
+    ///
+    /// # Panics
+    /// If any subdomain is not contained in the parent's domain.
+    pub fn create_partition(
+        &mut self,
+        parent: RegionId,
+        name: impl Into<String>,
+        subdomains: Vec<IndexSpace>,
+    ) -> PartitionId {
+        let parent_domain = self.domain(parent).clone();
+        for (i, s) in subdomains.iter().enumerate() {
+            assert!(
+                parent_domain.contains(s),
+                "subregion {i} of partition escapes its parent"
+            );
+        }
+        // Disjointness: no pair of children overlaps.
+        let mut disjoint = true;
+        'outer: for (i, a) in subdomains.iter().enumerate() {
+            for b in &subdomains[i + 1..] {
+                if a.overlaps(b) {
+                    disjoint = false;
+                    break 'outer;
+                }
+            }
+        }
+        // Completeness: children cover the parent. When disjoint, volumes
+        // suffice; otherwise compute the union.
+        let complete = if disjoint {
+            subdomains.iter().map(IndexSpace::volume).sum::<u64>() == parent_domain.volume()
+        } else {
+            let union = subdomains
+                .iter()
+                .fold(IndexSpace::empty(), |acc, s| acc.union(s));
+            union.volume() == parent_domain.volume()
+        };
+        self.create_partition_with_flags(parent, name, subdomains, disjoint, complete)
+    }
+
+    /// Partition with caller-asserted flags (skips the O(n²) verification;
+    /// used by generators that construct partitions known to be
+    /// disjoint/complete, e.g. regular tilings at large node counts).
+    pub fn create_partition_with_flags(
+        &mut self,
+        parent: RegionId,
+        name: impl Into<String>,
+        subdomains: Vec<IndexSpace>,
+        disjoint: bool,
+        complete: bool,
+    ) -> PartitionId {
+        let pid = PartitionId(self.partitions.len() as u32);
+        let (root, depth) = {
+            let p = &self.regions[parent.0 as usize];
+            (p.root, p.depth)
+        };
+        let name = name.into();
+        let mut children = Vec::with_capacity(subdomains.len());
+        let mut bvh_items = Vec::with_capacity(subdomains.len());
+        for (i, domain) in subdomains.into_iter().enumerate() {
+            let rid = RegionId(self.regions.len() as u32);
+            bvh_items.push((i as u32, domain.bbox()));
+            self.regions.push(RegionNode {
+                name: format!("{name}[{i}]"),
+                domain,
+                parent: Some(pid),
+                partitions: Vec::new(),
+                root,
+                depth: depth + 1,
+            });
+            children.push(rid);
+        }
+        self.partitions.push(PartitionNode {
+            name,
+            parent,
+            children,
+            disjoint,
+            complete,
+            child_bvh: Bvh::build(bvh_items),
+        });
+        self.regions[parent.0 as usize].partitions.push(pid);
+        pid
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    pub fn domain(&self, r: RegionId) -> &IndexSpace {
+        &self.regions[r.0 as usize].domain
+    }
+
+    pub fn region_name(&self, r: RegionId) -> &str {
+        &self.regions[r.0 as usize].name
+    }
+
+    pub fn partition_name(&self, p: PartitionId) -> &str {
+        &self.partitions[p.0 as usize].name
+    }
+
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    pub fn roots(&self) -> &[RegionId] {
+        &self.roots
+    }
+
+    /// The partition this region belongs to, `None` for roots.
+    pub fn parent_partition(&self, r: RegionId) -> Option<PartitionId> {
+        self.regions[r.0 as usize].parent
+    }
+
+    /// The region a partition divides.
+    pub fn parent_region(&self, p: PartitionId) -> RegionId {
+        self.partitions[p.0 as usize].parent
+    }
+
+    /// The subregions of a partition, in color order.
+    pub fn children(&self, p: PartitionId) -> &[RegionId] {
+        &self.partitions[p.0 as usize].children
+    }
+
+    /// The `i`-th subregion of a partition (`P[i]` in the paper's notation).
+    pub fn subregion(&self, p: PartitionId, i: usize) -> RegionId {
+        self.partitions[p.0 as usize].children[i]
+    }
+
+    /// The partitions dividing a region.
+    pub fn partitions_of(&self, r: RegionId) -> &[PartitionId] {
+        &self.regions[r.0 as usize].partitions
+    }
+
+    pub fn is_disjoint(&self, p: PartitionId) -> bool {
+        self.partitions[p.0 as usize].disjoint
+    }
+
+    pub fn is_complete(&self, p: PartitionId) -> bool {
+        self.partitions[p.0 as usize].complete
+    }
+
+    /// Root region of the tree containing `r`.
+    pub fn root_of(&self, r: RegionId) -> RegionId {
+        self.regions[r.0 as usize].root
+    }
+
+    pub fn depth(&self, r: RegionId) -> u32 {
+        self.regions[r.0 as usize].depth
+    }
+
+    /// Regions from the root down to `r`, inclusive on both ends.
+    pub fn path_from_root(&self, r: RegionId) -> Vec<RegionId> {
+        let mut path = vec![r];
+        let mut cur = r;
+        while let Some(p) = self.regions[cur.0 as usize].parent {
+            cur = self.partitions[p.0 as usize].parent;
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Is `anc` an ancestor of `r` (or `r` itself)?
+    pub fn is_ancestor(&self, anc: RegionId, r: RegionId) -> bool {
+        let mut cur = r;
+        loop {
+            if cur == anc {
+                return true;
+            }
+            match self.regions[cur.0 as usize].parent {
+                Some(p) => cur = self.partitions[p.0 as usize].parent,
+                None => return false,
+            }
+        }
+    }
+
+    /// Children of `p` whose domain overlaps `space`, via the partition's
+    /// BVH plus an exact check. This is the region-tree "acceleration data
+    /// structure" role from §5.1.
+    pub fn overlapping_children(&self, p: PartitionId, space: &IndexSpace) -> Vec<RegionId> {
+        let node = &self.partitions[p.0 as usize];
+        let mut out = Vec::new();
+        let mut candidates = Vec::new();
+        for r in space.rects() {
+            node.child_bvh.query(r, &mut candidates);
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        for c in candidates {
+            let child = node.children[c as usize];
+            if self.domain(child).overlaps(space) {
+                out.push(child);
+            }
+        }
+        out
+    }
+
+    /// Partitions of `r` that are both disjoint and complete — the subtrees
+    /// ray casting prefers for its BVH (§7.1).
+    pub fn disjoint_complete_partitions(&self, r: RegionId) -> Vec<PartitionId> {
+        self.partitions_of(r)
+            .iter()
+            .copied()
+            .filter(|p| self.is_disjoint(*p) && self.is_complete(*p))
+            .collect()
+    }
+
+    /// Convenience: create a 1-D root region `[0, n)`.
+    pub fn create_root_1d(&mut self, name: impl Into<String>, n: i64) -> RegionId {
+        self.create_root(name, IndexSpace::from_rect(Rect::span(0, n - 1)))
+    }
+
+    /// Convenience: block-partition a 1-D region into `pieces` equal chunks.
+    pub fn create_equal_partition_1d(
+        &mut self,
+        parent: RegionId,
+        name: impl Into<String>,
+        pieces: usize,
+    ) -> PartitionId {
+        let bbox = self.domain(parent).bbox();
+        let n = bbox.hi.x - bbox.lo.x + 1;
+        let mut subs = Vec::with_capacity(pieces);
+        for i in 0..pieces as i64 {
+            let lo = bbox.lo.x + i * n / pieces as i64;
+            let hi = bbox.lo.x + (i + 1) * n / pieces as i64 - 1;
+            subs.push(IndexSpace::from_rect(Rect::span(lo, hi)));
+        }
+        self.create_partition_with_flags(parent, name, subs, true, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the paper's running example (Figs 1-2): a node region with a
+    /// disjoint primary partition and an aliased, incomplete ghost
+    /// partition.
+    fn paper_forest() -> (RegionForest, RegionId, PartitionId, PartitionId) {
+        let mut f = RegionForest::new();
+        let n = f.create_root("N", IndexSpace::span(0, 29));
+        let p = f.create_partition(
+            n,
+            "P",
+            vec![
+                IndexSpace::span(0, 9),
+                IndexSpace::span(10, 19),
+                IndexSpace::span(20, 29),
+            ],
+        );
+        // Ghost subregions: nodes adjacent to each piece — aliased (some
+        // nodes in two ghost subregions) and incomplete.
+        let g = f.create_partition(
+            n,
+            "G",
+            vec![
+                IndexSpace::from_points([10, 11, 20].map(viz_geometry::Point::p1)),
+                IndexSpace::from_points([8, 9, 20, 21].map(viz_geometry::Point::p1)),
+                IndexSpace::from_points([9, 18, 19].map(viz_geometry::Point::p1)),
+            ],
+        );
+        (f, n, p, g)
+    }
+
+    #[test]
+    fn primary_partition_is_disjoint_complete() {
+        let (f, _, p, _) = paper_forest();
+        assert!(f.is_disjoint(p));
+        assert!(f.is_complete(p));
+    }
+
+    #[test]
+    fn ghost_partition_is_aliased_incomplete() {
+        let (f, _, _, g) = paper_forest();
+        assert!(!f.is_disjoint(g), "ghost subregions share node 20 / 9");
+        assert!(!f.is_complete(g));
+    }
+
+    #[test]
+    fn tree_navigation() {
+        let (f, n, p, g) = paper_forest();
+        assert_eq!(f.parent_region(p), n);
+        assert_eq!(f.parent_region(g), n);
+        let p1 = f.subregion(p, 1);
+        assert_eq!(f.parent_partition(p1), Some(p));
+        assert_eq!(f.root_of(p1), n);
+        assert_eq!(f.depth(p1), 1);
+        assert_eq!(f.path_from_root(p1), vec![n, p1]);
+        assert!(f.is_ancestor(n, p1));
+        assert!(!f.is_ancestor(p1, n));
+        assert!(f.is_ancestor(p1, p1));
+        assert_eq!(f.partitions_of(n), &[p, g]);
+    }
+
+    #[test]
+    fn names_follow_color_indexing() {
+        let (f, n, p, _) = paper_forest();
+        assert_eq!(f.region_name(n), "N");
+        assert_eq!(f.region_name(f.subregion(p, 2)), "P[2]");
+        assert_eq!(f.partition_name(p), "P");
+    }
+
+    #[test]
+    fn fields_per_tree() {
+        let (mut f, n, _, _) = paper_forest();
+        let up = f.add_field(n, "up");
+        let down = f.add_field(n, "down");
+        assert_eq!(f.fields_of(n), vec![up, down]);
+        let m = f.create_root_1d("M", 10);
+        let v = f.add_field(m, "v");
+        assert_eq!(f.fields_of(m), vec![v]);
+        assert_eq!(f.field_name(down), "down");
+        // Fields of a subtree region resolve to the root's fields.
+        let p0 = f.subregion(f.partitions_of(n)[0], 0);
+        assert_eq!(f.fields_of(p0), vec![up, down]);
+    }
+
+    #[test]
+    fn overlapping_children_matches_brute_force() {
+        let (f, _, p, g) = paper_forest();
+        // G[0] = {10, 11, 20} overlaps P[1] (10..19) and P[2] (20..29).
+        let g0 = f.subregion(g, 0);
+        let hits = f.overlapping_children(p, f.domain(g0));
+        assert_eq!(hits, vec![f.subregion(p, 1), f.subregion(p, 2)]);
+        // P[0] overlaps G[1] (8, 9) only.
+        let p0 = f.subregion(p, 0);
+        let hits = f.overlapping_children(g, f.domain(p0));
+        assert_eq!(hits, vec![f.subregion(g, 1), f.subregion(g, 2)]);
+    }
+
+    #[test]
+    fn disjoint_complete_partition_discovery() {
+        let (f, n, p, _) = paper_forest();
+        assert_eq!(f.disjoint_complete_partitions(n), vec![p]);
+    }
+
+    #[test]
+    fn equal_partition_1d() {
+        let mut f = RegionForest::new();
+        let r = f.create_root_1d("R", 100);
+        let p = f.create_equal_partition_1d(r, "P", 7);
+        assert!(f.is_disjoint(p));
+        assert!(f.is_complete(p));
+        let total: u64 = f.children(p).iter().map(|c| f.domain(*c).volume()).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes its parent")]
+    fn subregion_escaping_parent_panics() {
+        let mut f = RegionForest::new();
+        let r = f.create_root_1d("R", 10);
+        f.create_partition(r, "bad", vec![IndexSpace::span(5, 15)]);
+    }
+
+    #[test]
+    fn nested_partitions() {
+        let mut f = RegionForest::new();
+        let r = f.create_root_1d("R", 100);
+        let p = f.create_equal_partition_1d(r, "P", 4);
+        let p0 = f.subregion(p, 0);
+        let q = f.create_equal_partition_1d(p0, "Q", 5);
+        let q2 = f.subregion(q, 2);
+        assert_eq!(f.depth(q2), 2);
+        assert_eq!(f.path_from_root(q2), vec![r, p0, q2]);
+        assert_eq!(f.domain(q2).volume(), 5);
+        assert!(f.is_ancestor(r, q2));
+    }
+}

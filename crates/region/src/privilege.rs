@@ -1,0 +1,252 @@
+//! Privileges and the interference relation (paper §4).
+
+use crate::redop::ReductionOpId;
+use std::fmt;
+
+/// The privilege a task declares on a region argument.
+///
+/// From §4: "Each privilege is one of `read`, `read-write`, or `reduce_f`,
+/// where `f` is the reduction operator."
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// The task only observes values.
+    Read,
+    /// The task may observe and overwrite values — fully *opaque* in the
+    /// visibility reduction (§3.1).
+    ReadWrite,
+    /// The task contributes partial accumulations with operator `f` —
+    /// *semi-transparent* in the visibility reduction.
+    Reduce(ReductionOpId),
+}
+
+impl Privilege {
+    /// Could two tasks holding these privileges on overlapping data have a
+    /// dependence? "The only non-interfering combinations of privileges are
+    /// read/read and reduce_f/reduce_f, that is, two reductions with the
+    /// same operator." (§4)
+    #[inline]
+    pub fn interferes(self, other: Privilege) -> bool {
+        match (self, other) {
+            (Privilege::Read, Privilege::Read) => false,
+            (Privilege::Reduce(f), Privilege::Reduce(g)) => f != g,
+            _ => true,
+        }
+    }
+
+    /// Does this privilege mutate data at all?
+    #[inline]
+    pub fn is_mutating(self) -> bool {
+        !matches!(self, Privilege::Read)
+    }
+
+    /// Is this privilege fully opaque (overwrites, occluding all earlier
+    /// operations on the covered points)?
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Privilege::ReadWrite)
+    }
+
+    /// Is this a reduction privilege?
+    #[inline]
+    pub fn is_reduce(self) -> bool {
+        matches!(self, Privilege::Reduce(_))
+    }
+
+    /// The reduction operator, if any.
+    #[inline]
+    pub fn redop(self) -> Option<ReductionOpId> {
+        match self {
+            Privilege::Reduce(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Does the task need current values materialized before running?
+    /// Reductions do not: they accumulate into an identity-initialized
+    /// buffer that is folded in lazily (§5, `materialize`).
+    #[inline]
+    pub fn needs_current_values(self) -> bool {
+        !self.is_reduce()
+    }
+}
+
+impl fmt::Debug for Privilege {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Privilege::Read => write!(f, "read"),
+            Privilege::ReadWrite => write!(f, "read-write"),
+            Privilege::Reduce(op) => write!(f, "reduce[{}]", op.0),
+        }
+    }
+}
+
+/// A summary of a *set* of privileges, used by the optimized painter's
+/// algorithm to skip closing subtrees whose recorded operations cannot
+/// interfere with a new task (§5.1).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct PrivilegeSummary {
+    pub has_read: bool,
+    pub has_write: bool,
+    /// At most one distinct reduction op is tracked precisely; two or more
+    /// distinct ops degrade to `mixed_reductions` (conservative).
+    pub redop: Option<ReductionOpId>,
+    pub mixed_reductions: bool,
+}
+
+impl PrivilegeSummary {
+    /// The summary of the empty set of privileges.
+    pub const EMPTY: PrivilegeSummary = PrivilegeSummary {
+        has_read: false,
+        has_write: false,
+        redop: None,
+        mixed_reductions: false,
+    };
+
+    /// Fold one more privilege into the summary.
+    pub fn add(&mut self, p: Privilege) {
+        match p {
+            Privilege::Read => self.has_read = true,
+            Privilege::ReadWrite => self.has_write = true,
+            Privilege::Reduce(f) => match self.redop {
+                None if !self.mixed_reductions => self.redop = Some(f),
+                Some(g) if g == f => {}
+                _ => {
+                    self.redop = None;
+                    self.mixed_reductions = true;
+                }
+            },
+        }
+    }
+
+    /// Merge two summaries.
+    pub fn merge(&mut self, other: PrivilegeSummary) {
+        self.has_read |= other.has_read;
+        self.has_write |= other.has_write;
+        if other.mixed_reductions {
+            self.redop = None;
+            self.mixed_reductions = true;
+        } else if let Some(f) = other.redop {
+            self.add(Privilege::Reduce(f));
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        !self.has_read && !self.has_write && self.redop.is_none() && !self.mixed_reductions
+    }
+
+    /// Could *any* privilege in the summarized set interfere with `p`?
+    pub fn may_interfere(&self, p: Privilege) -> bool {
+        if self.has_write {
+            return true;
+        }
+        match p {
+            Privilege::Read => self.redop.is_some() || self.mixed_reductions,
+            Privilege::ReadWrite => !self.is_empty(),
+            Privilege::Reduce(f) => {
+                self.has_read
+                    || self.mixed_reductions
+                    || self.redop.is_some_and(|g| g != f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SUM: Privilege = Privilege::Reduce(ReductionOpId(0));
+    const MIN: Privilege = Privilege::Reduce(ReductionOpId(2));
+
+    #[test]
+    fn interference_table() {
+        use Privilege::*;
+        // The only non-interfering pairs (§4).
+        assert!(!Read.interferes(Read));
+        assert!(!SUM.interferes(SUM));
+        // Everything else interferes.
+        assert!(Read.interferes(ReadWrite));
+        assert!(ReadWrite.interferes(Read));
+        assert!(ReadWrite.interferes(ReadWrite));
+        assert!(Read.interferes(SUM));
+        assert!(SUM.interferes(Read));
+        assert!(ReadWrite.interferes(SUM));
+        assert!(SUM.interferes(ReadWrite));
+        assert!(SUM.interferes(MIN), "distinct reduction ops interfere");
+    }
+
+    #[test]
+    fn interference_is_symmetric() {
+        let all = [Privilege::Read, Privilege::ReadWrite, SUM, MIN];
+        for a in all {
+            for b in all {
+                assert_eq!(a.interferes(b), b.interferes(a));
+            }
+        }
+    }
+
+    #[test]
+    fn privilege_classification() {
+        assert!(!Privilege::Read.is_mutating());
+        assert!(Privilege::ReadWrite.is_mutating());
+        assert!(SUM.is_mutating());
+        assert!(!SUM.is_write());
+        assert!(SUM.is_reduce());
+        assert!(!SUM.needs_current_values());
+        assert!(Privilege::Read.needs_current_values());
+        assert_eq!(SUM.redop(), Some(ReductionOpId(0)));
+        assert_eq!(Privilege::Read.redop(), None);
+    }
+
+    #[test]
+    fn summary_tracks_single_redop_precisely() {
+        let mut s = PrivilegeSummary::EMPTY;
+        s.add(SUM);
+        assert!(!s.may_interfere(SUM), "same-op reduce never interferes");
+        assert!(s.may_interfere(MIN));
+        assert!(s.may_interfere(Privilege::Read));
+        assert!(s.may_interfere(Privilege::ReadWrite));
+    }
+
+    #[test]
+    fn summary_degrades_on_mixed_redops() {
+        let mut s = PrivilegeSummary::EMPTY;
+        s.add(SUM);
+        s.add(MIN);
+        assert!(s.mixed_reductions);
+        // Conservative: now everything may interfere.
+        assert!(s.may_interfere(SUM));
+        assert!(s.may_interfere(MIN));
+    }
+
+    #[test]
+    fn summary_of_reads_only() {
+        let mut s = PrivilegeSummary::EMPTY;
+        s.add(Privilege::Read);
+        assert!(!s.may_interfere(Privilege::Read));
+        assert!(s.may_interfere(Privilege::ReadWrite));
+        assert!(s.may_interfere(SUM));
+    }
+
+    #[test]
+    fn summary_merge_agrees_with_adds() {
+        let mut a = PrivilegeSummary::EMPTY;
+        a.add(Privilege::Read);
+        let mut b = PrivilegeSummary::EMPTY;
+        b.add(SUM);
+        let mut merged = a;
+        merged.merge(b);
+        let mut direct = PrivilegeSummary::EMPTY;
+        direct.add(Privilege::Read);
+        direct.add(SUM);
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn empty_summary_never_interferes() {
+        let s = PrivilegeSummary::EMPTY;
+        assert!(!s.may_interfere(Privilege::Read));
+        assert!(!s.may_interfere(Privilege::ReadWrite));
+        assert!(!s.may_interfere(SUM));
+    }
+}

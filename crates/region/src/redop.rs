@@ -1,0 +1,197 @@
+//! Reduction operators (paper §4).
+//!
+//! "Reduction operators `f` must have an identity `0_f` to support partial
+//! accumulation." Reductions are the *semi-transparent* operations of the
+//! visibility reduction: the runtime accumulates them lazily into
+//! identity-initialized buffers and folds them into real values only when a
+//! reader materializes the region (§5), minimizing data movement \[24\].
+
+use std::fmt;
+
+/// Identifies a registered reduction operator. Two `Reduce` privileges
+/// interfere unless their `ReductionOpId`s are equal.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReductionOpId(pub u32);
+
+impl fmt::Debug for ReductionOpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "redop{}", self.0)
+    }
+}
+
+/// The element type of all region fields in this reproduction.
+///
+/// The paper's model is value-generic; `f64` covers all three benchmark
+/// applications (voltages, charges, hydro state) without making every
+/// downstream type generic.
+pub type Value = f64;
+
+/// A reduction operator: an identity and a fold function.
+///
+/// `fold(current, contribution)` applies one contribution to the current
+/// value; the identity satisfies `fold(x, identity) == x` (up to floating
+/// point) for the built-in operators.
+#[derive(Clone)]
+pub struct ReductionOp {
+    pub name: &'static str,
+    pub identity: Value,
+    pub fold: fn(Value, Value) -> Value,
+}
+
+impl fmt::Debug for ReductionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReductionOp({})", self.name)
+    }
+}
+
+/// Registry of reduction operators. The four operators the benchmark
+/// applications use are pre-registered; applications may add their own.
+#[derive(Clone, Debug)]
+pub struct RedOpRegistry {
+    ops: Vec<ReductionOp>,
+}
+
+impl RedOpRegistry {
+    /// `reduce+` — summation, identity 0. Used by Circuit (charge
+    /// accumulation, Fig 1) and Pennant (force gathering).
+    pub const SUM: ReductionOpId = ReductionOpId(0);
+    /// `reduce*` — product, identity 1.
+    pub const PROD: ReductionOpId = ReductionOpId(1);
+    /// `reduce min` — minimum, identity +inf. Used by Pennant (dt reduction).
+    pub const MIN: ReductionOpId = ReductionOpId(2);
+    /// `reduce max` — maximum, identity -inf.
+    pub const MAX: ReductionOpId = ReductionOpId(3);
+
+    pub fn new() -> Self {
+        RedOpRegistry {
+            ops: vec![
+                ReductionOp {
+                    name: "sum",
+                    identity: 0.0,
+                    fold: |a, b| a + b,
+                },
+                ReductionOp {
+                    name: "prod",
+                    identity: 1.0,
+                    fold: |a, b| a * b,
+                },
+                ReductionOp {
+                    name: "min",
+                    identity: f64::INFINITY,
+                    fold: f64::min,
+                },
+                ReductionOp {
+                    name: "max",
+                    identity: f64::NEG_INFINITY,
+                    fold: f64::max,
+                },
+            ],
+        }
+    }
+
+    /// Register a custom operator; returns its id.
+    pub fn register(&mut self, op: ReductionOp) -> ReductionOpId {
+        let id = ReductionOpId(self.ops.len() as u32);
+        self.ops.push(op);
+        id
+    }
+
+    pub fn get(&self, id: ReductionOpId) -> &ReductionOp {
+        &self.ops[id.0 as usize]
+    }
+
+    /// Apply one contribution: `fold(current, contribution)`.
+    #[inline]
+    pub fn fold(&self, id: ReductionOpId, current: Value, contribution: Value) -> Value {
+        (self.get(id).fold)(current, contribution)
+    }
+
+    /// The operator's identity `0_f`.
+    #[inline]
+    pub fn identity(&self, id: ReductionOpId) -> Value {
+        self.get(id).identity
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+impl Default for RedOpRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_identities_are_identities() {
+        let reg = RedOpRegistry::new();
+        for (id, probe) in [
+            (RedOpRegistry::SUM, 42.0),
+            (RedOpRegistry::PROD, 42.0),
+            (RedOpRegistry::MIN, 42.0),
+            (RedOpRegistry::MAX, 42.0),
+        ] {
+            let identity = reg.identity(id);
+            assert_eq!(
+                reg.fold(id, probe, identity),
+                probe,
+                "identity law failed for {}",
+                reg.get(id).name
+            );
+            assert_eq!(reg.fold(id, identity, probe), probe);
+        }
+    }
+
+    #[test]
+    fn sum_folds() {
+        let reg = RedOpRegistry::new();
+        assert_eq!(reg.fold(RedOpRegistry::SUM, 1.0, 2.0), 3.0);
+    }
+
+    #[test]
+    fn min_max_fold() {
+        let reg = RedOpRegistry::new();
+        assert_eq!(reg.fold(RedOpRegistry::MIN, 3.0, 2.0), 2.0);
+        assert_eq!(reg.fold(RedOpRegistry::MAX, 3.0, 7.0), 7.0);
+    }
+
+    #[test]
+    fn custom_registration() {
+        let mut reg = RedOpRegistry::new();
+        let id = reg.register(ReductionOp {
+            name: "bitor-ish",
+            identity: 0.0,
+            fold: |a, b| if a != 0.0 || b != 0.0 { 1.0 } else { 0.0 },
+        });
+        assert_eq!(reg.get(id).name, "bitor-ish");
+        assert_eq!(reg.fold(id, 0.0, 5.0), 1.0);
+        assert_ne!(id, RedOpRegistry::SUM);
+    }
+
+    #[test]
+    fn lazy_accumulation_matches_eager_for_exact_values() {
+        // The lazy scheme computes fold(base, acc) where acc accumulates the
+        // contributions from the identity; for exactly-representable values
+        // this matches eager left-to-right application.
+        let reg = RedOpRegistry::new();
+        let base = 10.0;
+        let contribs = [1.0, 2.0, 3.0];
+        let eager = contribs
+            .iter()
+            .fold(base, |v, c| reg.fold(RedOpRegistry::SUM, v, *c));
+        let acc = contribs.iter().fold(reg.identity(RedOpRegistry::SUM), |v, c| {
+            reg.fold(RedOpRegistry::SUM, v, *c)
+        });
+        let lazy = reg.fold(RedOpRegistry::SUM, base, acc);
+        assert_eq!(eager, lazy);
+    }
+}

@@ -1,0 +1,265 @@
+//! The painter's algorithm, unoptimized (paper Fig 7).
+//!
+//! The state is a single global history per `(region tree, field)`: a list
+//! of `(privilege, region)` results in commit order. Materializing a region
+//! replays the history — here as one backward visibility scan, which is the
+//! same computation as Fig 7's oldest-to-newest `paint` but produces the
+//! dependences along the way.
+//!
+//! "The algorithm in Figure 7 is simple but inefficient. When materializing
+//! a subregion R, the naive painter's algorithm requires testing every
+//! operation in the history for overlap with R." (§5.1) — this engine is
+//! exactly that baseline, kept for ablation A1. The one concession to
+//! practicality is an optional occlusion-pruning rule on commit (a write
+//! whose domain covers an older entry deletes it), which §5.1 also
+//! describes; it is on by default and can be disabled to get the literal
+//! Fig 7 behavior.
+
+use crate::analysis::history::{HistEntry, VisScan};
+use crate::analysis::ChargeSet;
+use crate::engine::{AnalysisCtx, CoherenceEngine, StateSize};
+use crate::plan::AnalysisResult;
+use crate::task::TaskLaunch;
+use viz_geometry::FxHashMap;
+use viz_region::{FieldId, RegionId};
+use viz_sim::Op;
+
+/// One global history per (root region, field).
+pub struct PaintNaive {
+    hists: FxHashMap<(RegionId, FieldId), Vec<HistEntry>>,
+    prune_occluded: bool,
+}
+
+impl PaintNaive {
+    pub fn new() -> Self {
+        PaintNaive {
+            hists: FxHashMap::default(),
+            prune_occluded: true,
+        }
+    }
+
+    /// The literal Fig 7 algorithm: commit appends unconditionally and the
+    /// history only ever grows.
+    pub fn without_pruning() -> Self {
+        PaintNaive {
+            hists: FxHashMap::default(),
+            prune_occluded: false,
+        }
+    }
+}
+
+impl Default for PaintNaive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoherenceEngine for PaintNaive {
+    fn name(&self) -> &'static str {
+        "paint-naive"
+    }
+
+    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
+        let origin = ctx.shards.origin(launch.node);
+        ctx.machine.op(origin, Op::LaunchOverhead);
+        let mut result = AnalysisResult::default();
+        let mut new_entries: Vec<((RegionId, FieldId), HistEntry)> = Vec::new();
+
+        for (ri, req) in launch.reqs.iter().enumerate() {
+            let root = ctx.forest.root_of(req.region);
+            let key = (root, req.field);
+            let domain = ctx.forest.domain(req.region).clone();
+            let mut scan = VisScan::new(
+                domain.clone(),
+                req.privilege,
+                req.privilege.needs_current_values(),
+            );
+            let hist = self.hists.entry(key).or_default();
+            for e in hist.iter().rev() {
+                scan.visit(e);
+                if scan.done() && self.prune_occluded {
+                    break;
+                }
+            }
+            // Charge: the whole history lives at node 0 (a single global
+            // list; the naive painter predates any distribution). In the
+            // literal Fig 7 mode, *every* operation in the history is
+            // tested for overlap with R, including fully occluded ones —
+            // "the naive painter's algorithm requires testing every
+            // operation in the history" (§5.1).
+            let tested = if self.prune_occluded {
+                scan.entries_scanned
+            } else {
+                hist.len()
+            };
+            let mut charges = ChargeSet::new();
+            charges.add(0, Op::HistScan { entries: tested });
+            charges.add(0, Op::GeomOp {
+                rects: scan.geom_ops,
+            });
+            let (deps, plan) = scan.finish();
+            for _ in &deps {
+                charges.add(0, Op::DepRecord);
+            }
+            charges.flush(ctx.machine, origin);
+            result.deps.extend(deps);
+            result.plans.push(plan);
+            new_entries.push((
+                key,
+                HistEntry {
+                    task: launch.id,
+                    req: ri as u32,
+                    privilege: req.privilege,
+                    domain,
+                },
+            ));
+        }
+
+        // Commit: append the results of all requirements (Fig 7 line 20).
+        for (key, entry) in new_entries {
+            let hist = self.hists.entry(key).or_default();
+            if self.prune_occluded && entry.privilege.is_write() {
+                // §5.1's occlusion rule, applied at entry granularity: an
+                // older entry wholly covered by this write can never be
+                // visible again.
+                let mut geom = 0;
+                hist.retain(|old| {
+                    geom += 1;
+                    !entry.domain.contains(&old.domain)
+                });
+                ctx.machine.op(0, Op::GeomOp { rects: geom });
+            }
+            hist.push(entry);
+        }
+        result.normalize();
+        result
+    }
+
+    fn state_size(&self) -> StateSize {
+        StateSize {
+            history_entries: self.hists.values().map(Vec::len).sum(),
+            equivalence_sets: 0,
+            composite_views: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharding::ShardMap;
+    use crate::task::{RegionRequirement, TaskId};
+    use viz_region::RegionForest;
+    use viz_sim::Machine;
+
+    fn setup() -> (RegionForest, RegionId, FieldId) {
+        let mut f = RegionForest::new();
+        let r = f.create_root_1d("A", 100);
+        let fld = f.add_field(r, "v");
+        (f, r, fld)
+    }
+
+    fn launch(id: u32, reqs: Vec<RegionRequirement>) -> TaskLaunch {
+        TaskLaunch {
+            id: TaskId(id),
+            name: format!("t{id}"),
+            node: 0,
+            reqs,
+            duration_ns: 0,
+        }
+    }
+
+    #[test]
+    fn independent_writers_have_no_deps() {
+        let (forest, root, fld) = setup();
+        let mut f2 = forest.clone();
+        let p = f2.create_equal_partition_1d(root, "P", 4);
+        let mut eng = PaintNaive::new();
+        let mut machine = Machine::new(1);
+        let shards = ShardMap::new(1, false);
+        let mut ctx = AnalysisCtx {
+            forest: &f2,
+            machine: &mut machine,
+            shards: &shards,
+        };
+        for i in 0..4 {
+            let r = eng.analyze(
+                &launch(i, vec![RegionRequirement::read_write(f2.subregion(p, i as usize), fld)]),
+                &mut ctx,
+            );
+            assert!(r.deps.is_empty(), "disjoint pieces are parallel");
+        }
+    }
+
+    #[test]
+    fn reader_depends_on_overlapping_writer() {
+        let (forest, root, fld) = setup();
+        let mut eng = PaintNaive::new();
+        let mut machine = Machine::new(1);
+        let shards = ShardMap::new(1, false);
+        let mut ctx = AnalysisCtx {
+            forest: &forest,
+            machine: &mut machine,
+            shards: &shards,
+        };
+        eng.analyze(
+            &launch(0, vec![RegionRequirement::read_write(root, fld)]),
+            &mut ctx,
+        );
+        let r = eng.analyze(
+            &launch(1, vec![RegionRequirement::read(root, fld)]),
+            &mut ctx,
+        );
+        assert_eq!(r.deps, vec![TaskId(0)]);
+        assert_eq!(r.plans[0].copies.len(), 1);
+    }
+
+    #[test]
+    fn pruning_bounds_history_under_repeated_writes() {
+        let (forest, root, fld) = setup();
+        let mut eng = PaintNaive::new();
+        let mut eng_literal = PaintNaive::without_pruning();
+        let mut machine = Machine::new(1);
+        let shards = ShardMap::new(1, false);
+        for i in 0..10 {
+            let l = launch(i, vec![RegionRequirement::read_write(root, fld)]);
+            let mut ctx = AnalysisCtx {
+                forest: &forest,
+                machine: &mut machine,
+                shards: &shards,
+            };
+            eng.analyze(&l, &mut ctx);
+            let mut ctx = AnalysisCtx {
+                forest: &forest,
+                machine: &mut machine,
+                shards: &shards,
+            };
+            eng_literal.analyze(&l, &mut ctx);
+        }
+        assert_eq!(eng.state_size().history_entries, 1);
+        assert_eq!(eng_literal.state_size().history_entries, 10);
+    }
+
+    #[test]
+    fn fields_are_independent() {
+        let (mut forest, root, fld) = setup();
+        let fld2 = forest.add_field(root, "w");
+        let mut eng = PaintNaive::new();
+        let mut machine = Machine::new(1);
+        let shards = ShardMap::new(1, false);
+        let mut ctx = AnalysisCtx {
+            forest: &forest,
+            machine: &mut machine,
+            shards: &shards,
+        };
+        eng.analyze(
+            &launch(0, vec![RegionRequirement::read_write(root, fld)]),
+            &mut ctx,
+        );
+        let r = eng.analyze(
+            &launch(1, vec![RegionRequirement::read_write(root, fld2)]),
+            &mut ctx,
+        );
+        assert!(r.deps.is_empty(), "different fields never interfere");
+    }
+}

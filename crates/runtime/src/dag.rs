@@ -1,0 +1,178 @@
+//! The dependence DAG produced by the analysis (§3.2).
+//!
+//! Task ids are assigned in program order, so every edge points from a task
+//! to a strictly earlier task and program order is already a topological
+//! order. Dependence analysis "relaxes the sequential order to a partial
+//! (parallel) order such that the coherence of reads is still guaranteed."
+
+use crate::task::TaskId;
+
+/// Dependence DAG over recorded launches.
+#[derive(Clone, Debug, Default)]
+pub struct TaskDag {
+    /// `preds[t]` = tasks `t` must wait for (sorted, deduplicated).
+    preds: Vec<Vec<TaskId>>,
+}
+
+impl TaskDag {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the next task (ids must be added in program order) with its
+    /// dependences.
+    pub fn push(&mut self, deps: Vec<TaskId>) -> TaskId {
+        let id = TaskId(self.preds.len() as u32);
+        debug_assert!(deps.iter().all(|d| *d < id), "dependence on the future");
+        self.preds.push(deps);
+        id
+    }
+
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    pub fn preds(&self, t: TaskId) -> &[TaskId] {
+        &self.preds[t.index()]
+    }
+
+    /// Successor lists (computed on demand).
+    pub fn successors(&self) -> Vec<Vec<TaskId>> {
+        let mut succs = vec![Vec::new(); self.preds.len()];
+        for (i, deps) in self.preds.iter().enumerate() {
+            for d in deps {
+                succs[d.index()].push(TaskId(i as u32));
+            }
+        }
+        succs
+    }
+
+    /// Is `anc` reachable from `t` through dependence edges (i.e. must `t`
+    /// run after `anc`)? Reflexive.
+    pub fn must_follow(&self, t: TaskId, anc: TaskId) -> bool {
+        if t == anc {
+            return true;
+        }
+        // Depth-first over predecessors; ids decrease along edges so we can
+        // prune anything below `anc`.
+        let mut seen = vec![false; self.preds.len()];
+        let mut stack = vec![t];
+        while let Some(cur) = stack.pop() {
+            for d in self.preds(cur) {
+                if *d == anc {
+                    return true;
+                }
+                if *d > anc && !seen[d.index()] {
+                    seen[d.index()] = true;
+                    stack.push(*d);
+                }
+            }
+        }
+        false
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// The length of the longest dependence chain (critical path in tasks).
+    pub fn critical_path_len(&self) -> usize {
+        let mut depth = vec![0usize; self.preds.len()];
+        for i in 0..self.preds.len() {
+            depth[i] = self.preds[i]
+                .iter()
+                .map(|d| depth[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        depth.into_iter().max().map_or(0, |d| d + 1)
+    }
+
+    /// Partition tasks into "waves" that could run concurrently: a task's
+    /// wave is one past the max wave of its predecessors.
+    pub fn waves(&self) -> Vec<Vec<TaskId>> {
+        let mut wave_of = vec![0usize; self.preds.len()];
+        let mut max_wave = 0;
+        for i in 0..self.preds.len() {
+            wave_of[i] = self.preds[i]
+                .iter()
+                .map(|d| wave_of[d.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            max_wave = max_wave.max(wave_of[i]);
+        }
+        let mut waves = vec![Vec::new(); if self.preds.is_empty() { 0 } else { max_wave + 1 }];
+        for (i, w) in wave_of.into_iter().enumerate() {
+            waves[w].push(TaskId(i as u32));
+        }
+        waves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig 5 dependence structure: three waves of three
+    /// independent tasks, each wave depending on all of the previous.
+    fn fig5_dag() -> TaskDag {
+        let mut dag = TaskDag::new();
+        for _ in 0..3 {
+            dag.push(vec![]);
+        }
+        for _ in 3..6 {
+            dag.push(vec![TaskId(0), TaskId(1), TaskId(2)]);
+        }
+        for _ in 6..9 {
+            dag.push(vec![TaskId(3), TaskId(4), TaskId(5)]);
+        }
+        dag
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut dag = TaskDag::new();
+        assert_eq!(dag.push(vec![]), TaskId(0));
+        assert_eq!(dag.push(vec![TaskId(0)]), TaskId(1));
+        assert_eq!(dag.len(), 2);
+    }
+
+    #[test]
+    fn fig5_waves() {
+        let dag = fig5_dag();
+        let waves = dag.waves();
+        assert_eq!(waves.len(), 3, "t0-2, t3-5, t6-8 run as three waves");
+        assert_eq!(waves[0], vec![TaskId(0), TaskId(1), TaskId(2)]);
+        assert_eq!(waves[2], vec![TaskId(6), TaskId(7), TaskId(8)]);
+        assert_eq!(dag.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn transitive_reachability() {
+        let dag = fig5_dag();
+        // t6 depends on t0 only transitively (through t3-5).
+        assert!(!dag.preds(TaskId(6)).contains(&TaskId(0)));
+        assert!(dag.must_follow(TaskId(6), TaskId(0)));
+        assert!(dag.must_follow(TaskId(6), TaskId(6)));
+        assert!(!dag.must_follow(TaskId(0), TaskId(6)));
+        assert!(!dag.must_follow(TaskId(1), TaskId(0)), "peers unordered");
+    }
+
+    #[test]
+    fn successors_inverts_preds() {
+        let dag = fig5_dag();
+        let succs = dag.successors();
+        assert_eq!(
+            succs[0],
+            vec![TaskId(3), TaskId(4), TaskId(5)],
+            "t0 feeds all of the second wave"
+        );
+        assert!(succs[8].is_empty());
+        assert_eq!(dag.edge_count(), 18);
+    }
+}

@@ -1,0 +1,264 @@
+//! Physical instances: the actual values behind a region requirement.
+//!
+//! A logical region names *which* points a task touches; a
+//! [`PhysicalRegion`] holds the materialized values for those points. The
+//! executor creates one per requirement per task, filled according to the
+//! engine's [`crate::MaterializePlan`].
+
+use viz_geometry::{IndexSpace, Point};
+use viz_region::{Privilege, ReductionOpId, redop::Value};
+
+/// A materialized region argument.
+#[derive(Clone)]
+pub struct PhysicalRegion {
+    domain: IndexSpace,
+    /// Exclusive prefix sums of rect volumes: `offsets[i]` is the linear
+    /// index of rect `i`'s first point.
+    offsets: Vec<u64>,
+    values: Vec<Value>,
+    privilege: Privilege,
+    /// Fold function and its operator when `privilege` is a reduction.
+    fold: Option<FoldFn>,
+}
+
+/// A reduction operator id paired with its fold function.
+type FoldFn = (ReductionOpId, fn(Value, Value) -> Value);
+
+impl PhysicalRegion {
+    /// A region over `domain` filled with `init`.
+    pub fn new(domain: IndexSpace, privilege: Privilege, init: Value) -> Self {
+        let mut offsets = Vec::with_capacity(domain.rects().len());
+        let mut total = 0u64;
+        for r in domain.rects() {
+            offsets.push(total);
+            total += r.volume();
+        }
+        PhysicalRegion {
+            domain,
+            offsets,
+            values: vec![init; total as usize],
+            privilege,
+            fold: None,
+        }
+    }
+
+    /// Attach the reduction fold used by [`PhysicalRegion::reduce`].
+    pub fn with_fold(mut self, op: ReductionOpId, fold: fn(Value, Value) -> Value) -> Self {
+        self.fold = Some((op, fold));
+        self
+    }
+
+    pub fn domain(&self) -> &IndexSpace {
+        &self.domain
+    }
+
+    pub fn privilege(&self) -> Privilege {
+        self.privilege
+    }
+
+    /// Linear index of a point, if contained.
+    fn index_of(&self, p: Point) -> Option<usize> {
+        for (i, r) in self.domain.rects().iter().enumerate() {
+            if r.contains_point(p) {
+                let width = (r.hi.x - r.lo.x + 1) as u64;
+                let off = self.offsets[i]
+                    + (p.y - r.lo.y) as u64 * width
+                    + (p.x - r.lo.x) as u64;
+                return Some(off as usize);
+            }
+        }
+        None
+    }
+
+    pub fn contains(&self, p: Point) -> bool {
+        self.domain.contains_point(p)
+    }
+
+    /// Read the value at `p`.
+    ///
+    /// # Panics
+    /// If `p` is outside the region's domain.
+    #[inline]
+    pub fn get(&self, p: Point) -> Value {
+        let i = self
+            .index_of(p)
+            .unwrap_or_else(|| panic!("read of {p:?} outside region domain"));
+        self.values[i]
+    }
+
+    /// Write the value at `p`.
+    ///
+    /// # Panics
+    /// If `p` is outside the domain, or the privilege does not permit
+    /// writing.
+    #[inline]
+    pub fn set(&mut self, p: Point, v: Value) {
+        assert!(
+            self.privilege.is_write(),
+            "set() requires read-write privilege, have {:?}",
+            self.privilege
+        );
+        let i = self
+            .index_of(p)
+            .unwrap_or_else(|| panic!("write of {p:?} outside region domain"));
+        self.values[i] = v;
+    }
+
+    /// Apply a reduction contribution at `p` (folds into the local
+    /// accumulator; the runtime folds accumulators into real values lazily).
+    ///
+    /// # Panics
+    /// If the privilege is not a reduction or `p` is outside the domain.
+    #[inline]
+    pub fn reduce(&mut self, p: Point, contribution: Value) {
+        assert!(
+            self.privilege.is_reduce(),
+            "reduce() requires a reduce privilege, have {:?}",
+            self.privilege
+        );
+        let (_, fold) = self.fold.expect("reduction instance missing fold");
+        let i = self
+            .index_of(p)
+            .unwrap_or_else(|| panic!("reduction at {p:?} outside region domain"));
+        self.values[i] = fold(self.values[i], contribution);
+    }
+
+    /// Copy values over `sub` (must be contained in both domains) from
+    /// another instance.
+    pub fn copy_from(&mut self, src: &PhysicalRegion, sub: &IndexSpace) {
+        for p in sub.points() {
+            let v = src.get(p);
+            let i = self.index_of(p).expect("copy target outside domain");
+            self.values[i] = v;
+        }
+    }
+
+    /// Fold another instance's values (a reduction accumulator) into ours
+    /// over `sub` with `fold`.
+    pub fn fold_from(
+        &mut self,
+        src: &PhysicalRegion,
+        sub: &IndexSpace,
+        fold: fn(Value, Value) -> Value,
+    ) {
+        for p in sub.points() {
+            let c = src.get(p);
+            let i = self.index_of(p).expect("fold target outside domain");
+            self.values[i] = fold(self.values[i], c);
+        }
+    }
+
+    /// Fill the whole instance with one value.
+    pub fn fill(&mut self, v: Value) {
+        self.values.fill(v);
+    }
+
+    /// Iterate `(point, value)` pairs in domain order.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, Value)> + '_ {
+        self.domain
+            .points()
+            .zip(self.values.iter().copied())
+    }
+
+    /// Apply `f` to every point (requires write privilege).
+    pub fn update_all(&mut self, mut f: impl FnMut(Point, Value) -> Value) {
+        assert!(self.privilege.is_write());
+        let mut i = 0;
+        for r in self.domain.rects() {
+            for p in r.points() {
+                self.values[i] = f(p, self.values[i]);
+                i += 1;
+            }
+        }
+    }
+
+    /// Raw values in domain order (for assertions in tests).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_geometry::Rect;
+    use viz_region::RedOpRegistry;
+
+    fn two_rect_domain() -> IndexSpace {
+        IndexSpace::from_rects([Rect::span(0, 4), Rect::span(10, 14)])
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = PhysicalRegion::new(two_rect_domain(), Privilege::ReadWrite, 0.0);
+        r.set(Point::p1(3), 7.5);
+        r.set(Point::p1(12), -1.0);
+        assert_eq!(r.get(Point::p1(3)), 7.5);
+        assert_eq!(r.get(Point::p1(12)), -1.0);
+        assert_eq!(r.get(Point::p1(0)), 0.0);
+    }
+
+    #[test]
+    fn two_dimensional_indexing() {
+        let dom = IndexSpace::from_rect(Rect::xy(2, 5, 3, 6));
+        let mut r = PhysicalRegion::new(dom, Privilege::ReadWrite, 0.0);
+        r.set(Point::new(4, 5), 42.0);
+        assert_eq!(r.get(Point::new(4, 5)), 42.0);
+        assert_eq!(r.get(Point::new(5, 4)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside region domain")]
+    fn out_of_domain_read_panics() {
+        let r = PhysicalRegion::new(two_rect_domain(), Privilege::Read, 0.0);
+        r.get(Point::p1(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "requires read-write")]
+    fn read_only_set_panics() {
+        let mut r = PhysicalRegion::new(two_rect_domain(), Privilege::Read, 0.0);
+        r.set(Point::p1(0), 1.0);
+    }
+
+    #[test]
+    fn reduce_folds_into_accumulator() {
+        let mut r = PhysicalRegion::new(
+            two_rect_domain(),
+            Privilege::Reduce(RedOpRegistry::SUM),
+            0.0,
+        )
+        .with_fold(RedOpRegistry::SUM, |a, b| a + b);
+        r.reduce(Point::p1(2), 3.0);
+        r.reduce(Point::p1(2), 4.0);
+        assert_eq!(r.get(Point::p1(2)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a reduce privilege")]
+    fn reduce_on_rw_instance_panics() {
+        let mut r = PhysicalRegion::new(two_rect_domain(), Privilege::ReadWrite, 0.0);
+        r.reduce(Point::p1(0), 1.0);
+    }
+
+    #[test]
+    fn copy_and_fold_between_instances() {
+        let mut a = PhysicalRegion::new(two_rect_domain(), Privilege::ReadWrite, 1.0);
+        let mut b = PhysicalRegion::new(two_rect_domain(), Privilege::ReadWrite, 0.0);
+        b.update_all(|p, _| p.x as f64);
+        let sub = IndexSpace::span(2, 4);
+        a.copy_from(&b, &sub);
+        assert_eq!(a.get(Point::p1(3)), 3.0);
+        assert_eq!(a.get(Point::p1(0)), 1.0, "outside sub untouched");
+        a.fold_from(&b, &sub, |x, y| x + y);
+        assert_eq!(a.get(Point::p1(3)), 6.0);
+    }
+
+    #[test]
+    fn iter_visits_every_point_once() {
+        let r = PhysicalRegion::new(two_rect_domain(), Privilege::Read, 5.0);
+        let pts: Vec<(Point, f64)> = r.iter().collect();
+        assert_eq!(pts.len(), 10);
+        assert!(pts.iter().all(|(_, v)| *v == 5.0));
+    }
+}

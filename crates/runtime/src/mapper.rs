@@ -1,0 +1,146 @@
+//! Task mapping policies.
+//!
+//! Legion separates *what* to compute from *where* to run it through its
+//! mapper interface; the experiments in the paper map one piece per node
+//! ("all tasks are mapped to the single GPU on each node", §8). This module
+//! provides that policy layer for the benchmark applications and tests:
+//! a [`Mapper`] decides the node for each point of an index launch.
+
+use viz_sim::NodeId;
+
+/// A placement policy for index-launch points.
+pub trait Mapper: Send + Sync {
+    /// The node that point `i` of a `domain`-point launch runs on, for a
+    /// machine with `nodes` nodes.
+    fn place(&self, i: usize, domain: usize, nodes: usize) -> NodeId;
+
+    fn name(&self) -> &'static str;
+}
+
+/// Point `i` runs on node `i mod nodes` — the paper's configuration when
+/// pieces == nodes (each piece on its own node).
+#[derive(Default, Clone, Copy, Debug)]
+pub struct RoundRobin;
+
+impl Mapper for RoundRobin {
+    fn place(&self, i: usize, _domain: usize, nodes: usize) -> NodeId {
+        i % nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Contiguous blocks of points per node: points `[k·d/n, (k+1)·d/n)` run on
+/// node `k`. Preserves neighbor locality for stencil-like workloads when
+/// pieces > nodes.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Blocked;
+
+impl Mapper for Blocked {
+    fn place(&self, i: usize, domain: usize, nodes: usize) -> NodeId {
+        if domain == 0 {
+            return 0;
+        }
+        (i * nodes / domain).min(nodes - 1)
+    }
+
+    fn name(&self) -> &'static str {
+        "blocked"
+    }
+}
+
+/// Everything on one node — the no-DCR top-level task's own node, or a
+/// debugging aid.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct SingleNode(pub NodeId);
+
+impl Mapper for SingleNode {
+    fn place(&self, _i: usize, _domain: usize, _nodes: usize) -> NodeId {
+        self.0
+    }
+
+    fn name(&self) -> &'static str {
+        "single-node"
+    }
+}
+
+/// Deterministic pseudo-random placement (a splitmix64 hash of the point);
+/// scatters neighbors, the worst case for communication locality.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct Scattered {
+    pub seed: u64,
+}
+
+impl Mapper for Scattered {
+    fn place(&self, i: usize, _domain: usize, nodes: usize) -> NodeId {
+        let mut z = (i as u64).wrapping_add(self.seed).wrapping_add(0x9E3779B97F4A7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as usize % nodes
+    }
+
+    fn name(&self) -> &'static str {
+        "scattered"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_wraps() {
+        let m = RoundRobin;
+        assert_eq!(m.place(0, 8, 4), 0);
+        assert_eq!(m.place(5, 8, 4), 1);
+        assert_eq!(m.place(7, 8, 4), 3);
+    }
+
+    #[test]
+    fn blocked_keeps_neighbors_together() {
+        let m = Blocked;
+        let nodes = 4;
+        let domain = 16;
+        let placements: Vec<NodeId> = (0..domain).map(|i| m.place(i, domain, nodes)).collect();
+        // Four contiguous runs of four.
+        assert_eq!(placements[..4], [0, 0, 0, 0]);
+        assert_eq!(placements[12..], [3, 3, 3, 3]);
+        // Monotone non-decreasing.
+        assert!(placements.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn blocked_handles_uneven_and_degenerate() {
+        let m = Blocked;
+        // 5 points over 2 nodes.
+        let p: Vec<NodeId> = (0..5).map(|i| m.place(i, 5, 2)).collect();
+        assert_eq!(p, vec![0, 0, 0, 1, 1]);
+        assert_eq!(m.place(0, 0, 4), 0);
+        // Never out of range.
+        for i in 0..7 {
+            assert!(m.place(i, 7, 3) < 3);
+        }
+    }
+
+    #[test]
+    fn scattered_is_deterministic_and_in_range() {
+        let m = Scattered { seed: 42 };
+        for i in 0..100 {
+            let a = m.place(i, 100, 7);
+            let b = m.place(i, 100, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+        // Different seeds change placement somewhere.
+        let m2 = Scattered { seed: 43 };
+        assert!((0..100).any(|i| m.place(i, 100, 7) != m2.place(i, 100, 7)));
+    }
+
+    #[test]
+    fn single_node_pins() {
+        let m = SingleNode(2);
+        assert_eq!(m.place(9, 10, 8), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! Materialization plans — the output of the coherence analysis.
+//!
+//! A coherence engine answers, for each region requirement of a task, "where
+//! do the current values come from?" (§3.1): the most recent *write* per
+//! point (opaque in the visibility reduction) plus all *reductions* pending
+//! since that write (semi-transparent), ordered by the program-order clock.
+
+use crate::task::TaskId;
+use viz_geometry::IndexSpace;
+use viz_region::ReductionOpId;
+
+/// Where a range of base values comes from.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Source {
+    /// The initial contents of the root region (the `[⟨read-write, A⟩]`
+    /// entry the paper seeds every history with).
+    Initial,
+    /// The committed output of requirement `req` of task `task`, which held
+    /// write privileges there.
+    Task(TaskId, u32),
+}
+
+/// Copy `domain` from `source` (base values; copies of one plan are
+/// pairwise disjoint and, for read/read-write privileges, cover the
+/// requirement's full domain).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CopyRange {
+    pub source: Source,
+    pub domain: IndexSpace,
+}
+
+/// Fold the partial accumulation committed by requirement `req` of `task`
+/// (a `reduce_f` instance) into the materialized values over `domain`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReduceRange {
+    pub task: TaskId,
+    pub req: u32,
+    pub redop: ReductionOpId,
+    pub domain: IndexSpace,
+}
+
+/// The coherence plan for one region requirement.
+#[derive(Clone, Debug, Default)]
+pub struct MaterializePlan {
+    /// Base values. Empty for `reduce` privileges (which materialize an
+    /// identity-filled instance instead — the lazy-reduction optimization
+    /// of §5).
+    pub copies: Vec<CopyRange>,
+    /// Pending reductions to fold on top of the base values. The executor
+    /// folds them in ascending `TaskId` order (program order), which makes
+    /// parallel execution bit-identical to sequential execution for
+    /// exactly-representable values.
+    pub reductions: Vec<ReduceRange>,
+    /// `Some(op)` when this requirement is a reduction: the instance is
+    /// filled with `op`'s identity.
+    pub fill_identity: Option<ReductionOpId>,
+}
+
+impl MaterializePlan {
+    /// Plan for a reduction privilege: identity fill, nothing else.
+    pub fn identity(op: ReductionOpId) -> Self {
+        MaterializePlan {
+            copies: Vec::new(),
+            reductions: Vec::new(),
+            fill_identity: Some(op),
+        }
+    }
+
+    /// Sort reductions into fold order and coalesce adjacent copy ranges
+    /// from the same source.
+    pub fn normalize(&mut self) {
+        self.reductions
+            .sort_by_key(|r| (r.task, r.req));
+        // Merge copy ranges with identical sources.
+        let mut merged: Vec<CopyRange> = Vec::with_capacity(self.copies.len());
+        self.copies.sort_by_key(|c| match &c.source {
+            Source::Initial => (TaskId(u32::MAX), u32::MAX),
+            Source::Task(t, r) => (*t, *r),
+        });
+        for c in self.copies.drain(..) {
+            match merged.last_mut() {
+                Some(last) if last.source == c.source => {
+                    last.domain = last.domain.union(&c.domain);
+                }
+                _ => merged.push(c),
+            }
+        }
+        self.copies = merged;
+    }
+
+    /// Total points copied (used by the timed executor to price data
+    /// movement).
+    pub fn copied_points(&self) -> u64 {
+        self.copies.iter().map(|c| c.domain.volume()).sum()
+    }
+
+    /// Total points folded from reduction instances.
+    pub fn reduced_points(&self) -> u64 {
+        self.reductions.iter().map(|r| r.domain.volume()).sum()
+    }
+}
+
+/// The full result of analyzing one task launch.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisResult {
+    /// Tasks this launch must wait for (sorted, deduplicated). Together with
+    /// transitivity this orders every interfering pair (§3.2).
+    pub deps: Vec<TaskId>,
+    /// One plan per region requirement, in requirement order.
+    pub plans: Vec<MaterializePlan>,
+}
+
+impl AnalysisResult {
+    pub fn normalize(&mut self) {
+        self.deps.sort_unstable();
+        self.deps.dedup();
+        for p in &mut self.plans {
+            p.normalize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_region::RedOpRegistry;
+
+    #[test]
+    fn identity_plan_has_no_copies() {
+        let p = MaterializePlan::identity(RedOpRegistry::SUM);
+        assert!(p.copies.is_empty());
+        assert_eq!(p.fill_identity, Some(RedOpRegistry::SUM));
+    }
+
+    #[test]
+    fn normalize_sorts_reductions_in_program_order() {
+        let mut p = MaterializePlan::default();
+        for t in [5u32, 1, 3] {
+            p.reductions.push(ReduceRange {
+                task: TaskId(t),
+                req: 0,
+                redop: RedOpRegistry::SUM,
+                domain: IndexSpace::span(0, 4),
+            });
+        }
+        p.normalize();
+        let order: Vec<u32> = p.reductions.iter().map(|r| r.task.0).collect();
+        assert_eq!(order, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn normalize_merges_same_source_copies() {
+        let mut p = MaterializePlan::default();
+        p.copies.push(CopyRange {
+            source: Source::Task(TaskId(2), 0),
+            domain: IndexSpace::span(0, 4),
+        });
+        p.copies.push(CopyRange {
+            source: Source::Task(TaskId(2), 0),
+            domain: IndexSpace::span(5, 9),
+        });
+        p.copies.push(CopyRange {
+            source: Source::Initial,
+            domain: IndexSpace::span(20, 24),
+        });
+        p.normalize();
+        assert_eq!(p.copies.len(), 2);
+        assert_eq!(p.copied_points(), 15);
+    }
+
+    #[test]
+    fn result_normalize_dedups_deps() {
+        let mut r = AnalysisResult {
+            deps: vec![TaskId(3), TaskId(1), TaskId(3)],
+            plans: vec![],
+        };
+        r.normalize();
+        assert_eq!(r.deps, vec![TaskId(1), TaskId(3)]);
+    }
+}

@@ -1,0 +1,465 @@
+//! The runtime facade: region creation, task launching, deferred execution.
+
+use crate::dag::TaskDag;
+use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
+use crate::exec::{TimedReport, TimedSchedule, ValueStore};
+use crate::plan::AnalysisResult;
+use crate::sharding::ShardMap;
+use crate::task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
+use crate::trace::{TraceAction, TraceId, Tracing};
+use std::sync::Arc;
+use viz_geometry::{FxHashMap, Point};
+use viz_region::{redop::Value, FieldId, Privilege, RedOpRegistry, RegionForest, RegionId};
+use viz_sim::{CostModel, Machine, NodeId, SimTime};
+
+/// Configuration for a [`Runtime`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Number of simulated machine nodes.
+    pub nodes: usize,
+    /// Which visibility engine performs the analysis.
+    pub engine: EngineKind,
+    /// Dynamic control replication: shard the analysis across nodes \[4\].
+    pub dcr: bool,
+    /// Cost model for the simulated machine.
+    pub cost: CostModel,
+    /// Check the §4 requirement-aliasing rule on every launch (on by
+    /// default; benchmarks at large scales may disable it).
+    pub validate_launches: bool,
+}
+
+impl RuntimeConfig {
+    pub fn new(engine: EngineKind) -> Self {
+        RuntimeConfig {
+            nodes: 1,
+            engine,
+            dcr: false,
+            cost: CostModel::default(),
+            validate_launches: true,
+        }
+    }
+
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    pub fn dcr(mut self, dcr: bool) -> Self {
+        self.dcr = dcr;
+        self
+    }
+
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    pub fn validate(mut self, v: bool) -> Self {
+        self.validate_launches = v;
+        self
+    }
+}
+
+type InitFn = Arc<dyn Fn(Point) -> Value + Send + Sync>;
+
+/// A Legion-style runtime: launches are analyzed immediately (the dynamic
+/// dependence/coherence analysis is the subject of the paper); execution is
+/// deferred to [`Runtime::execute_values`] (real values, worker threads) or
+/// [`Runtime::timed_schedule`] (simulated time at machine scale).
+pub struct Runtime {
+    forest: RegionForest,
+    redops: RedOpRegistry,
+    machine: Machine,
+    engine: Box<dyn CoherenceEngine>,
+    shards: ShardMap,
+    launches: Vec<TaskLaunch>,
+    bodies: Vec<Option<TaskBody>>,
+    results: Vec<AnalysisResult>,
+    /// Simulated time at which each launch's analysis completed on its
+    /// origin node — execution cannot start earlier.
+    analysis_done: Vec<SimTime>,
+    dag: TaskDag,
+    initial: FxHashMap<(RegionId, FieldId), InitFn>,
+    validate_launches: bool,
+    tracing: Tracing,
+}
+
+impl Runtime {
+    pub fn new(config: RuntimeConfig) -> Self {
+        Runtime {
+            forest: RegionForest::new(),
+            redops: RedOpRegistry::new(),
+            machine: Machine::with_cost(config.nodes, config.cost),
+            engine: config.engine.build(),
+            shards: ShardMap::new(config.nodes, config.dcr),
+            launches: Vec::new(),
+            bodies: Vec::new(),
+            results: Vec::new(),
+            analysis_done: Vec::new(),
+            dag: TaskDag::new(),
+            initial: FxHashMap::default(),
+            validate_launches: config.validate_launches,
+            tracing: Tracing::default(),
+        }
+    }
+
+    /// Shorthand: single node, no DCR.
+    pub fn single_node(engine: EngineKind) -> Self {
+        Self::new(RuntimeConfig::new(engine))
+    }
+
+    /// A runtime with a custom engine instance (used by the ablation
+    /// benches for engine variants like `Warnock::without_memoization`).
+    pub fn with_engine(config: RuntimeConfig, engine: Box<dyn CoherenceEngine>) -> Self {
+        let mut rt = Self::new(config);
+        rt.engine = engine;
+        rt
+    }
+
+    // ------------------------------------------------------------------
+    // Region model access
+    // ------------------------------------------------------------------
+
+    pub fn forest(&self) -> &RegionForest {
+        &self.forest
+    }
+
+    /// Region trees may be extended at any point between launches — the
+    /// analyses are fully dynamic.
+    pub fn forest_mut(&mut self) -> &mut RegionForest {
+        &mut self.forest
+    }
+
+    pub fn redops(&self) -> &RedOpRegistry {
+        &self.redops
+    }
+
+    pub fn redops_mut(&mut self) -> &mut RedOpRegistry {
+        &mut self.redops
+    }
+
+    /// Provide initial contents for a root region's field (defaults to 0.0
+    /// everywhere). Corresponds to the `[⟨read-write, A⟩]` initial history
+    /// entry of §5.
+    pub fn set_initial(
+        &mut self,
+        root: RegionId,
+        field: FieldId,
+        f: impl Fn(Point) -> Value + Send + Sync + 'static,
+    ) {
+        self.initial.insert((root, field), Arc::new(f));
+    }
+
+    // ------------------------------------------------------------------
+    // Launching
+    // ------------------------------------------------------------------
+
+    /// Launch a task: privileges + regions in, dependences + plan out.
+    /// Analysis happens *now* (this is the operation the paper measures);
+    /// the body runs later under [`Runtime::execute_values`].
+    pub fn launch(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+        reqs: Vec<RegionRequirement>,
+        duration_ns: u64,
+        body: Option<TaskBody>,
+    ) -> TaskId {
+        let id = TaskId(self.launches.len() as u32);
+        if self.validate_launches {
+            self.validate_reqs(&reqs);
+        }
+        let launch = TaskLaunch {
+            id,
+            name: name.into(),
+            node: node % self.shards.nodes(),
+            reqs,
+            duration_ns,
+        };
+        let origin = self.shards.origin(launch.node);
+        let result = match self.tracing.on_launch(launch.node, &launch.reqs, id.0) {
+            TraceAction::Replay(result) => {
+                // Dynamic tracing [15]: the recorded analysis is reused —
+                // only a template lookup is paid, not the visibility
+                // algorithm.
+                self.machine.op(origin, viz_sim::Op::Memo);
+                *result
+            }
+            TraceAction::Analyze { record } => {
+                // First-touch ownership of analysis state.
+                for req in &launch.reqs {
+                    self.shards.touch(req.region, launch.node);
+                }
+                let mut ctx = AnalysisCtx {
+                    forest: &self.forest,
+                    machine: &mut self.machine,
+                    shards: &self.shards,
+                };
+                let mut result = self.engine.analyze(&launch, &mut ctx);
+                // Stale references into a recorded-and-replayed instance
+                // move onto its latest replay.
+                self.tracing.rebase_result(&mut result);
+                if record {
+                    self.tracing
+                        .record(launch.node, launch.reqs.clone(), result.clone());
+                } else {
+                    self.tracing.advance();
+                }
+                result
+            }
+        };
+        self.analysis_done.push(self.machine.now(origin));
+        self.dag.push(result.deps.clone());
+        self.results.push(result);
+        self.launches.push(launch);
+        self.bodies.push(body);
+        id
+    }
+
+    /// Begin a trace (dynamic tracing, \[15\]): the launches up to the
+    /// matching [`Runtime::end_trace`] form one instance of a repetitive
+    /// sequence. The first instance warms the analysis up, the second is
+    /// recorded, and identical contiguous instances from the third onward
+    /// are *replayed* without running the visibility engine.
+    pub fn begin_trace(&mut self, id: u32) {
+        self.tracing.begin(TraceId(id), self.launches.len() as u32);
+    }
+
+    /// End the current trace instance.
+    pub fn end_trace(&mut self, id: u32) {
+        self.tracing.end(TraceId(id), self.launches.len() as u32);
+    }
+
+    /// Is the runtime currently replaying a recorded trace?
+    pub fn is_replaying(&self) -> bool {
+        self.tracing.is_replaying()
+    }
+
+    /// Launches whose analysis was synthesized from a trace template.
+    pub fn replayed_launches(&self) -> u64 {
+        self.tracing.replayed_launches
+    }
+
+    /// §4: two region arguments of one task must have disjoint domains
+    /// unless both are read-only or both reduce with the same operator.
+    fn validate_reqs(&self, reqs: &[RegionRequirement]) {
+        for (i, a) in reqs.iter().enumerate() {
+            for b in &reqs[i + 1..] {
+                if a.field != b.field
+                    || self.forest.root_of(a.region) != self.forest.root_of(b.region)
+                {
+                    continue;
+                }
+                let compatible = matches!(
+                    (a.privilege, b.privilege),
+                    (Privilege::Read, Privilege::Read)
+                ) || matches!(
+                    (a.privilege, b.privilege),
+                    (Privilege::Reduce(f), Privilege::Reduce(g)) if f == g
+                );
+                if !compatible
+                    && self
+                        .forest
+                        .domain(a.region)
+                        .overlaps(self.forest.domain(b.region))
+                {
+                    panic!(
+                        "task region arguments {:?} and {:?} alias with interfering \
+                         privileges {:?}/{:?} (intra-task coherence is out of scope, §4)",
+                        a.region, b.region, a.privilege, b.privilege
+                    );
+                }
+            }
+        }
+    }
+
+    /// An execution fence: a no-op task ordered after *every* task launched
+    /// so far (and, transitively, before everything launched later that
+    /// depends on it — callers typically route post-fence work through the
+    /// returned id). Legion uses fences to delimit phases that the
+    /// dependence analysis should not reorder across; trace replay also
+    /// relies on the same all-predecessor construction.
+    pub fn fence(&mut self) -> TaskId {
+        let deps: Vec<TaskId> = (0..self.launches.len() as u32).map(TaskId).collect();
+        let id = TaskId(self.launches.len() as u32);
+        let origin = self.shards.origin(0);
+        self.machine.op(origin, viz_sim::Op::LaunchOverhead);
+        self.analysis_done.push(self.machine.now(origin));
+        self.dag.push(deps.clone());
+        self.results.push(AnalysisResult {
+            deps,
+            plans: Vec::new(),
+        });
+        self.launches.push(TaskLaunch {
+            id,
+            name: "fence".into(),
+            node: 0,
+            reqs: Vec::new(),
+            duration_ns: 0,
+        });
+        self.bodies.push(None);
+        id
+    }
+
+    /// An inline read of a region's current values: recorded as a read-only
+    /// launch with no body; after [`Runtime::execute_values`], the
+    /// materialized values are available from the store under the returned
+    /// id. (Legion calls these inline mappings.)
+    pub fn inline_read(&mut self, region: RegionId, field: FieldId) -> TaskId {
+        self.launch(
+            "inline-read",
+            0,
+            vec![RegionRequirement::read(region, field)],
+            0,
+            None,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Execute all recorded launches with real values on worker threads,
+    /// honoring the dependence DAG. Returns the store of every task's
+    /// committed outputs.
+    pub fn execute_values(&self) -> ValueStore {
+        crate::exec::execute_values(
+            &self.forest,
+            &self.redops,
+            &self.launches,
+            &self.bodies,
+            &self.results,
+            &self.dag,
+            &self.initial,
+        )
+    }
+
+    /// Replay the DAG on the simulated machine: GPU execution, inter-node
+    /// copies, and the coupling of execution to analysis completion times.
+    pub fn timed_schedule(&mut self) -> TimedReport {
+        TimedSchedule::run(
+            &self.forest,
+            &self.launches,
+            &self.results,
+            &self.dag,
+            &self.analysis_done,
+            &mut self.machine,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn dag(&self) -> &TaskDag {
+        &self.dag
+    }
+
+    pub fn launches(&self) -> &[TaskLaunch] {
+        &self.launches
+    }
+
+    pub fn results(&self) -> &[AnalysisResult] {
+        &self.results
+    }
+
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    pub fn engine_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
+    pub fn state_size(&self) -> StateSize {
+        self.engine.state_size()
+    }
+
+    pub fn num_tasks(&self) -> usize {
+        self.launches.len()
+    }
+
+    /// Simulated time at which the analysis of task `t` completed.
+    pub fn analysis_done(&self, t: TaskId) -> SimTime {
+        self.analysis_done[t.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_records_analysis_and_dag() {
+        let mut rt = Runtime::single_node(EngineKind::PaintNaive);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        let t0 = rt.launch(
+            "w",
+            0,
+            vec![RegionRequirement::read_write(root, f)],
+            100,
+            None,
+        );
+        let t1 = rt.launch("r", 0, vec![RegionRequirement::read(root, f)], 100, None);
+        assert_eq!(rt.num_tasks(), 2);
+        assert_eq!(rt.dag().preds(t1), &[t0]);
+        assert!(rt.analysis_done(t1) >= rt.analysis_done(t0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alias with interfering")]
+    fn aliasing_requirements_with_interference_panic() {
+        let mut rt = Runtime::single_node(EngineKind::PaintNaive);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        rt.launch(
+            "bad",
+            0,
+            vec![
+                RegionRequirement::read_write(root, f),
+                RegionRequirement::read(root, f),
+            ],
+            0,
+            None,
+        );
+    }
+
+    #[test]
+    fn aliasing_reads_are_allowed() {
+        let mut rt = Runtime::single_node(EngineKind::PaintNaive);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        rt.launch(
+            "ok",
+            0,
+            vec![
+                RegionRequirement::read(root, f),
+                RegionRequirement::read(root, f),
+            ],
+            0,
+            None,
+        );
+    }
+
+    #[test]
+    fn aliasing_same_op_reductions_are_allowed() {
+        let mut rt = Runtime::single_node(EngineKind::PaintNaive);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        rt.launch(
+            "ok",
+            0,
+            vec![
+                RegionRequirement::reduce(root, f, RedOpRegistry::SUM),
+                RegionRequirement::reduce(root, f, RedOpRegistry::SUM),
+            ],
+            0,
+            None,
+        );
+    }
+}

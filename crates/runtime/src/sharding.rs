@@ -1,0 +1,96 @@
+//! Analysis sharding and state ownership — dynamic control replication \[4\].
+//!
+//! The paper evaluates each engine with and without **DCR** (§8). DCR does
+//! not change analysis *results*; it changes *where the analysis runs*:
+//!
+//! * **Without DCR** the top-level task runs on node 0 and every launch is
+//!   analyzed there — a sequential bottleneck at scale, exactly the effect
+//!   dominating the no-DCR curves in Figs 12–17.
+//! * **With DCR** the top-level task is sharded: the launch for piece `i` is
+//!   analyzed by the shard on the node where piece `i` lives, distributing
+//!   the source of the analysis across the machine.
+//!
+//! Analysis *state* (histories, composite views, equivalence sets) is owned
+//! by nodes on a first-touch basis, mirroring Legion's migration of
+//! equivalence sets to their first user.
+
+use viz_geometry::FxHashMap;
+use viz_region::RegionId;
+use viz_sim::NodeId;
+
+/// Maps analysis work and state to machine nodes.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    nodes: usize,
+    dcr: bool,
+    owners: FxHashMap<RegionId, NodeId>,
+}
+
+impl ShardMap {
+    pub fn new(nodes: usize, dcr: bool) -> Self {
+        ShardMap {
+            nodes,
+            dcr,
+            owners: FxHashMap::default(),
+        }
+    }
+
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    pub fn dcr(&self) -> bool {
+        self.dcr
+    }
+
+    /// The node that analyzes a launch mapped to `task_node`.
+    pub fn origin(&self, task_node: NodeId) -> NodeId {
+        if self.dcr {
+            task_node % self.nodes
+        } else {
+            0
+        }
+    }
+
+    /// Record the first-touch owner for a region's analysis state (no-op if
+    /// already owned).
+    pub fn touch(&mut self, region: RegionId, node: NodeId) {
+        self.owners.entry(region).or_insert(node % self.nodes);
+    }
+
+    /// The owner of analysis state keyed by `region`; regions never touched
+    /// default to node 0 (the root's home, where the initial state lives).
+    pub fn owner(&self, region: RegionId) -> NodeId {
+        self.owners.get(&region).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_dcr_everything_originates_on_node_zero() {
+        let s = ShardMap::new(8, false);
+        for n in 0..8 {
+            assert_eq!(s.origin(n), 0);
+        }
+    }
+
+    #[test]
+    fn with_dcr_origin_follows_task_mapping() {
+        let s = ShardMap::new(8, true);
+        assert_eq!(s.origin(3), 3);
+        assert_eq!(s.origin(11), 3, "wraps into the machine");
+    }
+
+    #[test]
+    fn first_touch_ownership_sticks() {
+        let mut s = ShardMap::new(4, true);
+        let r = RegionId(7);
+        assert_eq!(s.owner(r), 0, "untouched state lives at the root's home");
+        s.touch(r, 2);
+        s.touch(r, 3);
+        assert_eq!(s.owner(r), 2, "first touch wins");
+    }
+}

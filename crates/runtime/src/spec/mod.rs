@@ -1,0 +1,20 @@
+//! Executable paper semantics — the pseudocode of Figures 6, 7, 9 and 11
+//! implemented *literally*, at the value level.
+//!
+//! These are deliberately naive: regions are maps from points to values
+//! (`{⟨i, v⟩}` exactly as §4 defines them), state is manipulated with the
+//! paper's `X/Y`, `X\Y`, `X ⊕ Y` operators, and `run_task` follows Fig 6
+//! line by line. They serve as the **test oracles** for the optimized
+//! engines: all three spec algorithms must compute identical values to a
+//! direct sequential interpretation of the program, and the engines'
+//! parallel execution must match in turn.
+
+pub mod painter;
+pub mod program;
+pub mod raycast;
+pub mod seqref;
+pub mod vregion;
+pub mod warnock;
+
+pub use program::{SpecAlgorithm, SpecProgram, SpecTask};
+pub use vregion::VRegion;

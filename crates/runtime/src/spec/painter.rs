@@ -1,0 +1,177 @@
+//! Figure 7, verbatim: the painter's algorithm at the value level.
+
+use crate::spec::program::{SpecAlgorithm, SpecProgram};
+use crate::spec::vregion::VRegion;
+use viz_geometry::IndexSpace;
+use viz_region::{Privilege, RedOpRegistry};
+
+/// `S` is a history: a list of `(privilege, region)` pairs, traversed from
+/// oldest to newest by `paint`.
+#[derive(Default)]
+pub struct SpecPainter {
+    hist: Vec<(Privilege, VRegion)>,
+}
+
+impl SpecPainter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fig 7's `paint`: replay the history onto an initially-undefined
+    /// region over `dom`.
+    fn paint(&self, dom: &IndexSpace, redops: &RedOpRegistry) -> VRegion {
+        // R[i] is initially undefined for all i in dom(R).
+        let mut r = VRegion::new();
+        for (p, r_prime) in &self.hist {
+            match p {
+                // R := (R ⊕ R')/R — take R''s values on our domain.
+                Privilege::ReadWrite => {
+                    r = r.oplus(&r_prime.restrict_dom(dom));
+                }
+                // R := R ⊕ f(R/R', R'/R) — fold where both are defined.
+                Privilege::Reduce(op) => {
+                    let folded = r.lift(r_prime, redops.get(*op).fold);
+                    r = r.oplus(&folded);
+                }
+                // do nothing if P' = read
+                Privilege::Read => {}
+            }
+        }
+        r
+    }
+
+    pub fn history_len(&self) -> usize {
+        self.hist.len()
+    }
+}
+
+impl SpecAlgorithm for SpecPainter {
+    fn name(&self) -> &'static str {
+        "spec-painter"
+    }
+
+    fn init(&mut self, program: &SpecProgram) {
+        // The initial state is [⟨read-write, A⟩].
+        self.hist = vec![(Privilege::ReadWrite, program.initial.clone())];
+    }
+
+    fn materialize(
+        &mut self,
+        privilege: Privilege,
+        dom: &IndexSpace,
+        redops: &RedOpRegistry,
+    ) -> VRegion {
+        match privilege {
+            // return {⟨i, 0_f⟩ | i ∈ dom(R)}
+            Privilege::Reduce(op) => VRegion::fill(dom, redops.identity(op)),
+            _ => self.paint(dom, redops),
+        }
+    }
+
+    fn commit(&mut self, privilege: Privilege, region: VRegion, _redops: &RedOpRegistry) {
+        // return S ++ ⟨P, R⟩
+        self.hist.push((privilege, region));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::program::{run_program, SpecTask};
+    use viz_geometry::Point;
+
+    fn dom(lo: i64, hi: i64) -> IndexSpace {
+        IndexSpace::span(lo, hi)
+    }
+
+    #[test]
+    fn write_then_read_sees_the_write() {
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 9);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 1.0));
+        prog.push(SpecTask::new(
+            "w",
+            vec![(Privilege::ReadWrite, dom(2, 5))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, 42.0);
+                }
+            },
+        ));
+        let final_a = run_program(&mut SpecPainter::new(), &prog, &redops);
+        assert_eq!(final_a.get(Point::p1(0)), Some(1.0));
+        assert_eq!(final_a.get(Point::p1(3)), Some(42.0));
+        assert_eq!(final_a.get(Point::p1(9)), Some(1.0));
+    }
+
+    #[test]
+    fn reductions_accumulate_lazily() {
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 3);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 10.0));
+        for k in 1..=3 {
+            prog.push(SpecTask::new(
+                format!("r{k}"),
+                vec![(Privilege::Reduce(RedOpRegistry::SUM), dom(0, 3))],
+                move |rs| {
+                    let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                    for p in pts {
+                        let cur = rs[0].get(p).unwrap();
+                        rs[0].set(p, cur + k as f64);
+                    }
+                },
+            ));
+        }
+        let final_a = run_program(&mut SpecPainter::new(), &prog, &redops);
+        assert_eq!(final_a.get(Point::p1(0)), Some(16.0), "10 + 1 + 2 + 3");
+    }
+
+    #[test]
+    fn write_occludes_reductions() {
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 3);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 0.0));
+        prog.push(SpecTask::new(
+            "r",
+            vec![(Privilege::Reduce(RedOpRegistry::SUM), dom(0, 3))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, 100.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "w",
+            vec![(Privilege::ReadWrite, dom(0, 1))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, -1.0);
+                }
+            },
+        ));
+        let final_a = run_program(&mut SpecPainter::new(), &prog, &redops);
+        assert_eq!(final_a.get(Point::p1(0)), Some(-1.0), "write wins");
+        assert_eq!(final_a.get(Point::p1(2)), Some(100.0), "reduction survives");
+    }
+
+    #[test]
+    fn history_grows_monotonically() {
+        // The unoptimized painter never prunes: the state is a full history.
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 3);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 0.0));
+        for _ in 0..5 {
+            prog.push(SpecTask::new(
+                "w",
+                vec![(Privilege::ReadWrite, dom(0, 3))],
+                |_| {},
+            ));
+        }
+        let mut alg = SpecPainter::new();
+        run_program(&mut alg, &prog, &redops);
+        assert_eq!(alg.history_len(), 6, "initial entry + five commits");
+    }
+}

@@ -1,0 +1,139 @@
+//! The Fig 6 execution framework: `run_task` over a whole program.
+
+use crate::spec::vregion::VRegion;
+use std::sync::Arc;
+use viz_geometry::IndexSpace;
+use viz_region::{Privilege, RedOpRegistry};
+
+/// A spec task body: transforms the materialized region arguments in place.
+pub type SpecBody = Arc<dyn Fn(&mut [VRegion]) + Send + Sync>;
+
+/// A task in the spec setting: privileges + domains + a body transforming
+/// the materialized region arguments in place (Fig 6 line 5:
+/// `R1,…,Rn := T(R1,…,Rn)`).
+#[derive(Clone)]
+pub struct SpecTask {
+    pub name: String,
+    pub reqs: Vec<(Privilege, IndexSpace)>,
+    pub body: SpecBody,
+}
+
+impl SpecTask {
+    pub fn new(
+        name: impl Into<String>,
+        reqs: Vec<(Privilege, IndexSpace)>,
+        body: impl Fn(&mut [VRegion]) + Send + Sync + 'static,
+    ) -> Self {
+        SpecTask {
+            name: name.into(),
+            reqs,
+            body: Arc::new(body),
+        }
+    }
+}
+
+/// A program in the §4 setting: a single collection `A` with initial
+/// contents, and a sequence of task calls.
+#[derive(Clone)]
+pub struct SpecProgram {
+    pub domain: IndexSpace,
+    pub initial: VRegion,
+    pub tasks: Vec<SpecTask>,
+}
+
+impl SpecProgram {
+    pub fn new(domain: IndexSpace, initial: VRegion) -> Self {
+        assert!(initial.domain().same_points(&domain));
+        SpecProgram {
+            domain,
+            initial,
+            tasks: Vec::new(),
+        }
+    }
+
+    pub fn push(&mut self, task: SpecTask) {
+        for (_, d) in &task.reqs {
+            assert!(
+                self.domain.contains(d),
+                "task domain escapes the collection"
+            );
+        }
+        self.tasks.push(task);
+    }
+}
+
+/// A visibility algorithm in the paper's framework: `materialize` and
+/// `commit` plus an implementation of the state `S` (Fig 6).
+pub trait SpecAlgorithm {
+    fn name(&self) -> &'static str;
+
+    /// Reset the state to `[⟨read-write, A⟩]` for the program's collection.
+    fn init(&mut self, program: &SpecProgram);
+
+    /// Fill in current values for a region argument (may update the state).
+    fn materialize(
+        &mut self,
+        privilege: Privilege,
+        dom: &IndexSpace,
+        redops: &RedOpRegistry,
+    ) -> VRegion;
+
+    /// Record a task's result region.
+    fn commit(&mut self, privilege: Privilege, region: VRegion, redops: &RedOpRegistry);
+}
+
+/// Fig 6's `run_task`, looped over the whole program; returns the final
+/// contents of `A` (materialized by a trailing read of the full domain).
+pub fn run_program(
+    alg: &mut dyn SpecAlgorithm,
+    program: &SpecProgram,
+    redops: &RedOpRegistry,
+) -> VRegion {
+    alg.init(program);
+    for task in &program.tasks {
+        // foreach Pi Ri: Ri, S := materialize(Pi, Ri, S)
+        let mut regions: Vec<VRegion> = task
+            .reqs
+            .iter()
+            .map(|(p, d)| alg.materialize(*p, d, redops))
+            .collect();
+        // R1,…,Rn := T(R1,…,Rn)
+        (task.body)(&mut regions);
+        // foreach Pi Ri: S := commit(Pi, Ri, S)
+        for ((p, _), r) in task.reqs.iter().zip(regions) {
+            alg.commit(*p, r, redops);
+        }
+    }
+    alg.materialize(Privilege::Read, &program.domain, redops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use viz_geometry::Point;
+
+    #[test]
+    #[should_panic(expected = "escapes the collection")]
+    fn task_outside_collection_panics() {
+        let dom = IndexSpace::span(0, 9);
+        let mut prog = SpecProgram::new(dom.clone(), VRegion::fill(&dom, 0.0));
+        prog.push(SpecTask::new(
+            "bad",
+            vec![(Privilege::Read, IndexSpace::span(5, 15))],
+            |_| {},
+        ));
+    }
+
+    #[test]
+    fn program_accumulates_tasks() {
+        let dom = IndexSpace::span(0, 9);
+        let mut prog = SpecProgram::new(dom.clone(), VRegion::tabulate(&dom, |p| p.x as f64));
+        prog.push(SpecTask::new(
+            "t",
+            vec![(Privilege::Read, IndexSpace::span(0, 4))],
+            |_| {},
+        ));
+        assert_eq!(prog.tasks.len(), 1);
+        assert_eq!(prog.initial.get(Point::p1(3)), Some(3.0));
+    }
+}

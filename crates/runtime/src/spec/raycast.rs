@@ -1,0 +1,155 @@
+//! Figure 11, verbatim: ray casting at the value level.
+//!
+//! Ray casting reuses `warnock::materialize` and `warnock::commit`; the only
+//! change is `dominating_write`: a `read-write` materialization replaces
+//! every equivalence set covered by the region with a single fresh set whose
+//! history is just the write.
+
+use crate::spec::program::{SpecAlgorithm, SpecProgram};
+use crate::spec::vregion::VRegion;
+use crate::spec::warnock::{EqSet, SpecWarnock};
+use viz_geometry::IndexSpace;
+use viz_region::{Privilege, RedOpRegistry};
+
+#[derive(Default)]
+pub struct SpecRayCast {
+    inner: SpecWarnock,
+}
+
+impl SpecRayCast {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_sets(&self) -> usize {
+        self.inner.num_sets()
+    }
+
+    /// Fig 11's `dominating_write`:
+    /// `S' := {⟨R, [⟨read-write, R⟩]⟩} ∪ {⟨R', H⟩ ∈ S | dom(R)∩dom(R') = ∅}`.
+    fn dominating_write(&mut self, region: VRegion) {
+        let rdom = region.domain();
+        self.inner.sets.retain(|es| !es.dom.overlaps(&rdom));
+        self.inner.sets.push(EqSet {
+            dom: rdom,
+            hist: vec![(Privilege::ReadWrite, region)],
+        });
+    }
+}
+
+impl SpecAlgorithm for SpecRayCast {
+    fn name(&self) -> &'static str {
+        "spec-raycast"
+    }
+
+    fn init(&mut self, program: &SpecProgram) {
+        self.inner.init(program);
+    }
+
+    fn materialize(
+        &mut self,
+        privilege: Privilege,
+        dom: &IndexSpace,
+        redops: &RedOpRegistry,
+    ) -> VRegion {
+        // R', S' := warnock::materialize(P, R, S)
+        let r = self.inner.materialize_impl(privilege, dom, redops);
+        // if P = read-write then S' := dominating_write(R', S')
+        if privilege.is_write() {
+            self.dominating_write(r.clone());
+        }
+        r
+    }
+
+    fn commit(&mut self, privilege: Privilege, region: VRegion, _redops: &RedOpRegistry) {
+        // return warnock::commit(P, R, S)
+        self.inner.commit_impl(privilege, region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::program::{run_program, SpecTask};
+    use viz_geometry::Point;
+
+    fn dom(lo: i64, hi: i64) -> IndexSpace {
+        IndexSpace::span(lo, hi)
+    }
+
+    /// §7: writes coalesce equivalence sets, where Warnock only refines.
+    #[test]
+    fn dominating_writes_coalesce() {
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 11);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 0.0));
+        // Fragment the collection with three overlapping reads…
+        for (lo, hi) in [(0, 5), (3, 8), (6, 11)] {
+            prog.push(SpecTask::new(
+                "read",
+                vec![(Privilege::Read, dom(lo, hi))],
+                |_| {},
+            ));
+        }
+        // …then write the whole thing.
+        prog.push(SpecTask::new(
+            "w",
+            vec![(Privilege::ReadWrite, dom(0, 11))],
+            |_| {},
+        ));
+        let mut warnock = SpecWarnock::new();
+        run_program(&mut warnock, &prog, &redops);
+        let mut ray = SpecRayCast::new();
+        run_program(&mut ray, &prog, &redops);
+        assert!(warnock.num_sets() > 1, "Warnock keeps the fragments");
+        assert_eq!(ray.num_sets(), 1, "the dominating write coalesced them");
+    }
+
+    #[test]
+    fn values_match_warnock_and_painter() {
+        use crate::spec::painter::SpecPainter;
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 19);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::tabulate(&d, |p| p.x as f64));
+        prog.push(SpecTask::new(
+            "scale",
+            vec![(Privilege::ReadWrite, dom(0, 12))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v + 100.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "acc",
+            vec![(Privilege::Reduce(RedOpRegistry::SUM), dom(8, 19))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v + 1.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "over",
+            vec![(Privilege::ReadWrite, dom(10, 15))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, 7.0);
+                }
+            },
+        ));
+        let a = run_program(&mut SpecPainter::new(), &prog, &redops);
+        let b = run_program(&mut SpecWarnock::new(), &prog, &redops);
+        let c = run_program(&mut SpecRayCast::new(), &prog, &redops);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(c.get(Point::p1(12)), Some(7.0));
+        assert_eq!(c.get(Point::p1(9)), Some(110.0), "9 + 100 + 1");
+        assert_eq!(c.get(Point::p1(19)), Some(20.0), "19 + 1");
+    }
+}

@@ -1,0 +1,106 @@
+//! The ground truth: direct sequential interpretation of a program.
+//!
+//! No histories, no visibility — just "apparently-sequential semantics"
+//! applied literally: each task sees the current contents of `A`, and its
+//! results are applied before the next task runs. Reductions keep the lazy
+//! accumulator convention (tasks reduce into identity-filled buffers that
+//! are folded into `A` when the task commits), matching both the spec
+//! algorithms and the production engines; for exactly-representable values
+//! the results are bit-identical.
+
+use crate::spec::program::SpecProgram;
+use crate::spec::vregion::VRegion;
+use viz_region::{Privilege, RedOpRegistry};
+
+/// Run the program sequentially; returns the final contents of `A`.
+pub fn run_sequential(program: &SpecProgram, redops: &RedOpRegistry) -> VRegion {
+    let mut a = program.initial.clone();
+    for task in &program.tasks {
+        let mut regions: Vec<VRegion> = task
+            .reqs
+            .iter()
+            .map(|(p, d)| match p {
+                Privilege::Reduce(op) => VRegion::fill(d, redops.identity(*op)),
+                _ => a.restrict_dom(d),
+            })
+            .collect();
+        (task.body)(&mut regions);
+        for ((p, d), r) in task.reqs.iter().zip(regions) {
+            match p {
+                Privilege::Read => {}
+                Privilege::ReadWrite => {
+                    a = a.oplus(&r.restrict_dom(d));
+                }
+                Privilege::Reduce(op) => {
+                    let fold = redops.get(*op).fold;
+                    for (pt, contribution) in r.iter() {
+                        if d.contains_point(pt) {
+                            let cur = a.get(pt).expect("reduction outside collection");
+                            a.set(pt, fold(cur, contribution));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::program::SpecTask;
+    use viz_geometry::{IndexSpace, Point};
+
+    #[test]
+    fn sequential_write_and_reduce() {
+        let redops = RedOpRegistry::new();
+        let d = IndexSpace::span(0, 4);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 1.0));
+        prog.push(SpecTask::new(
+            "w",
+            vec![(Privilege::ReadWrite, IndexSpace::span(0, 2))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v * 10.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "acc",
+            vec![(Privilege::Reduce(RedOpRegistry::SUM), IndexSpace::span(1, 4))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v + 5.0);
+                }
+            },
+        ));
+        let a = run_sequential(&prog, &redops);
+        assert_eq!(a.get(Point::p1(0)), Some(10.0));
+        assert_eq!(a.get(Point::p1(1)), Some(15.0));
+        assert_eq!(a.get(Point::p1(4)), Some(6.0));
+    }
+
+    #[test]
+    fn tasks_see_prior_results() {
+        let redops = RedOpRegistry::new();
+        let d = IndexSpace::span(0, 0);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 3.0));
+        for _ in 0..3 {
+            prog.push(SpecTask::new(
+                "double",
+                vec![(Privilege::ReadWrite, d.clone())],
+                |rs| {
+                    let v = rs[0].get(Point::p1(0)).unwrap();
+                    rs[0].set(Point::p1(0), v * 2.0);
+                },
+            ));
+        }
+        let a = run_sequential(&prog, &redops);
+        assert_eq!(a.get(Point::p1(0)), Some(24.0));
+    }
+}

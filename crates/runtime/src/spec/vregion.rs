@@ -1,0 +1,198 @@
+//! Value-level regions: `{⟨i, v⟩}` sets exactly as §4 defines them.
+
+use std::collections::BTreeMap;
+use viz_geometry::{IndexSpace, Point};
+use viz_region::redop::Value;
+
+/// A region as the paper defines it: a set of `⟨point, value⟩` pairs with
+/// unique points. The auxiliary operators of §5 are methods:
+///
+/// * `X/Y` — [`VRegion::restrict`]: the subset of `X` sharing points with `Y`
+/// * `X\Y` — [`VRegion::without`]: the subset of `X` not sharing points
+/// * `X ⊕ Y` — [`VRegion::oplus`]: union preferring `Y`'s values
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct VRegion {
+    pairs: BTreeMap<Point, Value>,
+}
+
+impl VRegion {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `{⟨i, v⟩ | i ∈ dom}` with a constant value.
+    pub fn fill(dom: &IndexSpace, v: Value) -> Self {
+        VRegion {
+            pairs: dom.points().map(|p| (p, v)).collect(),
+        }
+    }
+
+    /// `{⟨i, f(i)⟩ | i ∈ dom}`.
+    pub fn tabulate(dom: &IndexSpace, f: impl Fn(Point) -> Value) -> Self {
+        VRegion {
+            pairs: dom.points().map(|p| (p, f(p))).collect(),
+        }
+    }
+
+    pub fn get(&self, p: Point) -> Option<Value> {
+        self.pairs.get(&p).copied()
+    }
+
+    pub fn set(&mut self, p: Point, v: Value) {
+        self.pairs.insert(p, v);
+    }
+
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (Point, Value)> + '_ {
+        self.pairs.iter().map(|(p, v)| (*p, *v))
+    }
+
+    /// Is `p` in `dom(self)`?
+    pub fn contains(&self, p: Point) -> bool {
+        self.pairs.contains_key(&p)
+    }
+
+    /// `dom(X) ∩ dom(Y) = ∅`?
+    pub fn disjoint(&self, other: &VRegion) -> bool {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        !small.pairs.keys().any(|p| big.contains(*p))
+    }
+
+    /// `X/Y = {⟨i, v⟩ ∈ X | i ∈ dom(Y)}`.
+    pub fn restrict(&self, other: &VRegion) -> VRegion {
+        VRegion {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(p, _)| other.contains(**p))
+                .map(|(p, v)| (*p, *v))
+                .collect(),
+        }
+    }
+
+    /// Restriction to an index-space domain.
+    pub fn restrict_dom(&self, dom: &IndexSpace) -> VRegion {
+        VRegion {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(p, _)| dom.contains_point(**p))
+                .map(|(p, v)| (*p, *v))
+                .collect(),
+        }
+    }
+
+    /// `X\Y = {⟨i, v⟩ ∈ X | i ∉ dom(Y)}`.
+    pub fn without(&self, other: &VRegion) -> VRegion {
+        VRegion {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(p, _)| !other.contains(**p))
+                .map(|(p, v)| (*p, *v))
+                .collect(),
+        }
+    }
+
+    /// `X ⊕ Y = X\Y ∪ Y` — union using `Y`'s values on shared points.
+    pub fn oplus(&self, other: &VRegion) -> VRegion {
+        let mut pairs = self.pairs.clone();
+        for (p, v) in &other.pairs {
+            pairs.insert(*p, *v);
+        }
+        VRegion { pairs }
+    }
+
+    /// Pointwise lift of a reduction operator:
+    /// `f(X, Y) = {⟨i, f(vx, vy)⟩ | ⟨i, vx⟩ ∈ X, ⟨i, vy⟩ ∈ Y}` (§5).
+    pub fn lift(&self, other: &VRegion, f: fn(Value, Value) -> Value) -> VRegion {
+        VRegion {
+            pairs: self
+                .pairs
+                .iter()
+                .filter_map(|(p, vx)| other.get(*p).map(|vy| (*p, f(*vx, vy))))
+                .collect(),
+        }
+    }
+
+    /// The domain as an index space.
+    pub fn domain(&self) -> IndexSpace {
+        IndexSpace::from_points(self.pairs.keys().copied())
+    }
+}
+
+impl FromIterator<(Point, Value)> for VRegion {
+    fn from_iter<I: IntoIterator<Item = (Point, Value)>>(iter: I) -> Self {
+        VRegion {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vr(pairs: &[(i64, f64)]) -> VRegion {
+        pairs.iter().map(|(x, v)| (Point::p1(*x), *v)).collect()
+    }
+
+    #[test]
+    fn restrict_keeps_own_values() {
+        let x = vr(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let y = vr(&[(1, 99.0), (2, 98.0), (3, 97.0)]);
+        assert_eq!(x.restrict(&y), vr(&[(1, 2.0), (2, 3.0)]));
+    }
+
+    #[test]
+    fn without_removes_shared_points() {
+        let x = vr(&[(0, 1.0), (1, 2.0)]);
+        let y = vr(&[(1, 0.0)]);
+        assert_eq!(x.without(&y), vr(&[(0, 1.0)]));
+    }
+
+    #[test]
+    fn oplus_prefers_right_operand() {
+        let x = vr(&[(0, 1.0), (1, 2.0)]);
+        let y = vr(&[(1, 9.0), (2, 8.0)]);
+        assert_eq!(x.oplus(&y), vr(&[(0, 1.0), (1, 9.0), (2, 8.0)]));
+    }
+
+    #[test]
+    fn restrict_without_partition_x() {
+        let x = vr(&[(0, 1.0), (1, 2.0), (2, 3.0)]);
+        let y = vr(&[(1, 0.0), (5, 0.0)]);
+        let a = x.restrict(&y);
+        let b = x.without(&y);
+        assert_eq!(a.len() + b.len(), x.len());
+        assert!(a.disjoint(&b));
+        assert_eq!(b.oplus(&a), x);
+    }
+
+    #[test]
+    fn lift_applies_pointwise() {
+        let x = vr(&[(0, 1.0), (1, 2.0)]);
+        let y = vr(&[(1, 10.0), (2, 20.0)]);
+        assert_eq!(x.lift(&y, |a, b| a + b), vr(&[(1, 12.0)]));
+    }
+
+    #[test]
+    fn fill_and_tabulate() {
+        let dom = IndexSpace::span(0, 3);
+        assert_eq!(VRegion::fill(&dom, 7.0).len(), 4);
+        let t = VRegion::tabulate(&dom, |p| p.x as f64 * 2.0);
+        assert_eq!(t.get(Point::p1(3)), Some(6.0));
+        assert!(t.domain().same_points(&dom));
+    }
+}

@@ -1,0 +1,244 @@
+//! Figure 9, verbatim: Warnock's algorithm at the value level.
+
+use crate::spec::program::{SpecAlgorithm, SpecProgram};
+use crate::spec::vregion::VRegion;
+use viz_geometry::IndexSpace;
+use viz_region::{Privilege, RedOpRegistry};
+
+/// An equivalence set: a `(region, history)` pair where every operation in
+/// the history is relevant to every element of the region.
+#[derive(Clone)]
+pub(crate) struct EqSet {
+    pub dom: IndexSpace,
+    pub hist: Vec<(Privilege, VRegion)>,
+}
+
+/// `S` is a set of equivalence sets.
+#[derive(Default)]
+pub struct SpecWarnock {
+    pub(crate) sets: Vec<EqSet>,
+}
+
+impl SpecWarnock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Fig 9's `refine`: split any equivalence set with a non-trivial
+    /// overlap with `R` into `R'/R` and `R'\R`.
+    pub(crate) fn refine(&mut self, dom: &IndexSpace) {
+        let mut out = Vec::with_capacity(self.sets.len());
+        for es in self.sets.drain(..) {
+            if !es.dom.overlaps(dom) {
+                out.push(es); // dom(R') ∩ dom(R) = ∅
+            } else if dom.contains(&es.dom) {
+                out.push(es); // dom(R) = dom(R') (or R' ⊆ R: already relevant)
+            } else {
+                // S' := S' ∪ {⟨R'/R, H⟩, ⟨R'\R, H⟩}
+                let inside = es.dom.intersect(dom);
+                let outside = es.dom.subtract(dom);
+                out.push(EqSet {
+                    dom: inside,
+                    hist: es.hist.clone(),
+                });
+                out.push(EqSet {
+                    dom: outside,
+                    hist: es.hist,
+                });
+            }
+        }
+        self.sets = out;
+    }
+
+    /// The painter's algorithm applied within one equivalence set.
+    fn paint(es: &EqSet, redops: &RedOpRegistry) -> VRegion {
+        let mut r = VRegion::new();
+        for (p, r_prime) in &es.hist {
+            match p {
+                Privilege::ReadWrite => {
+                    r = r.oplus(&r_prime.restrict_dom(&es.dom));
+                }
+                Privilege::Reduce(op) => {
+                    let folded = r.lift(r_prime, redops.get(*op).fold);
+                    r = r.oplus(&folded);
+                }
+                Privilege::Read => {}
+            }
+        }
+        r
+    }
+
+    pub(crate) fn materialize_impl(
+        &mut self,
+        privilege: Privilege,
+        dom: &IndexSpace,
+        redops: &RedOpRegistry,
+    ) -> VRegion {
+        // S' := refine(R, S)
+        self.refine(dom);
+        // Es := {⟨X, H⟩ ∈ S' | dom(X) ⊆ dom(R)}; R := ∅; union the pieces.
+        let mut r = VRegion::new();
+        for es in &self.sets {
+            if !dom.contains(&es.dom) {
+                continue;
+            }
+            let x = match privilege {
+                Privilege::Reduce(op) => VRegion::fill(&es.dom, redops.identity(op)),
+                _ => Self::paint(es, redops),
+            };
+            r = r.oplus(&x);
+        }
+        r
+    }
+
+    pub(crate) fn commit_impl(&mut self, privilege: Privilege, region: VRegion) {
+        let rdom = region.domain();
+        for es in &mut self.sets {
+            // if R'/R = R' — the set is inside the committed region.
+            if rdom.contains(&es.dom) {
+                let slice = region.restrict_dom(&es.dom); // ⟨P, R/R'⟩
+                if privilege.is_write() {
+                    es.hist = vec![(privilege, slice)];
+                } else {
+                    es.hist.push((privilege, slice));
+                }
+            }
+            // else: refine guarantees dom(R) ∩ dom(R') = ∅ — keep as-is.
+        }
+    }
+}
+
+impl SpecAlgorithm for SpecWarnock {
+    fn name(&self) -> &'static str {
+        "spec-warnock"
+    }
+
+    fn init(&mut self, program: &SpecProgram) {
+        // Initially one equivalence set: ⟨A, [⟨read-write, A⟩]⟩.
+        self.sets = vec![EqSet {
+            dom: program.domain.clone(),
+            hist: vec![(Privilege::ReadWrite, program.initial.clone())],
+        }];
+    }
+
+    fn materialize(
+        &mut self,
+        privilege: Privilege,
+        dom: &IndexSpace,
+        redops: &RedOpRegistry,
+    ) -> VRegion {
+        self.materialize_impl(privilege, dom, redops)
+    }
+
+    fn commit(&mut self, privilege: Privilege, region: VRegion, _redops: &RedOpRegistry) {
+        self.commit_impl(privilege, region);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::program::{run_program, SpecTask};
+    use viz_geometry::Point;
+
+    fn dom(lo: i64, hi: i64) -> IndexSpace {
+        IndexSpace::span(lo, hi)
+    }
+
+    #[test]
+    fn refinement_splits_straddling_sets() {
+        let d = dom(0, 9);
+        let prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 0.0));
+        let mut alg = SpecWarnock::new();
+        alg.init(&prog);
+        assert_eq!(alg.num_sets(), 1);
+        alg.refine(&dom(3, 6));
+        assert_eq!(alg.num_sets(), 2, "split into [3,6] and the rest");
+        // Refining with the same region again adds nothing.
+        alg.refine(&dom(3, 6));
+        assert_eq!(alg.num_sets(), 2);
+        // An overlapping region splits further.
+        alg.refine(&dom(5, 8));
+        assert!(alg.num_sets() > 2);
+        // Invariant: the sets partition the collection.
+        let total: u64 = alg.sets.iter().map(|e| e.dom.volume()).sum();
+        assert_eq!(total, 10);
+        for (i, a) in alg.sets.iter().enumerate() {
+            for b in &alg.sets[i + 1..] {
+                assert!(!a.dom.overlaps(&b.dom));
+            }
+        }
+    }
+
+    #[test]
+    fn write_resets_set_history() {
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 3);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::fill(&d, 5.0));
+        prog.push(SpecTask::new(
+            "w",
+            vec![(Privilege::ReadWrite, dom(0, 3))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, 7.0);
+                }
+            },
+        ));
+        let mut alg = SpecWarnock::new();
+        let out = run_program(&mut alg, &prog, &redops);
+        assert_eq!(out.get(Point::p1(2)), Some(7.0));
+        assert_eq!(
+            alg.sets[0].hist.len(),
+            1,
+            "history is precise: only the most recent write (lines 30-31)"
+        );
+    }
+
+    #[test]
+    fn matches_painter_on_mixed_program() {
+        use crate::spec::painter::SpecPainter;
+        let redops = RedOpRegistry::new();
+        let d = dom(0, 15);
+        let mut prog = SpecProgram::new(d.clone(), VRegion::tabulate(&d, |p| p.x as f64));
+        prog.push(SpecTask::new(
+            "w1",
+            vec![(Privilege::ReadWrite, dom(0, 7))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v * 2.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "r1",
+            vec![(Privilege::Reduce(RedOpRegistry::SUM), dom(4, 11))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    let v = rs[0].get(p).unwrap();
+                    rs[0].set(p, v + 3.0);
+                }
+            },
+        ));
+        prog.push(SpecTask::new(
+            "w2",
+            vec![(Privilege::ReadWrite, dom(6, 9))],
+            |rs| {
+                let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                for p in pts {
+                    rs[0].set(p, -1.0);
+                }
+            },
+        ));
+        let a = run_program(&mut SpecPainter::new(), &prog, &redops);
+        let b = run_program(&mut SpecWarnock::new(), &prog, &redops);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,271 @@
+//! Dynamic tracing: memoization of the dependence/coherence analysis
+//! (Lee et al., "Dynamic Tracing: Memoization of Task Graphs for Dynamic
+//! Task-Based Runtimes" — the paper's reference \[15\]).
+//!
+//! The evaluation of the visibility paper *disables* tracing ("these
+//! experiments do not measure Legion's peak performance, but rather the
+//! performance of the different coherence algorithms", §8). This module
+//! implements it as the natural extension: applications wrap the body of a
+//! repetitive loop in [`crate::Runtime::begin_trace`] /
+//! [`crate::Runtime::end_trace`]; the runtime
+//!
+//! 1. analyzes the first instance normally (warm-up: partitions are
+//!    discovered, equivalence sets refined, views built);
+//! 2. analyzes and *records* the second instance — by then the analysis is
+//!    in steady state, so every cross-instance reference lands in the
+//!    immediately preceding instance;
+//! 3. **replays** instances three onward: launches are validated against
+//!    the recorded signature and their dependences/plans are synthesized by
+//!    shifting the recorded ones — the visibility engine is not consulted
+//!    at all.
+//!
+//! Soundness rests on instances being *identical* (validated launch by
+//! launch; a mismatch is a trace violation, as in Legion) and *contiguous*
+//! (anything launched between instances invalidates the template, which is
+//! then recaptured). Because replays do not update the engine's state, the
+//! runtime rebases any later engine result that references the recorded
+//! instance onto the final replayed instance — valid precisely because the
+//! instances are identical.
+
+use crate::plan::{AnalysisResult, Source};
+use crate::task::{RegionRequirement, TaskId};
+use viz_geometry::FxHashMap;
+use viz_sim::NodeId;
+
+/// Application-chosen trace identifier.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct TraceId(pub u32);
+
+/// One recorded launch of a trace template.
+#[derive(Clone)]
+pub(crate) struct TemplateEntry {
+    pub node: NodeId,
+    pub reqs: Vec<RegionRequirement>,
+    pub result: AnalysisResult,
+}
+
+/// A captured trace: the launches of one steady-state instance, with their
+/// analysis results, based at `base`.
+pub(crate) struct Template {
+    pub base: u32,
+    pub entries: Vec<TemplateEntry>,
+}
+
+impl Template {
+    pub fn len(&self) -> u32 {
+        self.entries.len() as u32
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct TraceState {
+    /// Completed (analyzed) instances so far.
+    pub instances: u32,
+    pub template: Option<Template>,
+    /// Task id one past the end of the last completed instance (for the
+    /// contiguity check).
+    pub last_end: u32,
+}
+
+/// The runtime's tracing bookkeeping.
+#[derive(Default)]
+pub(crate) struct Tracing {
+    states: FxHashMap<TraceId, TraceState>,
+    /// An in-progress trace: `(id, base, next-entry-index, replaying)`.
+    active: Option<ActiveTrace>,
+    /// Shifts applied to later engine results: a reference into
+    /// `start..end` moves by `shift` (the distance from the recorded
+    /// instance to the last replayed one).
+    rebases: Vec<(u32, u32, u32)>,
+    /// Launches synthesized from templates (statistics).
+    pub replayed_launches: u64,
+}
+
+pub(crate) struct ActiveTrace {
+    pub id: TraceId,
+    pub base: u32,
+    pub cursor: u32,
+    pub replaying: bool,
+    /// Entries recorded by this instance (when capturing).
+    pub recording: Vec<TemplateEntry>,
+}
+
+/// What the runtime should do with the next launch inside a trace.
+pub(crate) enum TraceAction {
+    /// Not in a trace (or warming up / capturing): run the engine. The
+    /// bool says whether the result must be recorded into the template.
+    Analyze { record: bool },
+    /// Replay: synthesize the result from the template (already shifted).
+    Replay(Box<AnalysisResult>),
+}
+
+impl Tracing {
+    pub fn begin(&mut self, id: TraceId, next_task: u32) {
+        assert!(
+            self.active.is_none(),
+            "nested or overlapping traces are not supported"
+        );
+        let st = self.states.entry(id).or_default();
+        // Replay requires a template and contiguity: nothing may have been
+        // launched since the previous instance ended.
+        let replaying = st.template.is_some() && st.instances >= 2 && st.last_end == next_task;
+        if !replaying && st.template.is_some() && st.last_end != next_task {
+            // Intervening launches changed the engine state: the template
+            // no longer describes reality. Recapture from scratch.
+            st.template = None;
+            st.instances = 0;
+        }
+        self.active = Some(ActiveTrace {
+            id,
+            base: next_task,
+            cursor: 0,
+            replaying,
+            recording: Vec::new(),
+        });
+    }
+
+    /// Decide how to handle a launch. For replays, validates the signature
+    /// and synthesizes the shifted result.
+    pub fn on_launch(
+        &mut self,
+        node: NodeId,
+        reqs: &[RegionRequirement],
+        next_task: u32,
+    ) -> TraceAction {
+        let Some(active) = &mut self.active else {
+            return TraceAction::Analyze { record: false };
+        };
+        let st = &self.states[&active.id];
+        if !active.replaying {
+            // Capture on the second instance (the first is warm-up).
+            return TraceAction::Analyze {
+                record: st.instances == 1,
+            };
+        }
+        let template = st.template.as_ref().expect("replaying without template");
+        let entry = template
+            .entries
+            .get(active.cursor as usize)
+            .unwrap_or_else(|| {
+                panic!(
+                    "trace {:?} violated: more launches than the recorded {}",
+                    active.id,
+                    template.len()
+                )
+            });
+        assert!(
+            entry.node == node && entry.reqs == reqs,
+            "trace {:?} violated at launch {}: requirements differ from the recording",
+            active.id,
+            active.cursor
+        );
+        // Shift: template ids in [template.base - len, template.base + len)
+        // move so the recorded instance lands at this instance's base.
+        let len = template.len();
+        let shift_base = template.base;
+        let new_base = next_task - active.cursor;
+        let shift = |t: TaskId| -> TaskId {
+            let id = t.0;
+            if id >= shift_base.saturating_sub(len) && id < shift_base + len {
+                TaskId(id + new_base - shift_base)
+            } else {
+                t // pre-trace reference: still valid as-is
+            }
+        };
+        let mut result = entry.result.clone();
+        for d in &mut result.deps {
+            *d = shift(*d);
+        }
+        for plan in &mut result.plans {
+            for c in &mut plan.copies {
+                if let Source::Task(t, _) = &mut c.source {
+                    *t = shift(*t);
+                }
+            }
+            for r in &mut plan.reductions {
+                r.task = shift(r.task);
+            }
+        }
+        active.cursor += 1;
+        self.replayed_launches += 1;
+        TraceAction::Replay(Box::new(result))
+    }
+
+    /// Record a captured entry (called when `on_launch` said `record`).
+    pub fn record(&mut self, node: NodeId, reqs: Vec<RegionRequirement>, result: AnalysisResult) {
+        if let Some(active) = &mut self.active {
+            active.cursor += 1;
+            active.recording.push(TemplateEntry { node, reqs, result });
+        }
+    }
+
+    /// Count a warm-up launch (first instance; nothing recorded).
+    pub fn advance(&mut self) {
+        if let Some(active) = &mut self.active {
+            active.cursor += 1;
+        }
+    }
+
+    pub fn end(&mut self, id: TraceId, next_task: u32) {
+        let active = self.active.take().expect("end_trace without begin_trace");
+        assert_eq!(active.id, id, "mismatched begin/end trace ids");
+        let st = self.states.get_mut(&id).unwrap();
+        if active.replaying {
+            let template = st.template.as_ref().unwrap();
+            assert_eq!(
+                active.cursor,
+                template.len(),
+                "trace {id:?} violated: fewer launches than the recorded instance"
+            );
+            // Later engine-produced references into the *recorded* instance
+            // must point at the corresponding task of this (latest) one.
+            let start = template.base;
+            let end = template.base + template.len();
+            let shift = active.base - template.base;
+            self.rebases.retain(|(s, e, _)| !(*s == start && *e == end));
+            if shift > 0 {
+                self.rebases.push((start, end, shift));
+            }
+        } else if st.instances == 1 {
+            st.template = Some(Template {
+                base: active.base,
+                entries: active.recording,
+            });
+        }
+        st.instances += 1;
+        st.last_end = next_task;
+    }
+
+    /// Rebase an engine result produced *after* replayed traces: stale
+    /// references into a recorded instance move onto its last replay.
+    pub fn rebase_result(&self, result: &mut AnalysisResult) {
+        if self.rebases.is_empty() {
+            return;
+        }
+        let shift = |t: &mut TaskId| {
+            for (s, e, sh) in &self.rebases {
+                if t.0 >= *s && t.0 < *e {
+                    t.0 += sh;
+                    return;
+                }
+            }
+        };
+        for d in &mut result.deps {
+            shift(d);
+        }
+        for plan in &mut result.plans {
+            for c in &mut plan.copies {
+                if let Source::Task(t, _) = &mut c.source {
+                    shift(t);
+                }
+            }
+            for r in &mut plan.reductions {
+                shift(&mut r.task);
+            }
+        }
+    }
+
+    pub fn is_replaying(&self) -> bool {
+        self.active.as_ref().is_some_and(|a| a.replaying)
+    }
+}

@@ -1,0 +1,42 @@
+//! Execution fences: everything before a fence precedes it; a fence joins
+//! all concurrency.
+
+use viz_runtime::{EngineKind, RegionRequirement, Runtime, TaskId};
+
+#[test]
+fn fence_depends_on_everything_prior() {
+    let mut rt = Runtime::single_node(EngineKind::RayCast);
+    let root = rt.forest_mut().create_root_1d("A", 16);
+    let f = rt.forest_mut().add_field(root, "v");
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
+    for i in 0..4 {
+        let piece = rt.forest().subregion(p, i);
+        rt.launch("w", 0, vec![RegionRequirement::read_write(piece, f)], 10, None);
+    }
+    let fence = rt.fence();
+    assert_eq!(rt.dag().preds(fence).len(), 4);
+    // The fence joins the waves: everything after must follow it
+    // transitively if it depends on the fence's predecessors... and the
+    // timed schedule places it after all four writers.
+    let report = rt.timed_schedule();
+    for t in 0..4usize {
+        assert!(report.completion[4] >= report.completion[t]);
+    }
+}
+
+#[test]
+fn fence_on_empty_runtime_is_fine() {
+    let mut rt = Runtime::single_node(EngineKind::Paint);
+    let fence = rt.fence();
+    assert_eq!(fence, TaskId(0));
+    assert!(rt.dag().preds(fence).is_empty());
+    rt.execute_values();
+}
+
+#[test]
+fn fences_chain() {
+    let mut rt = Runtime::single_node(EngineKind::Warnock);
+    let f1 = rt.fence();
+    let f2 = rt.fence();
+    assert_eq!(rt.dag().preds(f2), &[f1]);
+}

@@ -1,0 +1,150 @@
+//! Differential property test with *multi-requirement* tasks — the Fig 1
+//! shape, where one task holds a write privilege on one region and a
+//! reduction privilege on another (possibly on different fields), plus
+//! cross-field and cross-tree traffic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use viz_geometry::{IndexSpace, Rect};
+use viz_region::RedOpRegistry;
+use viz_runtime::validate::check_sufficiency;
+use viz_runtime::{
+    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
+
+const N: i64 = 36;
+const PIECES: usize = 3;
+
+/// An abstract Fig 1-style launch: a piece write on one field plus a ghost
+/// reduction on the other, with randomized piece/ghost selection.
+#[derive(Clone, Debug)]
+struct AbsLaunch {
+    piece: usize,
+    ghost: usize,
+    /// Which field gets the write (the other gets the reduction).
+    flip: bool,
+    salt: u32,
+}
+
+fn abs_launch() -> impl Strategy<Value = AbsLaunch> {
+    (0..PIECES, 0..PIECES, any::<bool>(), 0u32..100).prop_map(|(piece, ghost, flip, salt)| {
+        AbsLaunch {
+            piece,
+            ghost,
+            flip,
+            salt,
+        }
+    })
+}
+
+fn run_config(
+    engine: EngineKind,
+    nodes: usize,
+    dcr: bool,
+    launches: &[AbsLaunch],
+) -> Vec<f64> {
+    let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+    let root = rt.forest_mut().create_root_1d("N", N);
+    let up = rt.forest_mut().add_field(root, "up");
+    let down = rt.forest_mut().add_field(root, "down");
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", PIECES);
+    // Ghost pieces: a sparse scattering into the *other* pieces.
+    let ghosts: Vec<IndexSpace> = (0..PIECES as i64)
+        .map(|i| {
+            let mut rects = Vec::new();
+            let chunk = N / PIECES as i64;
+            for other in 0..PIECES as i64 {
+                if other != i {
+                    let base = other * chunk;
+                    rects.push(Rect::span(base + 1, base + 2));
+                    rects.push(Rect::span(base + 5, base + 5));
+                }
+            }
+            IndexSpace::from_rects(rects)
+        })
+        .collect();
+    let g = rt.forest_mut().create_partition(root, "G", ghosts);
+    rt.set_initial(root, up, |pt| pt.x as f64);
+    rt.set_initial(root, down, |pt| (pt.x * 2) as f64);
+
+    for (i, l) in launches.iter().enumerate() {
+        let piece = rt.forest().subregion(p, l.piece);
+        let ghost = rt.forest().subregion(g, l.ghost);
+        let (wf, rf) = if l.flip { (down, up) } else { (up, down) };
+        let salt = l.salt as f64 + i as f64;
+        rt.launch(
+            format!("t{i}"),
+            i % nodes,
+            vec![
+                RegionRequirement::read_write(piece, wf),
+                RegionRequirement::reduce(ghost, rf, RedOpRegistry::SUM),
+            ],
+            10,
+            Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
+                rs[0].update_all(|pt, v| ((v * 3.0 + salt + pt.x as f64) as i64 % 509) as f64);
+                let dom = rs[1].domain().clone();
+                for pt in dom.points() {
+                    rs[1].reduce(pt, ((salt as i64 + pt.x) % 11) as f64);
+                }
+            })),
+        );
+    }
+    let probe_up = rt.inline_read(root, up);
+    let probe_down = rt.inline_read(root, down);
+    let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+    assert!(
+        violations.is_empty(),
+        "{engine:?} nodes={nodes} dcr={dcr}: {violations:?}"
+    );
+    let store = rt.execute_values();
+    let mut out: Vec<f64> = store.inline(probe_up).iter().map(|(_, v)| v).collect();
+    out.extend(store.inline(probe_down).iter().map(|(_, v)| v));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    #[test]
+    fn multi_requirement_tasks_agree_across_engines(
+        launches in prop::collection::vec(abs_launch(), 1..12)
+    ) {
+        let reference = run_config(EngineKind::PaintNaive, 1, false, &launches);
+        for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+            for (nodes, dcr) in [(1, false), (3, true)] {
+                let got = run_config(engine, nodes, dcr, &launches);
+                prop_assert_eq!(&got, &reference,
+                    "{:?} nodes={} dcr={}", engine, nodes, dcr);
+            }
+        }
+    }
+}
+
+/// The exact Fig 1 alternation as a deterministic case, three loop turns.
+#[test]
+fn fig1_alternation_multi_req() {
+    let mut launches = Vec::new();
+    for turn in 0..3u32 {
+        for i in 0..PIECES {
+            launches.push(AbsLaunch {
+                piece: i,
+                ghost: i,
+                flip: false,
+                salt: turn,
+            });
+        }
+        for i in 0..PIECES {
+            launches.push(AbsLaunch {
+                piece: i,
+                ghost: i,
+                flip: true,
+                salt: turn + 50,
+            });
+        }
+    }
+    let reference = run_config(EngineKind::PaintNaive, 1, false, &launches);
+    for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+        let got = run_config(engine, 3, true, &launches);
+        assert_eq!(got, reference, "{engine:?}");
+    }
+}

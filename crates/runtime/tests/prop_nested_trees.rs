@@ -1,0 +1,163 @@
+//! Differential property test over randomly *nested* region trees: tasks
+//! name regions at arbitrary depths (root, pieces, sub-pieces, a sparse
+//! partition of one sub-piece), which stresses the painter's path
+//! histories, Warnock's refinement cascades, and ray casting's anchor
+//! selection through multi-level trees.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use viz_geometry::{IndexSpace, Point};
+use viz_region::RegionId;
+use viz_runtime::validate::check_sufficiency;
+use viz_runtime::{
+    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
+
+const N: i64 = 64;
+
+/// Region selector over a fixed nested tree:
+/// root → P (4 pieces) → Q on P[0] (2 sub-pieces) → sparse evens of Q[1].
+#[derive(Clone, Debug)]
+enum Target {
+    Root,
+    P(usize),
+    Q(usize),
+    SparseEvens,
+}
+
+#[derive(Clone, Debug)]
+struct AbsLaunch {
+    target: Target,
+    write: bool,
+    salt: u32,
+}
+
+fn abs_launch() -> impl Strategy<Value = AbsLaunch> {
+    (
+        prop_oneof![
+            1 => Just(Target::Root),
+            4 => (0..4usize).prop_map(Target::P),
+            3 => (0..2usize).prop_map(Target::Q),
+            2 => Just(Target::SparseEvens),
+        ],
+        any::<bool>(),
+        0u32..64,
+    )
+        .prop_map(|(target, write, salt)| AbsLaunch {
+            target,
+            write,
+            salt,
+        })
+}
+
+struct Tree {
+    root: RegionId,
+    p: Vec<RegionId>,
+    q: Vec<RegionId>,
+    sparse: RegionId,
+    f: viz_region::FieldId,
+}
+
+fn build(rt: &mut Runtime) -> Tree {
+    let root = rt.forest_mut().create_root_1d("A", N);
+    let f = rt.forest_mut().add_field(root, "v");
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
+    let p0 = rt.forest().subregion(p, 0);
+    let q = rt.forest_mut().create_equal_partition_1d(p0, "Q", 2);
+    let q1 = rt.forest().subregion(q, 1); // elements [8, 15]
+    let sparse_part = rt.forest_mut().create_partition_with_flags(
+        q1,
+        "evens",
+        vec![IndexSpace::from_points((4..8).map(|i| Point::p1(i * 2)))],
+        true,
+        false,
+    );
+    Tree {
+        root,
+        p: (0..4).map(|i| rt.forest().subregion(p, i)).collect(),
+        q: (0..2).map(|i| rt.forest().subregion(q, i)).collect(),
+        sparse: rt.forest().subregion(sparse_part, 0),
+        f,
+    }
+}
+
+fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch]) -> Vec<f64> {
+    let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+    let tree = build(&mut rt);
+    rt.set_initial(tree.root, tree.f, |pt| pt.x as f64);
+    for (i, l) in launches.iter().enumerate() {
+        let region = match l.target {
+            Target::Root => tree.root,
+            Target::P(k) => tree.p[k],
+            Target::Q(k) => tree.q[k],
+            Target::SparseEvens => tree.sparse,
+        };
+        let salt = l.salt as f64 + i as f64;
+        let (req, body): (RegionRequirement, viz_runtime::TaskBody) = if l.write {
+            (
+                RegionRequirement::read_write(region, tree.f),
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|pt, v| ((v + salt + pt.x as f64) as i64 % 251) as f64);
+                }),
+            )
+        } else {
+            (
+                RegionRequirement::reduce(region, tree.f, viz_region::RedOpRegistry::SUM),
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    let dom = rs[0].domain().clone();
+                    for pt in dom.points() {
+                        rs[0].reduce(pt, ((salt as i64 + pt.x) % 7) as f64);
+                    }
+                }),
+            )
+        };
+        rt.launch(format!("t{i}"), i % nodes, vec![req], 10, Some(body));
+    }
+    let probe = rt.inline_read(tree.root, tree.f);
+    let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+    assert!(
+        violations.is_empty(),
+        "{engine:?} nodes={nodes} dcr={dcr}: {violations:?}"
+    );
+    rt.execute_values()
+        .inline(probe)
+        .iter()
+        .map(|(_, v)| v)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn nested_trees_agree_across_engines(
+        launches in prop::collection::vec(abs_launch(), 1..14)
+    ) {
+        let reference = run_config(EngineKind::PaintNaive, 1, false, &launches);
+        for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+            for (nodes, dcr) in [(1, false), (4, true)] {
+                let got = run_config(engine, nodes, dcr, &launches);
+                prop_assert_eq!(&got, &reference,
+                    "{:?} nodes={} dcr={}", engine, nodes, dcr);
+            }
+        }
+    }
+}
+
+/// Writing a grandchild then reading an uncle: the value must route through
+/// the deep write — at every depth combination.
+#[test]
+fn deep_write_shallow_read_routes_correctly() {
+    let seq = vec![
+        AbsLaunch { target: Target::SparseEvens, write: true, salt: 3 },
+        AbsLaunch { target: Target::Root, write: false, salt: 5 },
+        AbsLaunch { target: Target::Q(1), write: true, salt: 9 },
+        AbsLaunch { target: Target::P(0), write: false, salt: 2 },
+        AbsLaunch { target: Target::Root, write: true, salt: 7 },
+        AbsLaunch { target: Target::Q(0), write: false, salt: 1 },
+    ];
+    let reference = run_config(EngineKind::PaintNaive, 1, false, &seq);
+    for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+        assert_eq!(run_config(engine, 2, true, &seq), reference, "{engine:?}");
+    }
+}

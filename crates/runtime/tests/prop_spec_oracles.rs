@@ -1,0 +1,140 @@
+//! Property test: the three spec algorithms (Figs 7, 9, 11 verbatim) all
+//! compute the same values as direct sequential interpretation, on random
+//! programs with random subregions, privileges and reduction operators.
+//!
+//! Values are kept exactly representable (small integers, min/max) so the
+//! comparison is bit-exact regardless of fold association.
+
+use proptest::prelude::*;
+use viz_geometry::IndexSpace;
+use viz_region::{Privilege, RedOpRegistry};
+use viz_runtime::spec::painter::SpecPainter;
+use viz_runtime::spec::program::{run_program, SpecProgram, SpecTask};
+use viz_runtime::spec::raycast::SpecRayCast;
+use viz_runtime::spec::seqref::run_sequential;
+use viz_runtime::spec::warnock::SpecWarnock;
+use viz_runtime::spec::VRegion;
+
+const N: i64 = 40;
+
+/// An abstract operation we can render as a task body.
+#[derive(Clone, Debug)]
+enum OpKind {
+    Write,
+    ReduceSum,
+    ReduceMin,
+    Read,
+}
+
+#[derive(Clone, Debug)]
+struct AbsTask {
+    kind: OpKind,
+    lo: i64,
+    len: i64,
+    salt: u32,
+}
+
+fn abs_task() -> impl Strategy<Value = AbsTask> {
+    (
+        prop_oneof![
+            2 => Just(OpKind::Write),
+            2 => Just(OpKind::ReduceSum),
+            1 => Just(OpKind::ReduceMin),
+            1 => Just(OpKind::Read),
+        ],
+        0..N,
+        1..N / 2,
+        0u32..1000,
+    )
+        .prop_map(|(kind, lo, len, salt)| AbsTask {
+            kind,
+            lo,
+            len,
+            salt,
+        })
+}
+
+fn build_program(tasks: &[AbsTask]) -> SpecProgram {
+    let dom = IndexSpace::span(0, N - 1);
+    let mut prog = SpecProgram::new(dom.clone(), VRegion::tabulate(&dom, |p| (p.x % 17) as f64));
+    for (i, t) in tasks.iter().enumerate() {
+        let hi = (t.lo + t.len - 1).min(N - 1);
+        let d = IndexSpace::span(t.lo, hi);
+        let salt = t.salt as f64 + i as f64;
+        type B = Box<dyn Fn(&mut [VRegion]) + Send + Sync>;
+        let (privilege, body): (Privilege, B) =
+            match t.kind {
+                OpKind::Write => (
+                    Privilege::ReadWrite,
+                    Box::new(move |rs: &mut [VRegion]| {
+                        let pts: Vec<_> = rs[0].iter().collect();
+                        for (p, v) in pts {
+                            // Exact small-integer arithmetic.
+                            rs[0].set(p, ((v * 3.0 + salt + p.x as f64) as i64 % 257) as f64);
+                        }
+                    }),
+                ),
+                OpKind::ReduceSum => (
+                    Privilege::Reduce(RedOpRegistry::SUM),
+                    Box::new(move |rs: &mut [VRegion]| {
+                        let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                        for p in pts {
+                            let cur = rs[0].get(p).unwrap();
+                            rs[0].set(p, cur + ((salt as i64 + p.x) % 13) as f64);
+                        }
+                    }),
+                ),
+                OpKind::ReduceMin => (
+                    Privilege::Reduce(RedOpRegistry::MIN),
+                    Box::new(move |rs: &mut [VRegion]| {
+                        let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                        for p in pts {
+                            let cur = rs[0].get(p).unwrap();
+                            let c = ((salt as i64 * 7 + p.x) % 300) as f64;
+                            rs[0].set(p, cur.min(c));
+                        }
+                    }),
+                ),
+                OpKind::Read => (Privilege::Read, Box::new(|_: &mut [VRegion]| {})),
+            };
+        let mut st = SpecTask::new(format!("t{i}"), vec![(privilege, d)], |_| {});
+        st.body = std::sync::Arc::from(body);
+        prog.push(st);
+    }
+    prog
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_three_visibility_algorithms_match_sequential(
+        tasks in prop::collection::vec(abs_task(), 1..20)
+    ) {
+        let redops = RedOpRegistry::new();
+        let prog = build_program(&tasks);
+        let truth = run_sequential(&prog, &redops);
+        let painter = run_program(&mut SpecPainter::new(), &prog, &redops);
+        let warnock = run_program(&mut SpecWarnock::new(), &prog, &redops);
+        let raycast = run_program(&mut SpecRayCast::new(), &prog, &redops);
+        prop_assert_eq!(&painter, &truth, "painter diverged from sequential");
+        prop_assert_eq!(&warnock, &truth, "warnock diverged from sequential");
+        prop_assert_eq!(&raycast, &truth, "raycast diverged from sequential");
+    }
+
+    /// Ray casting must never retain more equivalence sets than Warnock:
+    /// dominating writes only prune.
+    #[test]
+    fn raycast_sets_bounded_by_warnock_sets(
+        tasks in prop::collection::vec(abs_task(), 1..20)
+    ) {
+        let redops = RedOpRegistry::new();
+        let prog = build_program(&tasks);
+        let mut w = SpecWarnock::new();
+        run_program(&mut w, &prog, &redops);
+        let mut r = SpecRayCast::new();
+        run_program(&mut r, &prog, &redops);
+        prop_assert!(r.num_sets() <= w.num_sets(),
+            "raycast {} > warnock {}", r.num_sets(), w.num_sets());
+    }
+}

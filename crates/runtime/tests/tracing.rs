@@ -1,0 +1,230 @@
+//! Dynamic tracing (\[15\]) tests: replayed iterations must be functionally
+//! identical to analyzed ones, engine work must actually disappear during
+//! replay, and trace violations must be caught.
+
+use std::sync::Arc;
+use viz_region::RedOpRegistry;
+use viz_runtime::validate::check_sufficiency;
+use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime};
+
+struct Loop {
+    rt: Runtime,
+    p: viz_region::PartitionId,
+    g: viz_region::PartitionId,
+    f: viz_region::FieldId,
+    root: viz_region::RegionId,
+}
+
+fn setup(engine: EngineKind) -> Loop {
+    let mut rt = Runtime::single_node(engine);
+    let root = rt.forest_mut().create_root_1d("A", 40);
+    let f = rt.forest_mut().add_field(root, "v");
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
+    let g = rt.forest_mut().create_partition(
+        root,
+        "G",
+        (0..4)
+            .map(|i| {
+                let lo = (i * 10 - 2).max(0);
+                let hi = (i * 10 + 11).min(39);
+                viz_geometry::IndexSpace::span(lo, hi)
+                    .subtract(&viz_geometry::IndexSpace::span(i * 10, i * 10 + 9))
+            })
+            .collect(),
+    );
+    rt.set_initial(root, f, |pt| pt.x as f64);
+    Loop { rt, p, g, f, root }
+}
+
+/// One loop iteration: piece writes then ghost reductions.
+fn iteration(l: &mut Loop) {
+    for i in 0..4 {
+        let piece = l.rt.forest().subregion(l.p, i);
+        l.rt.launch(
+            "w",
+            0,
+            vec![RegionRequirement::read_write(piece, l.f)],
+            1_000,
+            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                rs[0].update_all(|_, v| v + 1.0);
+            })),
+        );
+    }
+    for i in 0..4 {
+        let ghost = l.rt.forest().subregion(l.g, i);
+        l.rt.launch(
+            "r",
+            0,
+            vec![RegionRequirement::reduce(ghost, l.f, RedOpRegistry::SUM)],
+            1_000,
+            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                let dom = rs[0].domain().clone();
+                for pt in dom.points() {
+                    rs[0].reduce(pt, 2.0);
+                }
+            })),
+        );
+    }
+}
+
+fn run_loop(engine: EngineKind, iters: usize, traced: bool) -> (Vec<f64>, u64, usize) {
+    let mut l = setup(engine);
+    for _ in 0..iters {
+        if traced {
+            l.rt.begin_trace(1);
+        }
+        iteration(&mut l);
+        if traced {
+            l.rt.end_trace(1);
+        }
+    }
+    let probe = l.rt.inline_read(l.root, l.f);
+    let violations = check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag());
+    assert!(violations.is_empty(), "{engine:?} traced={traced}: {violations:?}");
+    let replayed = l.rt.replayed_launches();
+    let edges = l.rt.dag().edge_count();
+    let store = l.rt.execute_values();
+    let vals = store.inline(probe).iter().map(|(_, v)| v).collect();
+    (vals, replayed, edges)
+}
+
+#[test]
+fn traced_loop_matches_untraced_loop() {
+    for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+        let (plain, replayed0, edges0) = run_loop(engine, 6, false);
+        let (traced, replayed1, edges1) = run_loop(engine, 6, true);
+        assert_eq!(plain, traced, "{engine:?}: replay changed results");
+        assert_eq!(replayed0, 0);
+        // Instances 3..6 replayed: 4 instances × 8 launches.
+        assert_eq!(replayed1, 32, "{engine:?}");
+        assert_eq!(edges0, edges1, "{engine:?}: replay changed the DAG");
+    }
+}
+
+#[test]
+fn replay_skips_the_visibility_engine() {
+    let mut l = setup(EngineKind::RayCast);
+    // Warm-up + capture.
+    for _ in 0..2 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    let before = l.rt.machine().counters().clone();
+    l.rt.begin_trace(1);
+    assert!(l.rt.is_replaying(), "third instance must replay");
+    iteration(&mut l);
+    l.rt.end_trace(1);
+    let after = l.rt.machine().counters().clone();
+    assert_eq!(
+        after.geom_ops, before.geom_ops,
+        "no geometry during replay"
+    );
+    assert_eq!(
+        after.eqsets_touched, before.eqsets_touched,
+        "no equivalence-set work during replay"
+    );
+    assert_eq!(after.launches, before.launches, "no LaunchOverhead charges");
+    assert_eq!(l.rt.replayed_launches(), 8);
+}
+
+#[test]
+fn interleaved_launches_invalidate_the_template() {
+    let mut l = setup(EngineKind::RayCast);
+    for _ in 0..3 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    assert_eq!(l.rt.replayed_launches(), 8);
+    // An untraced launch between instances: the template must be dropped
+    // and re-captured, not replayed over changed state.
+    let root = l.rt.forest().roots()[0];
+    l.rt.launch(
+        "intruder",
+        0,
+        vec![RegionRequirement::read_write(root, l.f)],
+        0,
+        Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+            rs[0].update_all(|_, v| v * 2.0);
+        })),
+    );
+    let replayed_before = l.rt.replayed_launches();
+    for _ in 0..3 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    // Re-capture costs two instances; only the third replays.
+    assert_eq!(l.rt.replayed_launches(), replayed_before + 8);
+    let probe = l.rt.inline_read(l.root, l.f);
+    assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
+    let store = l.rt.execute_values();
+    // Cross-check against an untraced run of the same program.
+    let mut l2 = setup(EngineKind::RayCast);
+    for _ in 0..3 {
+        iteration(&mut l2);
+    }
+    let root2 = l2.rt.forest().roots()[0];
+    l2.rt.launch(
+        "intruder",
+        0,
+        vec![RegionRequirement::read_write(root2, l2.f)],
+        0,
+        Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+            rs[0].update_all(|_, v| v * 2.0);
+        })),
+    );
+    for _ in 0..3 {
+        iteration(&mut l2);
+    }
+    let probe2 = l2.rt.inline_read(l2.root, l2.f);
+    let store2 = l2.rt.execute_values();
+    let a: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
+    let b: Vec<f64> = store2.inline(probe2).iter().map(|(_, v)| v).collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+#[should_panic(expected = "violated")]
+fn trace_violation_is_detected() {
+    let mut l = setup(EngineKind::RayCast);
+    for _ in 0..2 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    // Third instance diverges: different privilege on the first launch.
+    l.rt.begin_trace(1);
+    let piece = l.rt.forest().subregion(l.p, 0);
+    l.rt.launch(
+        "w",
+        0,
+        vec![RegionRequirement::read(piece, l.f)],
+        1_000,
+        None,
+    );
+}
+
+#[test]
+fn replay_is_cheaper_in_simulated_time() {
+    let measure = |traced: bool| -> u64 {
+        let mut l = setup(EngineKind::RayCast);
+        for _ in 0..8 {
+            if traced {
+                l.rt.begin_trace(1);
+            }
+            iteration(&mut l);
+            if traced {
+                l.rt.end_trace(1);
+            }
+        }
+        l.rt.machine().now(0)
+    };
+    let plain = measure(false);
+    let traced = measure(true);
+    assert!(
+        traced < plain,
+        "tracing must reduce analysis time: {traced} vs {plain}"
+    );
+}

@@ -1,0 +1,97 @@
+//! A minimal Realm-like event layer (paper reference \[24\]).
+//!
+//! Realm structures all execution as operations with *event* preconditions;
+//! an operation's completion is itself an event. For timing simulation the
+//! only thing an event needs to carry is its trigger time, so an
+//! [`EventPool`] is simply an arena of simulated timestamps with `merge`
+//! (Realm's `Event::merge_events`) computing the max.
+
+use crate::machine::SimTime;
+
+/// A handle to a simulated event. `Event::NO_EVENT` has triggered at time 0.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Event(u32);
+
+impl Event {
+    /// The always-triggered event (Realm's `NO_EVENT`).
+    pub const NO_EVENT: Event = Event(u32::MAX);
+}
+
+/// Arena of event trigger times.
+#[derive(Clone, Debug, Default)]
+pub struct EventPool {
+    times: Vec<SimTime>,
+}
+
+impl EventPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an event that triggers at `t`.
+    pub fn create(&mut self, t: SimTime) -> Event {
+        let e = Event(self.times.len() as u32);
+        self.times.push(t);
+        e
+    }
+
+    /// When does this event trigger?
+    pub fn time(&self, e: Event) -> SimTime {
+        if e == Event::NO_EVENT {
+            0
+        } else {
+            self.times[e.0 as usize]
+        }
+    }
+
+    /// An event triggering when all inputs have (Realm `merge_events`).
+    pub fn merge(&mut self, events: &[Event]) -> Event {
+        let t = events.iter().map(|e| self.time(*e)).max().unwrap_or(0);
+        self.create(t)
+    }
+
+    /// Number of events created.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_event_is_time_zero() {
+        let pool = EventPool::new();
+        assert_eq!(pool.time(Event::NO_EVENT), 0);
+    }
+
+    #[test]
+    fn merge_takes_max() {
+        let mut pool = EventPool::new();
+        let a = pool.create(10);
+        let b = pool.create(25);
+        let c = pool.create(7);
+        let m = pool.merge(&[a, b, c]);
+        assert_eq!(pool.time(m), 25);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_zero() {
+        let mut pool = EventPool::new();
+        let m = pool.merge(&[]);
+        assert_eq!(pool.time(m), 0);
+    }
+
+    #[test]
+    fn merge_with_no_event() {
+        let mut pool = EventPool::new();
+        let a = pool.create(5);
+        let m = pool.merge(&[a, Event::NO_EVENT]);
+        assert_eq!(pool.time(m), 5);
+    }
+}

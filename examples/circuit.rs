@@ -1,0 +1,44 @@
+//! The circuit benchmark (§8) — irregular graph, sparse aliased ghost
+//! regions, `reduce+` charge updates. Verifies value mode bit-exactly and
+//! prints the analysis footprint per engine.
+//!
+//! Run: `cargo run --release --example circuit`
+
+use visibility::apps::{Circuit, CircuitConfig, Workload};
+use visibility::prelude::*;
+use visibility::runtime::validate::check_sufficiency;
+
+fn main() {
+    println!("circuit: 6 pieces, 12 nodes/piece, 20 wires/piece, 4 iterations\n");
+    println!(
+        "{:<10} {:>6} {:>7} {:>9} {:>11} {:>14}",
+        "engine", "tasks", "edges", "eq-sets", "views", "verified"
+    );
+    for engine in EngineKind::all() {
+        let app = Circuit::new(CircuitConfig::small(6, 4));
+        let mut rt = Runtime::single_node(engine);
+        let run = app.execute(&mut rt);
+        let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(violations.is_empty(), "{engine:?}: {violations:?}");
+        let store = rt.execute_values();
+        let expect = app.reference();
+        for (probe, exp) in run.probes.iter().zip(&expect) {
+            let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
+            assert_eq!(&got, exp);
+        }
+        let st = rt.state_size();
+        println!(
+            "{:<10} {:>6} {:>7} {:>9} {:>11} {:>14}",
+            rt.engine_name(),
+            rt.num_tasks(),
+            rt.dag().edge_count(),
+            st.equivalence_sets,
+            st.composite_views,
+            "bit-exact"
+        );
+    }
+    println!(
+        "\nNote the equivalence-set counts: ray casting's dominating writes \
+         coalesce\nwhat Warnock's monotonic refinement keeps forever (§7)."
+    );
+}

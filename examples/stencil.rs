@@ -1,0 +1,64 @@
+//! The 2-D stencil benchmark (§8), small scale, with verification and a
+//! simulated weak-scaling mini-sweep.
+//!
+//! Run: `cargo run --release --example stencil`
+
+use visibility::apps::{Stencil, StencilConfig};
+use visibility::prelude::*;
+use visibility::runtime::validate::check_sufficiency;
+
+fn main() {
+    // ---- Value mode: run a small grid under every engine and verify the
+    // results against the serial reference, bit for bit.
+    println!("value mode: 4 tiles of 8x8, 3 iterations");
+    for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+        let app = Stencil::new(StencilConfig::small(4, 8, 3));
+        let mut rt = Runtime::single_node(engine);
+        let run = app.execute(&mut rt);
+        let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(violations.is_empty());
+        let store = rt.execute_values();
+        let expect = app.reference();
+        for (probe, exp) in run.probes.iter().zip(&expect) {
+            let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
+            assert_eq!(&got, exp);
+        }
+        println!(
+            "  {:<8} tasks {:>3}  edges {:>4}  verified bit-exact",
+            rt.engine_name(),
+            rt.num_tasks(),
+            rt.dag().edge_count()
+        );
+    }
+
+    // ---- Timed mode: a mini weak-scaling sweep on the simulated machine
+    // (the full Figs 12/15 sweep is `cargo run --release -p viz-bench --bin
+    // figures -- --fig 15`).
+    println!("\ntimed mode: weak scaling, one 6400^2 tile per node");
+    println!(
+        "{:<7} {:>10} {:>16} {:>14}",
+        "nodes", "init (s)", "per-iter (ms)", "Gpoints/s/node"
+    );
+    for nodes in [1usize, 4, 16, 64] {
+        let app = Stencil::new(StencilConfig::paper(nodes));
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(EngineKind::RayCast)
+                .nodes(nodes)
+                .validate(false),
+        );
+        let run = app.execute(&mut rt);
+        let report = rt.timed_schedule();
+        let init = report.completion_through(run.iter_end[0]);
+        let total = report.completion_through(*run.iter_end.last().unwrap());
+        let iters = run.iter_end.len() - 1;
+        let per_iter = (total - init) as f64 / iters as f64;
+        let tput = run.elements_per_iter as f64 / (per_iter * 1e-9) / nodes as f64;
+        println!(
+            "{:<7} {:>10.4} {:>16.3} {:>14.2}",
+            nodes,
+            init as f64 * 1e-9,
+            per_iter * 1e-6,
+            tput / 1e9
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Cross-crate integration: all three benchmark applications, all engines,
+//! several machine shapes — verified bit-exactly against their serial
+//! references, with DAG soundness checked by brute force.
+
+use visibility::apps::{
+    Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload,
+};
+use visibility::prelude::*;
+use visibility::runtime::validate::check_sufficiency;
+
+fn verify(workload: &dyn Workload, engine: EngineKind, nodes: usize, dcr: bool) {
+    let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+    let run = workload.execute(&mut rt);
+    let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+    assert!(
+        violations.is_empty(),
+        "{} {engine:?} nodes={nodes} dcr={dcr}: {violations:?}",
+        workload.name()
+    );
+    let store = rt.execute_values();
+    let expect = workload.reference();
+    assert_eq!(run.probes.len(), expect.len());
+    for (k, (probe, exp)) in run.probes.iter().zip(&expect).enumerate() {
+        let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
+        assert_eq!(
+            &got, exp,
+            "{} {engine:?} nodes={nodes} dcr={dcr} probe {k}",
+            workload.name()
+        );
+    }
+}
+
+#[test]
+fn stencil_all_engines_all_shapes() {
+    for engine in EngineKind::all() {
+        for (nodes, dcr) in [(1, false), (2, false), (4, true)] {
+            let app = Stencil::new(StencilConfig {
+                nodes,
+                ..StencilConfig::small(4, 6, 2)
+            });
+            verify(&app, engine, nodes, dcr);
+        }
+    }
+}
+
+#[test]
+fn circuit_all_engines_all_shapes() {
+    for engine in EngineKind::all() {
+        for (nodes, dcr) in [(1, false), (2, false), (4, true)] {
+            let app = Circuit::new(CircuitConfig {
+                nodes,
+                ..CircuitConfig::small(4, 2)
+            });
+            verify(&app, engine, nodes, dcr);
+        }
+    }
+}
+
+#[test]
+fn pennant_all_engines_all_shapes() {
+    for engine in EngineKind::all() {
+        for (nodes, dcr) in [(1, false), (2, false), (3, true)] {
+            let app = Pennant::new(PennantConfig {
+                nodes,
+                ..PennantConfig::small(3, 2)
+            });
+            verify(&app, engine, nodes, dcr);
+        }
+    }
+}
+
+/// A longer stencil run: the steady-state loop must keep analysis state
+/// bounded for the equivalence-set engines (ray casting coalesces; Warnock
+/// stabilizes once the partitions are discovered).
+#[test]
+fn long_run_state_stays_bounded() {
+    for engine in [EngineKind::Warnock, EngineKind::RayCast] {
+        let app = Stencil::new(StencilConfig::small(4, 6, 8));
+        let mut rt = Runtime::single_node(engine);
+        app.execute(&mut rt);
+        let sets = rt.state_size().equivalence_sets;
+        assert!(
+            sets < 200,
+            "{engine:?}: {sets} equivalence sets after 8 iterations"
+        );
+    }
+}
+
+/// Ray casting must retain no more equivalence sets than Warnock on the
+/// same program (§7: dominating writes only prune).
+#[test]
+fn raycast_coalesces_more_than_warnock_on_apps() {
+    for iterations in [2usize, 5] {
+        let mut counts = Vec::new();
+        for engine in [EngineKind::Warnock, EngineKind::RayCast] {
+            let app = Circuit::new(CircuitConfig::small(6, iterations));
+            let mut rt = Runtime::single_node(engine);
+            app.execute(&mut rt);
+            counts.push(rt.state_size().equivalence_sets);
+        }
+        assert!(
+            counts[1] <= counts[0],
+            "raycast {} > warnock {} after {iterations} iterations",
+            counts[1],
+            counts[0]
+        );
+    }
+}
+
+/// Timed mode must agree across engines on *what* runs where — only the
+/// analysis timing differs. The task count, DAG edge count and critical
+/// path are engine-independent for these apps (engines find the same
+/// precise dependences).
+#[test]
+fn engines_agree_on_dag_shape() {
+    let mut shapes = Vec::new();
+    for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {
+        let app = Pennant::new(PennantConfig::small(3, 3));
+        let mut rt = Runtime::single_node(engine);
+        app.execute(&mut rt);
+        shapes.push((
+            rt.num_tasks(),
+            rt.dag().edge_count(),
+            rt.dag().critical_path_len(),
+        ));
+    }
+    assert_eq!(shapes[0], shapes[1]);
+    assert_eq!(shapes[1], shapes[2]);
+}
