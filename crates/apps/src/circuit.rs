@@ -97,12 +97,15 @@ impl Circuit {
         for piece in 0..cfg.pieces as i64 {
             for _ in 0..cfg.wires_per_piece {
                 let src = piece * npp + rng.random_range(0..npp);
-                let external =
-                    cfg.pieces > 1 && rng.random_range(0..100u32) < cfg.pct_external;
+                let external = cfg.pieces > 1 && rng.random_range(0..100u32) < cfg.pct_external;
                 let dst = if external {
                     // A neighbor piece (clamped at the chain ends, keeping
                     // each piece's ghost set spatially local).
-                    let dir: i64 = if rng.random_range(0..2u32) == 0 { 1 } else { -1 };
+                    let dir: i64 = if rng.random_range(0..2u32) == 0 {
+                        1
+                    } else {
+                        -1
+                    };
                     let nb = (piece + dir).clamp(0, cfg.pieces as i64 - 1);
                     if nb == piece {
                         piece * npp + rng.random_range(0..npp)

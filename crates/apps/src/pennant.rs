@@ -157,12 +157,7 @@ impl Pennant {
     /// Needed point columns for a piece (both boundaries — aliased).
     fn needed_points(&self, i: usize) -> Rect {
         let zxpp = self.cfg.zones_x_per_piece;
-        Rect::xy(
-            i as i64 * zxpp,
-            (i as i64 + 1) * zxpp,
-            0,
-            self.cfg.zones_y,
-        )
+        Rect::xy(i as i64 * zxpp, (i as i64 + 1) * zxpp, 0, self.cfg.zones_y)
     }
 }
 
@@ -198,7 +193,9 @@ impl Workload for Pennant {
         // Per-piece dt partials: `reduce min` lands in disjoint elements, a
         // single gather task folds them (the scalable reduction pattern
         // real Pennant uses for dtH).
-        let partials_root = rt.forest_mut().create_root_1d("partials", cfg.pieces as i64);
+        let partials_root = rt
+            .forest_mut()
+            .create_root_1d("partials", cfg.pieces as i64);
         let f_pm = rt.forest_mut().add_field(partials_root, "pmin");
         rt.set_initial(partials_root, f_pm, |_| f64::INFINITY);
         let partials = rt
@@ -371,9 +368,8 @@ impl Workload for Pennant {
                         let contributions: Vec<(Point, f64, f64)> = rs[0]
                             .iter()
                             .flat_map(|(zpt, zp)| {
-                                corner_forces(zp).map(|(dx, dy, fx, fy)| {
-                                    (zpt.offset(dx, dy), fx, fy)
-                                })
+                                corner_forces(zp)
+                                    .map(|(dx, dy, fx, fy)| (zpt.offset(dx, dy), fx, fy))
                             })
                             .collect();
                         for (pt, fx, fy) in contributions {

@@ -129,7 +129,9 @@ impl Stencil {
     /// The star-stencil value at `p` given an `in` accessor.
     #[inline]
     fn star(get: &impl Fn(Point) -> f64, p: Point) -> f64 {
-        W1 * (get(p.offset(-1, 0)) + get(p.offset(1, 0)) + get(p.offset(0, -1))
+        W1 * (get(p.offset(-1, 0))
+            + get(p.offset(1, 0))
+            + get(p.offset(0, -1))
             + get(p.offset(0, 1)))
             + W2 * (get(p.offset(-2, 0))
                 + get(p.offset(2, 0))

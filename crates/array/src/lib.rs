@@ -297,7 +297,9 @@ impl DistArray {
         identity: f64,
         fold: impl Fn(f64, f64) -> f64 + Send + Sync + Clone + 'static,
     ) -> Scalar {
-        let partials_root = rt.forest_mut().create_root_1d("partials", self.pieces as i64);
+        let partials_root = rt
+            .forest_mut()
+            .create_root_1d("partials", self.pieces as i64);
         let pf = rt.forest_mut().add_field(partials_root, "p");
         rt.set_initial(partials_root, pf, move |_| identity);
         let ppart = rt
@@ -475,11 +477,21 @@ mod tests {
         let store = finish(&rt);
         let got = probe.get(&store);
         for i in 0..20i64 {
-            let expect = if (7..=12).contains(&i) { -1.0 } else { i as f64 };
+            let expect = if (7..=12).contains(&i) {
+                -1.0
+            } else {
+                i as f64
+            };
             assert_eq!(got[i as usize], expect);
         }
         let expect_sum: f64 = (0..20)
-            .map(|i| if (7..=12).contains(&i) { -1.0 } else { i as f64 })
+            .map(|i| {
+                if (7..=12).contains(&i) {
+                    -1.0
+                } else {
+                    i as f64
+                }
+            })
             .sum();
         assert_eq!(s.get(&store), expect_sum);
     }

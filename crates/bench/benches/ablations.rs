@@ -15,7 +15,9 @@ use criterion::{BenchmarkId, Criterion};
 use viz_apps::{Circuit, CircuitConfig, Stencil, StencilConfig, Workload};
 use viz_bench::{measure, AppKind, RunConfig};
 use viz_geometry::{IndexSpace, Point, Rect};
-use viz_runtime::analysis::{paint::Painter, paint_naive::PaintNaive, raycast::RayCast, warnock::Warnock};
+use viz_runtime::analysis::{
+    paint::Painter, paint_naive::PaintNaive, raycast::RayCast, warnock::Warnock,
+};
 use viz_runtime::{CoherenceEngine, EngineKind, Runtime, RuntimeConfig};
 
 fn run_with_engine(engine: Box<dyn CoherenceEngine>, workload: &dyn Workload, nodes: usize) {

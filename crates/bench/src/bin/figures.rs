@@ -12,6 +12,9 @@
 //! * `--quick` — scaled-down workloads (fast smoke run).
 //! * `--reps N` — repetition count in the artifact TSV (simulation is
 //!   deterministic; reps are replicated rows, default 1).
+//! * `--profile PATH` — record a structured trace of the sweep and write a
+//!   Chrome trace-event JSON to `PATH`, a folded-stack flamegraph to
+//!   `PATH.folded`, and per-engine metrics to `PATH.metrics.tsv`.
 
 use std::io::Write;
 use viz_bench::{
@@ -28,6 +31,7 @@ struct Args {
     quick: bool,
     tracing: bool,
     plot: bool,
+    profile: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +44,7 @@ fn parse_args() -> Args {
         quick: false,
         tracing: false,
         plot: false,
+        profile: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -59,6 +64,7 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--tracing" => args.tracing = true,
             "--plot" => args.plot = true,
+            "--profile" => args.profile = Some(it.next().expect("--profile PATH")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -90,6 +96,9 @@ fn emit(out_dir: &Option<String>, name: &str, content: &str) {
 
 fn main() {
     let args = parse_args();
+    if args.profile.is_some() {
+        viz_profile::enable();
+    }
     let nodes = paper_node_counts(args.max_nodes);
     // Measure each needed app once; init and weak figures share the sweep.
     let mut apps: Vec<AppKind> = args.figs.iter().map(|f| app_of_fig(*f)).collect();
@@ -99,7 +108,11 @@ fn main() {
             "== {} : sweeping nodes {:?} x 5 configs ({}) ==",
             app.label(),
             nodes,
-            if args.quick { "quick scale" } else { "paper scale" }
+            if args.quick {
+                "quick scale"
+            } else {
+                "paper scale"
+            }
         );
         let t0 = std::time::Instant::now();
         let rows = sweep(app, &nodes, !args.quick);
@@ -164,5 +177,25 @@ fn main() {
                 &tracing_sweep(app, &nodes),
             );
         }
+    }
+    if let Some(path) = &args.profile {
+        let profile = viz_profile::take();
+        std::fs::write(path, viz_profile::export::chrome_trace(&profile))
+            .expect("write chrome trace");
+        std::fs::write(
+            format!("{path}.folded"),
+            viz_profile::export::folded_stacks(&profile),
+        )
+        .expect("write folded stacks");
+        std::fs::write(
+            format!("{path}.metrics.tsv"),
+            viz_profile::export::metrics_tsv(&profile),
+        )
+        .expect("write metrics tsv");
+        eprintln!(
+            "profile: {} events ({} dropped) -> {path}, {path}.folded, {path}.metrics.tsv",
+            profile.events.len(),
+            profile.dropped
+        );
     }
 }

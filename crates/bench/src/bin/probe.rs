@@ -2,8 +2,11 @@
 //! sizes for one app × configuration × node count.
 //!
 //! ```text
-//! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> [--quick]
+//! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> [--quick] [--profile]
 //! ```
+//!
+//! `--profile` records a structured trace of the run and appends the
+//! per-engine metrics table (TSV) to the output.
 
 use viz_bench::AppKind;
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
@@ -26,6 +29,10 @@ fn main() {
     let dcr = args[2] == "dcr";
     let nodes: usize = args[3].parse().unwrap();
     let quick = args.iter().any(|a| a == "--quick");
+    let profile = args.iter().any(|a| a == "--profile");
+    if profile {
+        viz_profile::enable();
+    }
 
     let workload = if quick {
         app.bench_scale(nodes)
@@ -61,13 +68,7 @@ fn main() {
         );
         prev = t;
     }
-    let mut clocks: Vec<(usize, u64)> = rt
-        .machine()
-        .clocks()
-        .iter()
-        .copied()
-        .enumerate()
-        .collect();
+    let mut clocks: Vec<(usize, u64)> = rt.machine().clocks().iter().copied().enumerate().collect();
     clocks.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
     println!(
         "top clocks: {:?}",
@@ -92,6 +93,25 @@ fn main() {
             .map(|(n, c)| (*n, *c as f64 * 1e-9))
             .collect::<Vec<_>>()
     );
-    println!("state: {:?}", rt.state_size());
+    let state = rt.state_size();
+    println!(
+        "state[{}]: history_entries={} equivalence_sets={} composite_views={} \
+         index_nodes={} memo_entries={}",
+        engine.label(),
+        state.history_entries,
+        state.equivalence_sets,
+        state.composite_views,
+        state.index_nodes,
+        state.memo_entries
+    );
     println!("counters: {:#?}", rt.machine().counters());
+    if profile {
+        let prof = viz_profile::take();
+        println!(
+            "profile: {} events, {} dropped",
+            prof.events.len(),
+            prof.dropped
+        );
+        print!("{}", viz_profile::export::metrics_tsv(&prof));
+    }
 }

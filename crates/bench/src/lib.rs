@@ -193,7 +193,12 @@ pub struct Measurement {
 }
 
 /// Run one workload under one configuration and measure both phases.
-pub fn measure(app: AppKind, workload: &dyn Workload, config: RunConfig, nodes: usize) -> Measurement {
+pub fn measure(
+    app: AppKind,
+    workload: &dyn Workload,
+    config: RunConfig,
+    nodes: usize,
+) -> Measurement {
     let mut rt = Runtime::new(
         RuntimeConfig::new(config.engine)
             .nodes(nodes)
@@ -316,10 +321,7 @@ fn series_tsv(rows: &[Measurement], value_name: &str, f: impl Fn(&Measurement) -
     for n in nodes {
         s.push_str(&n.to_string());
         for c in configs {
-            let v = rows
-                .iter()
-                .find(|m| m.nodes == n && m.config == c)
-                .map(&f);
+            let v = rows.iter().find(|m| m.nodes == n && m.config == c).map(&f);
             match v {
                 Some(v) => s.push_str(&format!("\t{v:.4}")),
                 None => s.push_str("\t-"),

@@ -82,7 +82,10 @@ pub fn render(
     };
 
     let mut out = String::new();
-    out.push_str(&format!("{title}   [{unit}{}]\n", if log_y { ", log y" } else { "" }));
+    out.push_str(&format!(
+        "{title}   [{unit}{}]\n",
+        if log_y { ", log y" } else { "" }
+    ));
     for (ri, row) in canvas.iter().enumerate() {
         let tick = if ri == 0 {
             fmt_tick(hi)
@@ -97,10 +100,7 @@ pub fn render(
     out.push_str(&format!(
         "{}  {}\n",
         " ".repeat(8),
-        nodes
-            .iter()
-            .map(|n| format!("{n:<4}"))
-            .collect::<String>()
+        nodes.iter().map(|n| format!("{n:<4}")).collect::<String>()
     ));
     out.push_str("legend: ");
     for (c, g) in configs.iter().zip(GLYPHS) {
@@ -133,10 +133,7 @@ mod tests {
         assert!(chart.contains("test chart"));
         assert!(chart.contains("legend:"));
         for g in GLYPHS {
-            assert!(
-                chart.contains(g),
-                "glyph {g} missing from chart:\n{chart}"
-            );
+            assert!(chart.contains(g), "glyph {g} missing from chart:\n{chart}");
         }
         // Axis ticks and node labels present.
         assert!(chart.contains('|') && chart.contains('+'));

@@ -97,9 +97,7 @@ impl Bvh {
             match &self.nodes[n as usize] {
                 Node::Leaf { bbox, start, len } => {
                     if bbox.overlaps(query) {
-                        for (id, r) in
-                            &self.items[*start as usize..(*start + *len) as usize]
-                        {
+                        for (id, r) in &self.items[*start as usize..(*start + *len) as usize] {
                             if r.overlaps(query) {
                                 out.push(*id);
                             }
@@ -145,7 +143,12 @@ mod tests {
             for tx in 0..n {
                 out.push((
                     id,
-                    Rect::xy(tx * tile, (tx + 1) * tile - 1, ty * tile, (ty + 1) * tile - 1),
+                    Rect::xy(
+                        tx * tile,
+                        (tx + 1) * tile - 1,
+                        ty * tile,
+                        (ty + 1) * tile - 1,
+                    ),
                 ));
                 id += 1;
             }
@@ -190,7 +193,9 @@ mod tests {
         // Deterministic pseudo-random rects; BVH must agree with brute force.
         let mut state = 0x12345678u64;
         let mut rnd = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as i64
         };
         let items: Vec<(u32, Rect)> = (0..200)

@@ -224,7 +224,10 @@ impl KdTree {
 
     /// Iterate all live `(id, rect)` items.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Rect)> + '_ {
-        self.nodes.iter().filter(|n| !n.dead).map(|n| (n.id, n.rect))
+        self.nodes
+            .iter()
+            .filter(|n| !n.dead)
+            .map(|n| (n.id, n.rect))
     }
 }
 

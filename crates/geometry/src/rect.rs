@@ -71,8 +71,7 @@ impl Rect {
     /// contained in everything.)
     #[inline]
     pub fn contains_rect(&self, other: &Rect) -> bool {
-        other.is_empty()
-            || (self.contains_point(other.lo) && self.contains_point(other.hi))
+        other.is_empty() || (self.contains_point(other.lo) && self.contains_point(other.hi))
     }
 
     /// Do the two rectangles share at least one point?
@@ -293,9 +292,6 @@ mod tests {
         let a = Rect::span(0, 3);
         assert_eq!(Rect::EMPTY.union_bbox(&a), a);
         assert_eq!(a.union_bbox(&Rect::EMPTY), a);
-        assert_eq!(
-            a.union_bbox(&Rect::span(10, 12)),
-            Rect::span(0, 12)
-        );
+        assert_eq!(a.union_bbox(&Rect::span(10, 12)), Rect::span(0, 12));
     }
 }

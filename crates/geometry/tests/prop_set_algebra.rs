@@ -11,9 +11,8 @@ use viz_geometry::{IndexSpace, Point, Rect};
 /// 64x64 universe (small enough that brute-force point checks are cheap).
 fn space() -> impl Strategy<Value = IndexSpace> {
     prop::collection::vec(
-        (0i64..64, 0i64..16, 0i64..64, 0i64..16).prop_map(|(x, w, y, h)| {
-            Rect::xy(x, x + w, y, y + h)
-        }),
+        (0i64..64, 0i64..16, 0i64..64, 0i64..16)
+            .prop_map(|(x, w, y, h)| Rect::xy(x, x + w, y, y + h)),
         0..4,
     )
     .prop_map(IndexSpace::from_rects)

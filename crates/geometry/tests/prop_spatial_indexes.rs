@@ -6,8 +6,7 @@ use proptest::prelude::*;
 use viz_geometry::{Bvh, KdTree, Rect};
 
 fn rect() -> impl Strategy<Value = Rect> {
-    (0i64..500, 0i64..60, 0i64..500, 0i64..60)
-        .prop_map(|(x, w, y, h)| Rect::xy(x, x + w, y, y + h))
+    (0i64..500, 0i64..60, 0i64..500, 0i64..60).prop_map(|(x, w, y, h)| Rect::xy(x, x + w, y, y + h))
 }
 
 proptest! {

@@ -89,10 +89,7 @@ pub fn preimage(
     relation: impl Fn(Point) -> Vec<Point>,
 ) -> PartitionId {
     let children: Vec<RegionId> = forest.children(target_partition).to_vec();
-    let targets: Vec<IndexSpace> = children
-        .iter()
-        .map(|c| forest.domain(*c).clone())
-        .collect();
+    let targets: Vec<IndexSpace> = children.iter().map(|c| forest.domain(*c).clone()).collect();
     let mut buckets: Vec<Vec<Point>> = vec![Vec::new(); targets.len()];
     for p in forest.domain(source_region).clone().points() {
         let qs = relation(p);
@@ -266,13 +263,9 @@ mod tests {
         let byp = preimage(&mut f, wires, p, "wires_by_piece", rel);
         assert!(!f.is_disjoint(byp));
         let w0 = f.domain(f.subregion(byp, 0));
-        assert!(w0.same_points(&IndexSpace::from_points(
-            [0, 1, 5].map(Point::p1)
-        )));
+        assert!(w0.same_points(&IndexSpace::from_points([0, 1, 5].map(Point::p1))));
         let w1 = f.domain(f.subregion(byp, 1));
-        assert!(w1.same_points(&IndexSpace::from_points(
-            [1, 2, 3].map(Point::p1)
-        )));
+        assert!(w1.same_points(&IndexSpace::from_points([1, 2, 3].map(Point::p1))));
     }
 
     #[test]
@@ -290,12 +283,16 @@ mod tests {
             vec![IndexSpace::span(5, 14), IndexSpace::span(15, 19)],
         );
         let i = intersection(&mut f, a, b, "i");
-        assert!(f.domain(f.subregion(i, 0)).same_points(&IndexSpace::span(5, 9)));
+        assert!(f
+            .domain(f.subregion(i, 0))
+            .same_points(&IndexSpace::span(5, 9)));
         assert!(f
             .domain(f.subregion(i, 1))
             .same_points(&IndexSpace::span(15, 19)));
         let u = union_pairwise(&mut f, a, b, "u");
-        assert!(f.domain(f.subregion(u, 0)).same_points(&IndexSpace::span(0, 14)));
+        assert!(f
+            .domain(f.subregion(u, 0))
+            .same_points(&IndexSpace::span(0, 14)));
         assert!(f.is_disjoint(i));
         assert!(!f.is_complete(i));
     }

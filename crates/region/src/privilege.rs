@@ -143,9 +143,7 @@ impl PrivilegeSummary {
             Privilege::Read => self.redop.is_some() || self.mixed_reductions,
             Privilege::ReadWrite => !self.is_empty(),
             Privilege::Reduce(f) => {
-                self.has_read
-                    || self.mixed_reductions
-                    || self.redop.is_some_and(|g| g != f)
+                self.has_read || self.mixed_reductions || self.redop.is_some_and(|g| g != f)
             }
         }
     }

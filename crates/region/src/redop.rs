@@ -188,9 +188,11 @@ mod tests {
         let eager = contribs
             .iter()
             .fold(base, |v, c| reg.fold(RedOpRegistry::SUM, v, *c));
-        let acc = contribs.iter().fold(reg.identity(RedOpRegistry::SUM), |v, c| {
-            reg.fold(RedOpRegistry::SUM, v, *c)
-        });
+        let acc = contribs
+            .iter()
+            .fold(reg.identity(RedOpRegistry::SUM), |v, c| {
+                reg.fold(RedOpRegistry::SUM, v, *c)
+            });
         let lazy = reg.fold(RedOpRegistry::SUM, base, acc);
         assert_eq!(eager, lazy);
     }

@@ -237,10 +237,7 @@ mod tests {
     #[test]
     fn write_occludes_older_reductions() {
         let sum = Privilege::Reduce(RedOpRegistry::SUM);
-        let hist = vec![
-            entry(0, sum, 0, 9),
-            entry(1, Privilege::ReadWrite, 0, 9),
-        ];
+        let hist = vec![entry(0, sum, 0, 9), entry(1, Privilege::ReadWrite, 0, 9)];
         let (deps, plan) = scan(&hist, (0, 9), Privilege::Read);
         assert_eq!(deps, vec![TaskId(1)]);
         assert!(plan.reductions.is_empty(), "t0's reductions are occluded");

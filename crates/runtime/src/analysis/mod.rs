@@ -50,7 +50,10 @@ impl ChargeSet {
             .iter()
             .map(|o| (*o, 96 + 24 * self.per_owner[o].len() as u64, 96))
             .collect();
-        let work: Vec<&[Op]> = owners.iter().map(|o| self.per_owner[o].as_slice()).collect();
+        let work: Vec<&[Op]> = owners
+            .iter()
+            .map(|o| self.per_owner[o].as_slice())
+            .collect();
         machine.multi_request(origin, &targets, &work);
     }
 }

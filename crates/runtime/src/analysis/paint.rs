@@ -34,9 +34,7 @@ use crate::plan::AnalysisResult;
 use crate::task::TaskLaunch;
 use std::sync::Arc;
 use viz_geometry::{FxHashMap, FxHashSet, IndexSpace, Rect};
-use viz_region::{
-    privilege::PrivilegeSummary, FieldId, PartitionId, RegionForest, RegionId,
-};
+use viz_region::{privilege::PrivilegeSummary, FieldId, PartitionId, RegionForest, RegionId};
 use viz_sim::{NodeId, Op};
 
 #[derive(Clone)]
@@ -283,9 +281,7 @@ impl Painter {
                         PathEntry::Task(h) => wd.contains(&h.domain),
                         // Conservative: prune a view only when the write
                         // covers its whole bounding box.
-                        PathEntry::View(v) => {
-                            wd.contains(&IndexSpace::from_rect(v.bbox))
-                        }
+                        PathEntry::View(v) => wd.contains(&IndexSpace::from_rect(v.bbox)),
                     };
                     if occluded {
                         match old {
@@ -416,8 +412,7 @@ impl CoherenceEngine for Painter {
                     }
                     // Close: capture the interfering subtrees bottom-up into
                     // one view, one gather message per remote captured node.
-                    if let Some(view) = self.close_children(ctx.forest, q, field, &to_close, keep)
-                    {
+                    if let Some(view) = self.close_children(ctx.forest, q, field, &to_close, keep) {
                         for o in &agg.owners {
                             if *o != owner_a {
                                 ctx.machine
@@ -430,6 +425,9 @@ impl CoherenceEngine for Painter {
                                 entries: view.entries,
                             },
                         );
+                        viz_profile::instant(viz_profile::EventKind::CompositeView {
+                            entries: view.entries as u64,
+                        });
                         self.fetched.insert((view.id, owner_a));
                         let geom = self.append(*a, field, PathEntry::View(view));
                         ctx.machine.op(owner_a, Op::GeomOp { rects: geom });
@@ -498,6 +496,9 @@ impl CoherenceEngine for Painter {
                     rects: scan.geom_ops,
                 },
             );
+            viz_profile::instant(viz_profile::EventKind::HistoryScan {
+                entries: scan.entries_scanned as u64,
+            });
             let (deps, plan) = scan.finish();
             for _ in &deps {
                 ctx.machine.op(origin, Op::DepRecord);
@@ -536,6 +537,9 @@ impl CoherenceEngine for Painter {
             history_entries: self.entries_alive,
             equivalence_sets: 0,
             composite_views: self.views_alive,
+            index_nodes: 0,
+            // Replicated-view bookkeeping is the painter's only cache.
+            memo_entries: self.fetched.len(),
         }
     }
 }

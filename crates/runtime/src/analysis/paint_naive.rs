@@ -94,9 +94,15 @@ impl CoherenceEngine for PaintNaive {
             };
             let mut charges = ChargeSet::new();
             charges.add(0, Op::HistScan { entries: tested });
-            charges.add(0, Op::GeomOp {
-                rects: scan.geom_ops,
+            viz_profile::instant(viz_profile::EventKind::HistoryScan {
+                entries: tested as u64,
             });
+            charges.add(
+                0,
+                Op::GeomOp {
+                    rects: scan.geom_ops,
+                },
+            );
             let (deps, plan) = scan.finish();
             for _ in &deps {
                 charges.add(0, Op::DepRecord);
@@ -138,8 +144,7 @@ impl CoherenceEngine for PaintNaive {
     fn state_size(&self) -> StateSize {
         StateSize {
             history_entries: self.hists.values().map(Vec::len).sum(),
-            equivalence_sets: 0,
-            composite_views: 0,
+            ..StateSize::default()
         }
     }
 }
@@ -184,7 +189,13 @@ mod tests {
         };
         for i in 0..4 {
             let r = eng.analyze(
-                &launch(i, vec![RegionRequirement::read_write(f2.subregion(p, i as usize), fld)]),
+                &launch(
+                    i,
+                    vec![RegionRequirement::read_write(
+                        f2.subregion(p, i as usize),
+                        fld,
+                    )],
+                ),
                 &mut ctx,
             );
             assert!(r.deps.is_empty(), "disjoint pieces are parallel");

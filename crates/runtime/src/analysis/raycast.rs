@@ -221,10 +221,8 @@ impl RayCast {
         // Shift: rebuild the anchor buckets under the new partition and
         // re-bucket every live set.
         let children = forest.children(home).to_vec();
-        let anchor_bboxes: Vec<viz_geometry::Rect> = children
-            .iter()
-            .map(|c| forest.domain(*c).bbox())
-            .collect();
+        let anchor_bboxes: Vec<viz_geometry::Rect> =
+            children.iter().map(|c| forest.domain(*c).bbox()).collect();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); children.len()];
         let mut moved = 0usize;
         for (id, set) in state.sets.iter().enumerate() {
@@ -325,6 +323,9 @@ impl CoherenceEngine for RayCast {
                     // deduplicate so it is scanned (and folded) once.
                     candidates.sort_unstable();
                     candidates.dedup();
+                    viz_profile::instant(viz_profile::EventKind::BvhTraversal {
+                        nodes: candidates.len() as u64,
+                    });
                 }
                 SetIndex::Kd { tree } => {
                     let mut hits = Vec::new();
@@ -340,6 +341,9 @@ impl CoherenceEngine for RayCast {
                         },
                     );
                     candidates = hits.into_iter().map(|h| h as u32).collect();
+                    viz_profile::instant(viz_profile::EventKind::KdTraversal {
+                        nodes: candidates.len() as u64,
+                    });
                 }
             }
 
@@ -393,8 +397,19 @@ impl CoherenceEngine for RayCast {
             }
             if !killed.is_empty() {
                 Self::index_remove_dead(&mut state.index, &state.sets, &killed);
+                viz_profile::instant(viz_profile::EventKind::EqSetRefined {
+                    count: killed.len() as u64,
+                });
+                viz_profile::instant(viz_profile::EventKind::EqSetCreated {
+                    count: 2 * killed.len() as u64,
+                });
             }
-            ctx.machine.op(origin, Op::GeomOp { rects: tests.max(1) });
+            ctx.machine.op(
+                origin,
+                Op::GeomOp {
+                    rects: tests.max(1),
+                },
+            );
 
             // ---- Scan histories for dependences + plan.
             let mut deps = Vec::new();
@@ -406,9 +421,11 @@ impl CoherenceEngine for RayCast {
                 };
                 MaterializePlan::identity(op)
             };
+            let mut entries_scanned = 0usize;
             for n in &relevant {
                 let s = &state.sets[*n as usize];
                 scan_eq_history(&s.hist, &s.domain, req.privilege, &mut deps, &mut plan);
+                entries_scanned += s.hist.len();
                 charges.add(s.owner, Op::SetTouch);
                 charges.add(
                     s.owner,
@@ -417,6 +434,9 @@ impl CoherenceEngine for RayCast {
                     },
                 );
             }
+            viz_profile::instant(viz_profile::EventKind::HistoryScan {
+                entries: entries_scanned as u64,
+            });
             for _ in &deps {
                 ctx.machine.op(origin, Op::DepRecord);
             }
@@ -443,7 +463,11 @@ impl CoherenceEngine for RayCast {
                 // as in Fig 11).
                 let pieces: Vec<IndexSpace> = match &state.index {
                     SetIndex::Anchored { partition, .. } => {
-                        let anchors = state.anchor_memo.get(&req.region).cloned().unwrap_or_default();
+                        let anchors = state
+                            .anchor_memo
+                            .get(&req.region)
+                            .cloned()
+                            .unwrap_or_default();
                         let kids = ctx.forest.children(*partition);
                         anchors
                             .iter()
@@ -456,25 +480,41 @@ impl CoherenceEngine for RayCast {
                     }
                     SetIndex::Kd { .. } => vec![target.clone()],
                 };
+                // The occluded constituent sets coalesce into the fresh
+                // dominating-write sets.
+                viz_profile::instant(viz_profile::EventKind::EqSetCoalesced {
+                    count: relevant.len() as u64,
+                });
                 let mut new_ids = Vec::with_capacity(pieces.len());
                 for piece in pieces {
                     let id = state.new_set(piece, Vec::new(), launch.node);
                     ctx.machine.op(origin, Op::EqSetCreate);
                     new_ids.push(id);
                 }
+                viz_profile::instant(viz_profile::EventKind::EqSetCreated {
+                    count: new_ids.len() as u64,
+                });
                 Self::index_replace(&mut state.index, &state.sets, u32::MAX, &new_ids);
                 Self::index_remove_dead(&mut state.index, &state.sets, &relevant);
-                commits.push((key, new_ids, EqEntry {
-                    task: launch.id,
-                    req: ri as u32,
-                    privilege: req.privilege,
-                }));
+                commits.push((
+                    key,
+                    new_ids,
+                    EqEntry {
+                        task: launch.id,
+                        req: ri as u32,
+                        privilege: req.privilege,
+                    },
+                ));
             } else {
-                commits.push((key, relevant, EqEntry {
-                    task: launch.id,
-                    req: ri as u32,
-                    privilege: req.privilege,
-                }));
+                commits.push((
+                    key,
+                    relevant,
+                    EqEntry {
+                        task: launch.id,
+                        req: ri as u32,
+                        privilege: req.privilege,
+                    },
+                ));
             }
             charges.flush(ctx.machine, origin);
         }
@@ -508,8 +548,15 @@ impl CoherenceEngine for RayCast {
     fn state_size(&self) -> StateSize {
         let mut sets = 0;
         let mut entries = 0;
+        let mut index_nodes = 0;
+        let mut memo_entries = 0;
         for s in self.fields.values() {
             sets += s.live;
+            index_nodes += match &s.index {
+                SetIndex::Anchored { buckets, .. } => buckets.len(),
+                SetIndex::Kd { tree } => tree.len(),
+            };
+            memo_entries += s.anchor_memo.values().map(Vec::len).sum::<usize>();
             for set in &s.sets {
                 if set.live {
                     entries += set.hist.len();
@@ -520,6 +567,8 @@ impl CoherenceEngine for RayCast {
             history_entries: entries,
             equivalence_sets: sets,
             composite_views: 0,
+            index_nodes,
+            memo_entries,
         }
     }
 }

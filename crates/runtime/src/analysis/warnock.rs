@@ -60,7 +60,10 @@ pub(crate) fn scan_eq_history(
         }
         match e.privilege {
             Privilege::ReadWrite => {
-                debug_assert!(base.is_none(), "second write below a write: broken invariant");
+                debug_assert!(
+                    base.is_none(),
+                    "second write below a write: broken invariant"
+                );
                 base = Some(e);
             }
             Privilege::Reduce(op) => {
@@ -192,6 +195,7 @@ impl CoherenceEngine for Warnock {
             let mut relevant: Vec<u32> = Vec::new();
             let mut stack = starts;
             let mut traversal_tests = 0usize;
+            let mut refined = 0usize;
             let mut to_replicate = 0usize;
             let mut refine_charges = ChargeSet::new();
             while let Some(n) = stack.pop() {
@@ -274,10 +278,21 @@ impl CoherenceEngine for Warnock {
                 ] {
                     refine_charges.add(old_owner, op);
                 }
+                refined += 1;
                 relevant.push(inside_idx);
             }
             refine_charges.flush(ctx.machine, origin);
-            let _ = traversal_tests;
+            viz_profile::instant(viz_profile::EventKind::BvhTraversal {
+                nodes: traversal_tests as u64,
+            });
+            if refined > 0 {
+                viz_profile::instant(viz_profile::EventKind::EqSetRefined {
+                    count: refined as u64,
+                });
+                viz_profile::instant(viz_profile::EventKind::EqSetCreated {
+                    count: 2 * refined as u64,
+                });
+            }
             if to_replicate > 0 {
                 // One batched fetch: the authoritative tree lives on node
                 // 0, which must build and ship the descriptors.
@@ -307,12 +322,14 @@ impl CoherenceEngine for Warnock {
                 MaterializePlan::identity(op)
             };
             let mut charges = ChargeSet::new();
+            let mut entries_scanned = 0usize;
             for n in &relevant {
                 let node = &tree.nodes[*n as usize];
                 let EqKind::Leaf { hist } = &node.kind else {
                     unreachable!("relevant nodes are leaves")
                 };
                 scan_eq_history(hist, &node.domain, req.privilege, &mut deps, &mut plan);
+                entries_scanned += hist.len();
                 charges.add(node.owner, Op::SetTouch);
                 charges.add(
                     node.owner,
@@ -322,6 +339,9 @@ impl CoherenceEngine for Warnock {
                 );
             }
             charges.flush(ctx.machine, origin);
+            viz_profile::instant(viz_profile::EventKind::HistoryScan {
+                entries: entries_scanned as u64,
+            });
             for _ in &deps {
                 ctx.machine.op(origin, Op::DepRecord);
             }
@@ -372,8 +392,12 @@ impl CoherenceEngine for Warnock {
     fn state_size(&self) -> StateSize {
         let mut sets = 0;
         let mut entries = 0;
+        let mut index_nodes = 0;
+        let mut memo_entries = 0;
         for t in self.trees.values() {
             sets += t.live_leaves;
+            index_nodes += t.nodes.len();
+            memo_entries += t.memo.values().map(Vec::len).sum::<usize>();
             for n in &t.nodes {
                 if let EqKind::Leaf { hist } = &n.kind {
                     entries += hist.len();
@@ -384,6 +408,8 @@ impl CoherenceEngine for Warnock {
             history_entries: entries,
             equivalence_sets: sets,
             composite_views: 0,
+            index_nodes,
+            memo_entries,
         }
     }
 }

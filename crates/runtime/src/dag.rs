@@ -106,7 +106,14 @@ impl TaskDag {
                 .unwrap_or(0);
             max_wave = max_wave.max(wave_of[i]);
         }
-        let mut waves = vec![Vec::new(); if self.preds.is_empty() { 0 } else { max_wave + 1 }];
+        let mut waves = vec![
+            Vec::new();
+            if self.preds.is_empty() {
+                0
+            } else {
+                max_wave + 1
+            }
+        ];
         for (i, w) in wave_of.into_iter().enumerate() {
             waves[w].push(TaskId(i as u32));
         }

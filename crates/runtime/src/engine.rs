@@ -45,6 +45,12 @@ pub struct StateSize {
     pub history_entries: usize,
     pub equivalence_sets: usize,
     pub composite_views: usize,
+    /// Nodes in the engine's spatial index: refinement-tree (BVH) nodes for
+    /// Warnock, anchor buckets or K-d tree nodes for ray casting.
+    pub index_nodes: usize,
+    /// Entries across the engine's memoization tables (constituent-set and
+    /// overlapping-anchor caches).
+    pub memo_entries: usize,
 }
 
 /// The four engines of this reproduction. `Paint`, `Warnock` and `RayCast`

@@ -55,10 +55,10 @@ pub(crate) fn execute_values(
     dag: &TaskDag,
     initial: &FxHashMap<(RegionId, FieldId), InitFn>,
 ) -> ValueStore {
+    let _exec_span = viz_profile::span("execute_values");
     let n = launches.len();
     // Initial instances, one per (root, field) in use.
-    let mut init_instances: FxHashMap<(RegionId, FieldId), PhysicalRegion> =
-        FxHashMap::default();
+    let mut init_instances: FxHashMap<(RegionId, FieldId), PhysicalRegion> = FxHashMap::default();
     for l in launches {
         for req in &l.reqs {
             let key = (forest.root_of(req.region), req.field);
@@ -93,6 +93,7 @@ pub(crate) fn execute_values(
         .min(n.max(1));
 
     let run_one = |t: usize| {
+        let _task_span = viz_profile::span("task");
         let launch = &launches[t];
         let result = &results[t];
         let mut instances = Vec::with_capacity(launch.reqs.len());
@@ -273,6 +274,16 @@ impl TimedSchedule {
                 events.time(ready) + dispatch,
                 launch.duration_ns,
             );
+            if viz_profile::enabled() {
+                viz_profile::sim_event(
+                    end - launch.duration_ns,
+                    launch.duration_ns,
+                    viz_profile::Track::SimGpu {
+                        node: launch.node as u32,
+                    },
+                    viz_profile::EventKind::GpuTask { task: t as u64 },
+                );
+            }
             completion_event[t] = events.create(end);
             completion[t] = end;
         }
@@ -395,7 +406,13 @@ mod tests {
                 );
             }
             // A read of the whole region serializes between iterations.
-            rt.launch("sync", 0, vec![RegionRequirement::read(root, f)], 5_000, None);
+            rt.launch(
+                "sync",
+                0,
+                vec![RegionRequirement::read(root, f)],
+                5_000,
+                None,
+            );
         }
         let report = rt.timed_schedule();
         assert_eq!(report.completion.len(), 15);

@@ -6,7 +6,7 @@
 //! engine's [`crate::MaterializePlan`].
 
 use viz_geometry::{IndexSpace, Point};
-use viz_region::{Privilege, ReductionOpId, redop::Value};
+use viz_region::{redop::Value, Privilege, ReductionOpId};
 
 /// A materialized region argument.
 #[derive(Clone)]
@@ -61,9 +61,7 @@ impl PhysicalRegion {
         for (i, r) in self.domain.rects().iter().enumerate() {
             if r.contains_point(p) {
                 let width = (r.hi.x - r.lo.x + 1) as u64;
-                let off = self.offsets[i]
-                    + (p.y - r.lo.y) as u64 * width
-                    + (p.x - r.lo.x) as u64;
+                let off = self.offsets[i] + (p.y - r.lo.y) as u64 * width + (p.x - r.lo.x) as u64;
                 return Some(off as usize);
             }
         }
@@ -155,9 +153,7 @@ impl PhysicalRegion {
 
     /// Iterate `(point, value)` pairs in domain order.
     pub fn iter(&self) -> impl Iterator<Item = (Point, Value)> + '_ {
-        self.domain
-            .points()
-            .zip(self.values.iter().copied())
+        self.domain.points().zip(self.values.iter().copied())
     }
 
     /// Apply `f` to every point (requires write privilege).

@@ -37,8 +37,8 @@ pub mod dag;
 pub mod engine;
 pub mod exec;
 pub mod index_launch;
-pub mod mapper;
 pub mod instance;
+pub mod mapper;
 pub mod plan;
 pub mod runtime;
 pub mod sharding;

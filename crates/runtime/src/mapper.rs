@@ -75,7 +75,9 @@ pub struct Scattered {
 
 impl Mapper for Scattered {
     fn place(&self, i: usize, _domain: usize, nodes: usize) -> NodeId {
-        let mut z = (i as u64).wrapping_add(self.seed).wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = (i as u64)
+            .wrapping_add(self.seed)
+            .wrapping_add(0x9E3779B97F4A7C15);
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
         (z ^ (z >> 31)) as usize % nodes

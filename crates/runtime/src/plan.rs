@@ -69,8 +69,7 @@ impl MaterializePlan {
     /// Sort reductions into fold order and coalesce adjacent copy ranges
     /// from the same source.
     pub fn normalize(&mut self) {
-        self.reductions
-            .sort_by_key(|r| (r.task, r.req));
+        self.reductions.sort_by_key(|r| (r.task, r.req));
         // Merge copy ranges with identical sources.
         let mut merged: Vec<CopyRange> = Vec::with_capacity(self.copies.len());
         self.copies.sort_by_key(|c| match &c.source {

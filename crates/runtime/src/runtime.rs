@@ -190,12 +190,30 @@ impl Runtime {
                 for req in &launch.reqs {
                     self.shards.touch(req.region, launch.node);
                 }
+                let engine_name = self.engine.name();
+                let host_span = viz_profile::span(engine_name);
+                let sim_start = self.machine.now(origin);
                 let mut ctx = AnalysisCtx {
                     forest: &self.forest,
                     machine: &mut self.machine,
                     shards: &self.shards,
                 };
                 let mut result = self.engine.analyze(&launch, &mut ctx);
+                drop(host_span);
+                if viz_profile::enabled() {
+                    let sim_end = self.machine.now(origin);
+                    viz_profile::sim_event(
+                        sim_start,
+                        sim_end.saturating_sub(sim_start),
+                        viz_profile::Track::SimProgram {
+                            node: origin as u32,
+                        },
+                        viz_profile::EventKind::LaunchAnalyzed {
+                            engine: engine_name,
+                            task: id.0 as u64,
+                        },
+                    );
+                }
                 // Stale references into a recorded-and-replayed instance
                 // move onto its latest replay.
                 self.tracing.rebase_result(&mut result);

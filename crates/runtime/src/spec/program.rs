@@ -89,20 +89,25 @@ pub fn run_program(
     program: &SpecProgram,
     redops: &RedOpRegistry,
 ) -> VRegion {
+    let _prog_span = viz_profile::span(alg.name());
     alg.init(program);
     for task in &program.tasks {
         // foreach Pi Ri: Ri, S := materialize(Pi, Ri, S)
+        let mat_span = viz_profile::span("spec:materialize");
         let mut regions: Vec<VRegion> = task
             .reqs
             .iter()
             .map(|(p, d)| alg.materialize(*p, d, redops))
             .collect();
+        drop(mat_span);
         // R1,…,Rn := T(R1,…,Rn)
         (task.body)(&mut regions);
         // foreach Pi Ri: S := commit(Pi, Ri, S)
+        let commit_span = viz_profile::span("spec:commit");
         for ((p, _), r) in task.reqs.iter().zip(regions) {
             alg.commit(*p, r, redops);
         }
+        drop(commit_span);
     }
     alg.materialize(Privilege::Read, &program.domain, redops)
 }

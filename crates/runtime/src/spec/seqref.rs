@@ -70,7 +70,10 @@ mod tests {
         ));
         prog.push(SpecTask::new(
             "acc",
-            vec![(Privilege::Reduce(RedOpRegistry::SUM), IndexSpace::span(1, 4))],
+            vec![(
+                Privilege::Reduce(RedOpRegistry::SUM),
+                IndexSpace::span(1, 4),
+            )],
             |rs| {
                 let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
                 for p in pts {

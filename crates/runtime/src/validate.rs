@@ -141,8 +141,14 @@ mod tests {
         let f = forest.add_field(root, "v");
         let p = forest.create_equal_partition_1d(root, "P", 2);
         let launches = vec![
-            launch(0, vec![RegionRequirement::read_write(forest.subregion(p, 0), f)]),
-            launch(1, vec![RegionRequirement::read_write(forest.subregion(p, 1), f)]),
+            launch(
+                0,
+                vec![RegionRequirement::read_write(forest.subregion(p, 0), f)],
+            ),
+            launch(
+                1,
+                vec![RegionRequirement::read_write(forest.subregion(p, 1), f)],
+            ),
             launch(2, vec![RegionRequirement::read(root, f)]),
             launch(3, vec![RegionRequirement::read(root, f)]),
         ];
@@ -164,10 +170,7 @@ mod tests {
         let a = launch(0, vec![RegionRequirement::reduce(root, f, sum)]);
         let b = launch(1, vec![RegionRequirement::reduce(root, f, sum)]);
         assert!(!launches_interfere(&forest, &a, &b));
-        let c = launch(
-            2,
-            vec![RegionRequirement::new(root, f, Privilege::Read)],
-        );
+        let c = launch(2, vec![RegionRequirement::new(root, f, Privilege::Read)]);
         assert!(launches_interfere(&forest, &a, &c));
     }
 }

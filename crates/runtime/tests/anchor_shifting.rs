@@ -11,7 +11,14 @@ use viz_runtime::{
 };
 
 /// Two different disjoint-and-complete tilings of the same region.
-fn build(rt: &mut Runtime) -> (viz_region::RegionId, viz_region::FieldId, viz_region::PartitionId, viz_region::PartitionId) {
+fn build(
+    rt: &mut Runtime,
+) -> (
+    viz_region::RegionId,
+    viz_region::FieldId,
+    viz_region::PartitionId,
+    viz_region::PartitionId,
+) {
     let root = rt.forest_mut().create_root_1d("A", 48);
     let f = rt.forest_mut().add_field(root, "v");
     let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
@@ -26,7 +33,12 @@ fn body(add: f64) -> viz_runtime::TaskBody {
 }
 
 /// Write through P for a few rounds, then switch entirely to Q.
-fn program(rt: &mut Runtime, p: viz_region::PartitionId, q: viz_region::PartitionId, f: viz_region::FieldId) {
+fn program(
+    rt: &mut Runtime,
+    p: viz_region::PartitionId,
+    q: viz_region::PartitionId,
+    f: viz_region::FieldId,
+) {
     for round in 0..3 {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
@@ -92,24 +104,23 @@ fn shift_actually_happens_and_steady_state_is_clean() {
     let shards = viz_runtime::ShardMap::new(1, false);
     let mut machine = viz_sim::Machine::new(1);
     let mut next = 0u32;
-    let mut launch = |engine: &mut RayCast,
-                      machine: &mut viz_sim::Machine,
-                      region: viz_region::RegionId| {
-        let l = viz_runtime::TaskLaunch {
-            id: viz_runtime::TaskId(next),
-            name: String::new(),
-            node: 0,
-            reqs: vec![RegionRequirement::read_write(region, f)],
-            duration_ns: 0,
+    let mut launch =
+        |engine: &mut RayCast, machine: &mut viz_sim::Machine, region: viz_region::RegionId| {
+            let l = viz_runtime::TaskLaunch {
+                id: viz_runtime::TaskId(next),
+                name: String::new(),
+                node: 0,
+                reqs: vec![RegionRequirement::read_write(region, f)],
+                duration_ns: 0,
+            };
+            next += 1;
+            let mut ctx = viz_runtime::engine::AnalysisCtx {
+                forest: &forest,
+                machine,
+                shards: &shards,
+            };
+            engine.analyze(&l, &mut ctx);
         };
-        next += 1;
-        let mut ctx = viz_runtime::engine::AnalysisCtx {
-            forest: &forest,
-            machine,
-            shards: &shards,
-        };
-        engine.analyze(&l, &mut ctx);
-    };
     // Warm up on P.
     for _ in 0..3 {
         for i in 0..4 {
@@ -140,7 +151,13 @@ fn no_shift_when_usage_is_mixed() {
     for round in 0..6 {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            rt.launch("p", 0, vec![RegionRequirement::read_write(piece, f)], 0, Some(body(1.0)));
+            rt.launch(
+                "p",
+                0,
+                vec![RegionRequirement::read_write(piece, f)],
+                0,
+                Some(body(1.0)),
+            );
         }
         for i in 0..6 {
             let piece = rt.forest().subregion(q, i);

@@ -74,7 +74,10 @@ fn warnock_without_memoization_is_functionally_identical() {
     let (v1, e1) = run(Box::new(Warnock::new()), 2);
     let (v2, e2) = run(Box::new(Warnock::without_memoization()), 2);
     assert_eq!(v1, v2);
-    assert_eq!(e1, e2, "memoization must not change the dependence relation");
+    assert_eq!(
+        e1, e2,
+        "memoization must not change the dependence relation"
+    );
 }
 
 #[test]

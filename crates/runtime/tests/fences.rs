@@ -11,7 +11,13 @@ fn fence_depends_on_everything_prior() {
     let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
     for i in 0..4 {
         let piece = rt.forest().subregion(p, i);
-        rt.launch("w", 0, vec![RegionRequirement::read_write(piece, f)], 10, None);
+        rt.launch(
+            "w",
+            0,
+            vec![RegionRequirement::read_write(piece, f)],
+            10,
+            None,
+        );
     }
     let fence = rt.fence();
     assert_eq!(rt.dag().preds(fence).len(), 4);

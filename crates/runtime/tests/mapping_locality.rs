@@ -9,7 +9,11 @@ use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, Runtim
 
 fn run_with_mapper(mapper: &dyn Mapper, nodes: usize) -> (Vec<f64>, usize, u64, u64) {
     let pieces = 8usize;
-    let mut rt = Runtime::new(RuntimeConfig::new(EngineKind::RayCast).nodes(nodes).dcr(true));
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(EngineKind::RayCast)
+            .nodes(nodes)
+            .dcr(true),
+    );
     let root = rt.forest_mut().create_root_1d("A", 64);
     let f = rt.forest_mut().add_field(root, "v");
     let p = rt.forest_mut().create_equal_partition_1d(root, "P", pieces);

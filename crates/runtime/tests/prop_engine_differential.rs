@@ -15,9 +15,7 @@ use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point, Rect};
 use viz_region::{Privilege, RedOpRegistry};
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{
-    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
-};
+use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
 
 const N: i64 = 48;
 const PIECES: usize = 4;
@@ -69,9 +67,7 @@ fn run_config(
     let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
     let root = rt.forest_mut().create_root_1d("A", N);
     let field = rt.forest_mut().add_field(root, "v");
-    let p = rt
-        .forest_mut()
-        .create_equal_partition_1d(root, "P", PIECES);
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", PIECES);
     // Ghost partition: one-cell halo around each primary piece (aliased,
     // incomplete — the Fig 2 shape).
     let chunk = N / PIECES as i64;
@@ -117,9 +113,7 @@ fn run_config(
             1 => (
                 Privilege::ReadWrite,
                 Arc::new(move |rs: &mut [PhysicalRegion]| {
-                    rs[0].update_all(|pt, v| {
-                        ((v * 3.0 + salt + pt.x as f64) as i64 % 257) as f64
-                    });
+                    rs[0].update_all(|pt, v| ((v * 3.0 + salt + pt.x as f64) as i64 % 257) as f64);
                 }),
             ),
             2 => (

@@ -8,9 +8,7 @@ use std::sync::Arc;
 use viz_geometry::{IndexSpace, Rect};
 use viz_region::RedOpRegistry;
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{
-    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
-};
+use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
 
 const N: i64 = 36;
 const PIECES: usize = 3;
@@ -37,12 +35,7 @@ fn abs_launch() -> impl Strategy<Value = AbsLaunch> {
     })
 }
 
-fn run_config(
-    engine: EngineKind,
-    nodes: usize,
-    dcr: bool,
-    launches: &[AbsLaunch],
-) -> Vec<f64> {
+fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch]) -> Vec<f64> {
     let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
     let root = rt.forest_mut().create_root_1d("N", N);
     let up = rt.forest_mut().add_field(root, "up");

@@ -9,9 +9,7 @@ use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};
 use viz_region::RegionId;
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{
-    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
-};
+use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
 
 const N: i64 = 64;
 
@@ -149,12 +147,36 @@ proptest! {
 #[test]
 fn deep_write_shallow_read_routes_correctly() {
     let seq = vec![
-        AbsLaunch { target: Target::SparseEvens, write: true, salt: 3 },
-        AbsLaunch { target: Target::Root, write: false, salt: 5 },
-        AbsLaunch { target: Target::Q(1), write: true, salt: 9 },
-        AbsLaunch { target: Target::P(0), write: false, salt: 2 },
-        AbsLaunch { target: Target::Root, write: true, salt: 7 },
-        AbsLaunch { target: Target::Q(0), write: false, salt: 1 },
+        AbsLaunch {
+            target: Target::SparseEvens,
+            write: true,
+            salt: 3,
+        },
+        AbsLaunch {
+            target: Target::Root,
+            write: false,
+            salt: 5,
+        },
+        AbsLaunch {
+            target: Target::Q(1),
+            write: true,
+            salt: 9,
+        },
+        AbsLaunch {
+            target: Target::P(0),
+            write: false,
+            salt: 2,
+        },
+        AbsLaunch {
+            target: Target::Root,
+            write: true,
+            salt: 7,
+        },
+        AbsLaunch {
+            target: Target::Q(0),
+            write: false,
+            salt: 1,
+        },
     ];
     let reference = run_config(EngineKind::PaintNaive, 1, false, &seq);
     for engine in [EngineKind::Paint, EngineKind::Warnock, EngineKind::RayCast] {

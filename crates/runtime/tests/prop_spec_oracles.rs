@@ -62,41 +62,40 @@ fn build_program(tasks: &[AbsTask]) -> SpecProgram {
         let d = IndexSpace::span(t.lo, hi);
         let salt = t.salt as f64 + i as f64;
         type B = Box<dyn Fn(&mut [VRegion]) + Send + Sync>;
-        let (privilege, body): (Privilege, B) =
-            match t.kind {
-                OpKind::Write => (
-                    Privilege::ReadWrite,
-                    Box::new(move |rs: &mut [VRegion]| {
-                        let pts: Vec<_> = rs[0].iter().collect();
-                        for (p, v) in pts {
-                            // Exact small-integer arithmetic.
-                            rs[0].set(p, ((v * 3.0 + salt + p.x as f64) as i64 % 257) as f64);
-                        }
-                    }),
-                ),
-                OpKind::ReduceSum => (
-                    Privilege::Reduce(RedOpRegistry::SUM),
-                    Box::new(move |rs: &mut [VRegion]| {
-                        let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
-                        for p in pts {
-                            let cur = rs[0].get(p).unwrap();
-                            rs[0].set(p, cur + ((salt as i64 + p.x) % 13) as f64);
-                        }
-                    }),
-                ),
-                OpKind::ReduceMin => (
-                    Privilege::Reduce(RedOpRegistry::MIN),
-                    Box::new(move |rs: &mut [VRegion]| {
-                        let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
-                        for p in pts {
-                            let cur = rs[0].get(p).unwrap();
-                            let c = ((salt as i64 * 7 + p.x) % 300) as f64;
-                            rs[0].set(p, cur.min(c));
-                        }
-                    }),
-                ),
-                OpKind::Read => (Privilege::Read, Box::new(|_: &mut [VRegion]| {})),
-            };
+        let (privilege, body): (Privilege, B) = match t.kind {
+            OpKind::Write => (
+                Privilege::ReadWrite,
+                Box::new(move |rs: &mut [VRegion]| {
+                    let pts: Vec<_> = rs[0].iter().collect();
+                    for (p, v) in pts {
+                        // Exact small-integer arithmetic.
+                        rs[0].set(p, ((v * 3.0 + salt + p.x as f64) as i64 % 257) as f64);
+                    }
+                }),
+            ),
+            OpKind::ReduceSum => (
+                Privilege::Reduce(RedOpRegistry::SUM),
+                Box::new(move |rs: &mut [VRegion]| {
+                    let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                    for p in pts {
+                        let cur = rs[0].get(p).unwrap();
+                        rs[0].set(p, cur + ((salt as i64 + p.x) % 13) as f64);
+                    }
+                }),
+            ),
+            OpKind::ReduceMin => (
+                Privilege::Reduce(RedOpRegistry::MIN),
+                Box::new(move |rs: &mut [VRegion]| {
+                    let pts: Vec<_> = rs[0].iter().map(|(p, _)| p).collect();
+                    for p in pts {
+                        let cur = rs[0].get(p).unwrap();
+                        let c = ((salt as i64 * 7 + p.x) % 300) as f64;
+                        rs[0].set(p, cur.min(c));
+                    }
+                }),
+            ),
+            OpKind::Read => (Privilege::Read, Box::new(|_: &mut [VRegion]| {})),
+        };
         let mut st = SpecTask::new(format!("t{i}"), vec![(privilege, d)], |_| {});
         st.body = std::sync::Arc::from(body);
         prog.push(st);

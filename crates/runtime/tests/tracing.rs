@@ -80,7 +80,10 @@ fn run_loop(engine: EngineKind, iters: usize, traced: bool) -> (Vec<f64>, u64, u
     }
     let probe = l.rt.inline_read(l.root, l.f);
     let violations = check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag());
-    assert!(violations.is_empty(), "{engine:?} traced={traced}: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "{engine:?} traced={traced}: {violations:?}"
+    );
     let replayed = l.rt.replayed_launches();
     let edges = l.rt.dag().edge_count();
     let store = l.rt.execute_values();
@@ -116,10 +119,7 @@ fn replay_skips_the_visibility_engine() {
     iteration(&mut l);
     l.rt.end_trace(1);
     let after = l.rt.machine().counters().clone();
-    assert_eq!(
-        after.geom_ops, before.geom_ops,
-        "no geometry during replay"
-    );
+    assert_eq!(after.geom_ops, before.geom_ops, "no geometry during replay");
     assert_eq!(
         after.eqsets_touched, before.eqsets_touched,
         "no equivalence-set work during replay"

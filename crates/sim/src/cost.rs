@@ -99,9 +99,7 @@ impl CostModel {
             Op::SetTouch => self.set_touch_ns,
             Op::PaintWalk { nodes } => self.paint_walk_node_ns * nodes as u64,
             Op::Replicate { nodes } => self.replicate_node_ns * nodes as u64,
-            Op::ViewCreate { entries } => {
-                self.view_create_ns + self.view_entry_ns * entries as u64
-            }
+            Op::ViewCreate { entries } => self.view_create_ns + self.view_entry_ns * entries as u64,
             Op::LaunchOverhead => self.launch_overhead_ns,
             Op::DepRecord => self.dep_record_ns,
             Op::Memo => self.memo_ns,
@@ -115,19 +113,29 @@ impl CostModel {
 #[derive(Copy, Clone, Debug)]
 pub enum Op {
     /// One index-space set operation touching `rects` rectangles total.
-    GeomOp { rects: usize },
+    GeomOp {
+        rects: usize,
+    },
     /// Scanning `entries` history entries.
-    HistScan { entries: usize },
+    HistScan {
+        entries: usize,
+    },
     EqSetCreate,
     EqSetRefine,
     /// Touching one equivalence set (scan/commit bookkeeping).
     SetTouch,
     /// The painter's logical walk over `nodes` region-tree nodes.
-    PaintWalk { nodes: usize },
+    PaintWalk {
+        nodes: usize,
+    },
     /// Replicating `nodes` refinement-tree descriptors.
-    Replicate { nodes: usize },
+    Replicate {
+        nodes: usize,
+    },
     /// Creating a composite view capturing `entries` entries.
-    ViewCreate { entries: usize },
+    ViewCreate {
+        entries: usize,
+    },
     LaunchOverhead,
     DepRecord,
     Memo,
@@ -199,15 +207,9 @@ mod tests {
     fn op_costs_are_positive_and_scale() {
         let c = CostModel::default();
         assert!(c.op_ns(Op::EqSetCreate) > 0);
-        assert!(
-            c.op_ns(Op::HistScan { entries: 100 }) > c.op_ns(Op::HistScan { entries: 1 })
-        );
-        assert!(
-            c.op_ns(Op::GeomOp { rects: 50 }) > c.op_ns(Op::GeomOp { rects: 1 })
-        );
-        assert!(
-            c.op_ns(Op::ViewCreate { entries: 10 }) > c.op_ns(Op::ViewCreate { entries: 0 })
-        );
+        assert!(c.op_ns(Op::HistScan { entries: 100 }) > c.op_ns(Op::HistScan { entries: 1 }));
+        assert!(c.op_ns(Op::GeomOp { rects: 50 }) > c.op_ns(Op::GeomOp { rects: 1 }));
+        assert!(c.op_ns(Op::ViewCreate { entries: 10 }) > c.op_ns(Op::ViewCreate { entries: 0 }));
     }
 
     #[test]

@@ -104,11 +104,52 @@ impl Machine {
         }
         self.counters.messages += 1;
         self.counters.bytes += bytes;
+        let injected = self.clock[from];
         self.clock[from] += self.cost.msg_overhead_ns;
         let arrival = self.clock[from] + self.cost.wire_ns(bytes);
-        let served = self.service[to].max(arrival) + self.cost.msg_overhead_ns;
+        let serve_start = self.service[to].max(arrival);
+        let served = serve_start + self.cost.msg_overhead_ns;
         self.service[to] = served;
+        self.trace_message(from, to, bytes, injected, arrival, serve_start, served);
         served
+    }
+
+    /// Record one message's send + in-order service on the profiler's
+    /// simulated-time tracks (free when profiling is disabled).
+    #[allow(clippy::too_many_arguments)]
+    fn trace_message(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        injected: SimTime,
+        arrival: SimTime,
+        serve_start: SimTime,
+        served: SimTime,
+    ) {
+        if !viz_profile::enabled() {
+            return;
+        }
+        viz_profile::sim_event(
+            injected,
+            self.cost.msg_overhead_ns,
+            viz_profile::Track::SimProgram { node: from as u32 },
+            viz_profile::EventKind::MsgSend {
+                from: from as u32,
+                to: to as u32,
+                bytes,
+            },
+        );
+        viz_profile::sim_event(
+            serve_start,
+            served.saturating_sub(serve_start),
+            viz_profile::Track::SimService { node: to as u32 },
+            viz_profile::EventKind::MsgServe {
+                from: from as u32,
+                to: to as u32,
+                queued_ns: serve_start.saturating_sub(arrival),
+            },
+        );
     }
 
     /// A blocking request/response: the requester sends `req_bytes`; the
@@ -132,15 +173,26 @@ impl Machine {
         }
         self.counters.messages += 2;
         self.counters.bytes += req_bytes + resp_bytes;
+        let injected = self.clock[from];
         self.clock[from] += self.cost.msg_overhead_ns;
         let arrival = self.clock[from] + self.cost.wire_ns(req_bytes);
-        let mut served = self.service[to].max(arrival);
+        let serve_start = self.service[to].max(arrival);
+        let mut served = serve_start;
         for op in work {
             self.counters.record(*op);
             served += self.cost.op_ns(*op);
         }
         served += self.cost.msg_overhead_ns;
         self.service[to] = served;
+        self.trace_message(
+            from,
+            to,
+            req_bytes + resp_bytes,
+            injected,
+            arrival,
+            serve_start,
+            served,
+        );
         let resp_arrival = served + self.cost.wire_ns(resp_bytes);
         self.advance_to(from, resp_arrival);
         self.clock[from]
@@ -166,15 +218,26 @@ impl Machine {
             }
             self.counters.messages += 2;
             self.counters.bytes += req_bytes + resp_bytes;
+            let injected = self.clock[from];
             self.clock[from] += self.cost.msg_overhead_ns;
             let arrival = self.clock[from] + self.cost.wire_ns(*req_bytes);
-            let mut served = self.service[*to].max(arrival);
+            let serve_start = self.service[*to].max(arrival);
+            let mut served = serve_start;
             for op in *ops {
                 self.counters.record(*op);
                 served += self.cost.op_ns(*op);
             }
             served += self.cost.msg_overhead_ns;
             self.service[*to] = served;
+            self.trace_message(
+                from,
+                *to,
+                req_bytes + resp_bytes,
+                injected,
+                arrival,
+                serve_start,
+                served,
+            );
             latest = latest.max(served + self.cost.wire_ns(*resp_bytes));
         }
         self.advance_to(from, latest);

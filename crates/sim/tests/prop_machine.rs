@@ -15,11 +15,7 @@ enum Action {
 fn action() -> impl Strategy<Value = Action> {
     prop_oneof![
         (0u8..4, 1u32..10_000).prop_map(|(node, ns)| Action::Exec { node, ns }),
-        (0u8..4, 0u8..4, 0u16..4096).prop_map(|(from, to, bytes)| Action::Send {
-            from,
-            to,
-            bytes
-        }),
+        (0u8..4, 0u8..4, 0u16..4096).prop_map(|(from, to, bytes)| Action::Send { from, to, bytes }),
         (0u8..4, 0u8..4).prop_map(|(from, to)| Action::Request { from, to }),
         (0u8..4, 1u32..10_000).prop_map(|(node, dur)| Action::GpuTask { node, dur }),
         Just(Action::Barrier),
@@ -60,9 +56,9 @@ proptest! {
                     expect_msgs += 6;
                 }
             }
-            for n in 0..4 {
-                prop_assert!(m.now(n) >= prev[n], "clock {n} ran backwards");
-                prev[n] = m.now(n);
+            for (n, p) in prev.iter_mut().enumerate() {
+                prop_assert!(m.now(n) >= *p, "clock {n} ran backwards");
+                *p = m.now(n);
             }
         }
         prop_assert_eq!(m.counters().messages, expect_msgs);

@@ -4,10 +4,10 @@
 //!
 //! Run: `cargo run --release --example partitioning`
 
+use std::sync::Arc;
 use visibility::prelude::*;
 use visibility::region::deppart;
 use visibility::runtime::{Projection, TaskBody};
-use std::sync::Arc;
 
 fn main() {
     let mut rt = Runtime::single_node(EngineKind::RayCast);
@@ -91,5 +91,8 @@ fn main() {
     // Node 4 is ghost for piece 0 (edge 1→4): written +1 twice, reduced
     // +100 twice.
     assert_eq!(vals.get(Point::p1(4)), 4.0 + 2.0 + 200.0);
-    println!("node 4 final value: {} (= 4 + 2 writes + 2 ghost reductions)", vals.get(Point::p1(4)));
+    println!(
+        "node 4 final value: {} (= 4 + 2 writes + 2 ghost reductions)",
+        vals.get(Point::p1(4))
+    );
 }

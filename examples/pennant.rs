@@ -23,9 +23,7 @@ fn main() {
             assert_eq!(&got, exp);
         }
         // The dt probe is the last one: the global reduce-min result.
-        let dt = store
-            .inline(*run.probes.last().unwrap())
-            .get(Point::p1(0));
+        let dt = store.inline(*run.probes.last().unwrap()).get(Point::p1(0));
         println!(
             "{:<10} tasks {:>3}  edges {:>4}  critical path {:>2}  dt = {:.6}  (bit-exact)",
             rt.engine_name(),

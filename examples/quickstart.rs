@@ -28,9 +28,7 @@ fn main() {
         IndexSpace::from_points([8, 9, 20, 21].map(Point::p1)),
         IndexSpace::from_points([9, 18, 19].map(Point::p1)),
     ];
-    let g = rt
-        .forest_mut()
-        .create_partition(n, "G", ghosts);
+    let g = rt.forest_mut().create_partition(n, "G", ghosts);
 
     // Phase 1: each piece writes its own elements (parallel).
     for i in 0..3 {
@@ -83,6 +81,9 @@ fn main() {
     assert_eq!(vals.get(Point::p1(20)), 22.0);
     // Element 5 is in no ghost subregion: just its write.
     assert_eq!(vals.get(Point::p1(5)), 5.0);
-    println!("value[20]     : {} (write 20 + two ghost reductions)", vals.get(Point::p1(20)));
+    println!(
+        "value[20]     : {} (write 20 + two ghost reductions)",
+        vals.get(Point::p1(20))
+    );
     println!("value[5]      : {} (write only)", vals.get(Point::p1(5)));
 }

@@ -13,7 +13,9 @@
 //! * [`region`] — region trees, partitions, privileges, reduction ops;
 //! * [`sim`] — the simulated distributed machine and cost model;
 //! * [`runtime`] — the task runtime and the visibility engines;
-//! * [`apps`] — the paper's three benchmark applications.
+//! * [`apps`] — the paper's three benchmark applications;
+//! * [`profile`] — the structured tracing & metrics recorder
+//!   (Chrome-trace / flamegraph / TSV exporters).
 //!
 //! ## Quickstart
 //!
@@ -54,13 +56,16 @@
 pub use viz_apps as apps;
 pub use viz_array as array;
 pub use viz_geometry as geometry;
+pub use viz_profile as profile;
 pub use viz_region as region;
 pub use viz_runtime as runtime;
 pub use viz_sim as sim;
 
 /// The commonly-used names, in one import.
 pub mod prelude {
-    pub use viz_apps::{Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload};
+    pub use viz_apps::{
+        Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload,
+    };
     pub use viz_array::{ArrayProbe, DistArray, Scalar};
     pub use viz_geometry::{IndexSpace, Point, Rect};
     pub use viz_region::{Privilege, RedOpRegistry, RegionForest};

@@ -29,13 +29,7 @@ fn partitions_created_mid_stream() {
         let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            let r = rt.launch(
-                "read",
-                0,
-                vec![RegionRequirement::read(piece, f)],
-                0,
-                None,
-            );
+            let r = rt.launch("read", 0, vec![RegionRequirement::read(piece, f)], 0, None);
             assert_eq!(rt.dag().preds(r), &[TaskId(0)], "{engine:?}");
         }
         // And a second, *different* partition created even later.
@@ -112,20 +106,8 @@ fn multiple_region_trees_are_independent() {
         let fa = rt.forest_mut().add_field(a, "v");
         let b = rt.forest_mut().create_root_1d("B", 16);
         let fb = rt.forest_mut().add_field(b, "v");
-        rt.launch(
-            "wa",
-            0,
-            vec![RegionRequirement::read_write(a, fa)],
-            0,
-            None,
-        );
-        let t = rt.launch(
-            "wb",
-            0,
-            vec![RegionRequirement::read_write(b, fb)],
-            0,
-            None,
-        );
+        rt.launch("wa", 0, vec![RegionRequirement::read_write(a, fa)], 0, None);
+        let t = rt.launch("wb", 0, vec![RegionRequirement::read_write(b, fb)], 0, None);
         assert!(
             rt.dag().preds(t).is_empty(),
             "{engine:?}: different trees must not interfere"
@@ -184,13 +166,7 @@ fn nested_partition_interference() {
         // And writing P[1] (disjoint from Q's subtree) stays parallel with
         // the grandchildren but orders after the root read.
         let p1 = rt.forest().subregion(p, 1);
-        let w2 = rt.launch(
-            "p1",
-            0,
-            vec![RegionRequirement::read_write(p1, f)],
-            0,
-            None,
-        );
+        let w2 = rt.launch("p1", 0, vec![RegionRequirement::read_write(p1, f)], 0, None);
         assert_eq!(rt.dag().preds(w2), &[r], "{engine:?} (war on the read)");
         assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     }

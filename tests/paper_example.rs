@@ -113,7 +113,10 @@ fn fig5_dependences_match_section_3_2() {
         assert!(check_sufficiency(ex.rt.forest(), ex.rt.launches(), dag).is_empty());
         // 6 write/reduce pairs across waves 1→2, 3 write/write pairs 1→3,
         // and 6 reduce/write pairs 2→3.
-        assert_eq!(count_interfering_pairs(ex.rt.forest(), ex.rt.launches()), 15);
+        assert_eq!(
+            count_interfering_pairs(ex.rt.forest(), ex.rt.launches()),
+            15
+        );
     }
 }
 
@@ -129,10 +132,7 @@ fn fig5_values_identical_across_engines_and_machines() {
             let vals: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
             match &reference {
                 None => reference = Some(vals),
-                Some(r) => assert_eq!(
-                    &vals, r,
-                    "{engine:?} nodes={nodes} dcr={dcr} diverged"
-                ),
+                Some(r) => assert_eq!(&vals, r, "{engine:?} nodes={nodes} dcr={dcr} diverged"),
             }
         }
     }

@@ -3,7 +3,15 @@
 use viz_apps::{Circuit, CircuitConfig, Workload};
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig, TaskId};
 
-fn schedule(engine: EngineKind, nodes: usize, dcr: bool) -> (Runtime, viz_runtime::exec::TimedReport, viz_apps::WorkloadRun) {
+fn schedule(
+    engine: EngineKind,
+    nodes: usize,
+    dcr: bool,
+) -> (
+    Runtime,
+    viz_runtime::exec::TimedReport,
+    viz_apps::WorkloadRun,
+) {
     let app = Circuit::new(CircuitConfig {
         nodes,
         nodes_per_piece: 50,

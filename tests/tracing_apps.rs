@@ -14,7 +14,11 @@ fn run_traced_vs_plain(plain: &dyn Workload, traced: &dyn Workload, engine: Engi
     let mut rt_t = Runtime::single_node(engine);
     let run_t = traced.execute(&mut rt_t);
 
-    assert!(rt_t.replayed_launches() > 0, "{}: nothing replayed", plain.name());
+    assert!(
+        rt_t.replayed_launches() > 0,
+        "{}: nothing replayed",
+        plain.name()
+    );
     assert!(check_sufficiency(rt_t.forest(), rt_t.launches(), rt_t.dag()).is_empty());
 
     let store_p = rt_p.execute_values();
@@ -22,7 +26,12 @@ fn run_traced_vs_plain(plain: &dyn Workload, traced: &dyn Workload, engine: Engi
     for (a, b) in run_p.probes.iter().zip(&run_t.probes) {
         let va: Vec<f64> = store_p.inline(*a).iter().map(|(_, v)| v).collect();
         let vb: Vec<f64> = store_t.inline(*b).iter().map(|(_, v)| v).collect();
-        assert_eq!(va, vb, "{} {engine:?}: tracing changed results", plain.name());
+        assert_eq!(
+            va,
+            vb,
+            "{} {engine:?}: tracing changed results",
+            plain.name()
+        );
     }
     // Replay must be cheaper on the simulated machine.
     assert!(

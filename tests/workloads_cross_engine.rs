@@ -23,7 +23,8 @@ fn verify(workload: &dyn Workload, engine: EngineKind, nodes: usize, dcr: bool) 
     for (k, (probe, exp)) in run.probes.iter().zip(&expect).enumerate() {
         let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
         assert_eq!(
-            &got, exp,
+            &got,
+            exp,
             "{} {engine:?} nodes={nodes} dcr={dcr} probe {k}",
             workload.name()
         );
