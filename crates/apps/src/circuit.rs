@@ -25,7 +25,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};
-use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody};
+use viz_runtime::{LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, TaskBody};
 
 const CCN_NS_PER_WIRE: f64 = 150.0;
 const DC_NS_PER_WIRE: f64 = 50.0;
@@ -189,7 +189,10 @@ impl Workload for Circuit {
             ..Default::default()
         };
 
-        // Setup: initialize voltages/charges and currents per piece.
+        // Setup: initialize voltages/charges and currents per piece. Each
+        // wave goes through the batched driver; with one analysis thread it
+        // degenerates to serial launches.
+        let mut wave: Vec<LaunchSpec> = Vec::new();
         for i in 0..cfg.pieces {
             let piece = rt.forest().subregion(p, i);
             let wpiece = rt.forest().subregion(w, i);
@@ -199,7 +202,7 @@ impl Workload for Circuit {
                     rs[1].update_all(|_, _| 0.0);
                 }) as TaskBody
             });
-            rt.launch(
+            wave.push(LaunchSpec::new(
                 "init_nodes",
                 i % cfg.nodes,
                 vec![
@@ -208,20 +211,21 @@ impl Workload for Circuit {
                 ],
                 INIT_TASK_NS,
                 body,
-            );
+            ));
             let body: Option<TaskBody> = cfg.with_bodies.then(|| {
                 Arc::new(move |rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|_, _| 0.0);
                 }) as TaskBody
             });
-            rt.launch(
+            wave.push(LaunchSpec::new(
                 "init_wires",
                 i % cfg.nodes,
                 vec![RegionRequirement::read_write(wpiece, f_i)],
                 INIT_TASK_NS / 4,
                 body,
-            );
+            ));
         }
+        rt.run_batch(wave);
 
         let sum = viz_region::RedOpRegistry::SUM;
         for iter in 0..cfg.iterations {
@@ -229,6 +233,7 @@ impl Workload for Circuit {
                 rt.begin_trace(0);
             }
             // Phase 1: calc_new_currents.
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let piece = rt.forest().subregion(p, i);
                 let gpiece = rt.forest().subregion(g, i);
@@ -259,7 +264,7 @@ impl Workload for Circuit {
                         }
                     }) as TaskBody
                 });
-                rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("ccn[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -269,9 +274,11 @@ impl Workload for Circuit {
                     ],
                     ccn_ns,
                     body,
-                );
+                ));
             }
+            rt.run_batch(wave);
             // Phase 2: distribute_charge.
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let piece = rt.forest().subregion(p, i);
                 let gpiece = rt.forest().subregion(g, i);
@@ -297,7 +304,7 @@ impl Workload for Circuit {
                         }
                     }) as TaskBody
                 });
-                rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("dc[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -307,10 +314,11 @@ impl Workload for Circuit {
                     ],
                     dc_ns,
                     body,
-                );
+                ));
             }
+            rt.run_batch(wave);
             // Phase 3: update_voltage.
-            let mut last = None;
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let piece = rt.forest().subregion(p, i);
                 let body: Option<TaskBody> = cfg.with_bodies.then(|| {
@@ -324,7 +332,7 @@ impl Workload for Circuit {
                         }
                     }) as TaskBody
                 });
-                last = Some(rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("uv[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -335,10 +343,11 @@ impl Workload for Circuit {
                     body,
                 ));
             }
+            let ids = rt.run_batch(wave);
             if cfg.traced {
                 rt.end_trace(0);
             }
-            run.iter_end.push(last.unwrap());
+            run.iter_end.push(*ids.last().unwrap());
         }
 
         if cfg.with_bodies {

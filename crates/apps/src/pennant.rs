@@ -28,7 +28,7 @@ use crate::workload::{Workload, WorkloadRun};
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point, Rect};
 use viz_region::RedOpRegistry;
-use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody};
+use viz_runtime::{LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, TaskBody};
 
 const CZ_NS_PER_ZONE: f64 = 4.0;
 const DT_NS_PER_ZONE: f64 = 1.0;
@@ -241,7 +241,10 @@ impl Workload for Pennant {
         };
 
         // Setup: positions, velocities, forces per piece (master points),
-        // and the control region.
+        // and the control region. Each wave goes through the batched
+        // driver; with one analysis thread it degenerates to serial
+        // launches.
+        let mut wave: Vec<LaunchSpec> = Vec::new();
         for i in 0..cfg.pieces {
             let mpiece = rt.forest().subregion(mp, i);
             let body: Option<TaskBody> = cfg.with_bodies.then(|| {
@@ -253,7 +256,7 @@ impl Workload for Pennant {
                     }
                 }) as TaskBody
             });
-            rt.launch(
+            wave.push(LaunchSpec::new(
                 "init_points",
                 i % cfg.nodes,
                 vec![
@@ -266,8 +269,9 @@ impl Workload for Pennant {
                 ],
                 INIT_TASK_NS,
                 body,
-            );
+            ));
         }
+        rt.run_batch(wave);
 
         let min_op = RedOpRegistry::MIN;
         let sum = RedOpRegistry::SUM;
@@ -276,6 +280,7 @@ impl Workload for Pennant {
                 rt.begin_trace(0);
             }
             // Phase 1: calc_zones — point positions → zone pressure.
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let zpiece = rt.forest().subregion(z, i);
                 let npiece = rt.forest().subregion(np, i);
@@ -296,7 +301,7 @@ impl Workload for Pennant {
                         });
                     }) as TaskBody
                 });
-                rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("calc_zones[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -306,9 +311,11 @@ impl Workload for Pennant {
                     ],
                     cz_ns,
                     body,
-                );
+                ));
             }
+            rt.run_batch(wave);
             // Phase 2: calc_dt — reduce min into the piece's partial.
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let zpiece = rt.forest().subregion(z, i);
                 let ppiece = rt.forest().subregion(partials, i);
@@ -323,7 +330,7 @@ impl Workload for Pennant {
                         rs[1].reduce(slot, m);
                     }) as TaskBody
                 });
-                rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("calc_dt[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -332,8 +339,9 @@ impl Workload for Pennant {
                     ],
                     dt_ns,
                     body,
-                );
+                ));
             }
+            rt.run_batch(wave);
             // reduce_dt: fold the partials, reset them, publish dt — the
             // per-iteration global synchronization (Pennant's dtH).
             let pieces = cfg.pieces;
@@ -359,6 +367,7 @@ impl Workload for Pennant {
                 body,
             );
             // Phase 3: gather_forces — zones scatter to their corners.
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let zpiece = rt.forest().subregion(z, i);
                 let npiece = rt.forest().subregion(np, i);
@@ -378,7 +387,7 @@ impl Workload for Pennant {
                         }
                     }) as TaskBody
                 });
-                rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("gather_forces[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -388,10 +397,11 @@ impl Workload for Pennant {
                     ],
                     gf_ns,
                     body,
-                );
+                ));
             }
+            rt.run_batch(wave);
             // Phase 4: move_points — advance owned points, clear forces.
-            let mut last = None;
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let mpiece = rt.forest().subregion(mp, i);
                 let body: Option<TaskBody> = cfg.with_bodies.then(|| {
@@ -414,7 +424,7 @@ impl Workload for Pennant {
                         }
                     }) as TaskBody
                 });
-                last = Some(rt.launch(
+                wave.push(LaunchSpec::new(
                     format!("move_points[{iter}]"),
                     i % cfg.nodes,
                     vec![
@@ -430,10 +440,11 @@ impl Workload for Pennant {
                     body,
                 ));
             }
+            let ids = rt.run_batch(wave);
             if cfg.traced {
                 rt.end_trace(0);
             }
-            run.iter_end.push(last.unwrap());
+            run.iter_end.push(*ids.last().unwrap());
         }
 
         if cfg.with_bodies {

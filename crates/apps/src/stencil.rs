@@ -15,7 +15,7 @@
 use crate::workload::{Workload, WorkloadRun};
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point, Rect};
-use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody};
+use viz_runtime::{LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, TaskBody};
 
 /// Stencil radius (PRK default 2) and weights: distance-1 neighbors 1/4,
 /// distance-2 neighbors 1/8.
@@ -48,6 +48,11 @@ pub struct StencilConfig {
     /// the paper's reference \[15\]; §8 disables it — this knob measures the
     /// extension).
     pub traced: bool,
+    /// Independent variable pairs: each gets its own `in`/`out` fields and
+    /// its own init/stencil/add tasks per piece. Every pair contributes two
+    /// `(root, field)` analysis shards, so `vars > 1` gives the sharded
+    /// driver cross-shard scans to overlap. `1` is the paper's shape.
+    pub vars: usize,
 }
 
 impl StencilConfig {
@@ -60,6 +65,7 @@ impl StencilConfig {
             nodes: 1,
             with_bodies: true,
             traced: false,
+            vars: 1,
         }
     }
 
@@ -73,6 +79,7 @@ impl StencilConfig {
             nodes,
             with_bodies: false,
             traced: false,
+            vars: 1,
         }
     }
 
@@ -139,8 +146,10 @@ impl Stencil {
                 + get(p.offset(0, 2)))
     }
 
-    fn initial_in(p: Point) -> f64 {
-        ((p.x + 2 * p.y) % 64) as f64
+    /// Initial `in` value for variable pair `v` (pairs get distinct data so
+    /// a cross-variable dependence bug shows up as a value divergence).
+    fn initial_var(v: usize, p: Point) -> f64 {
+        ((p.x + 2 * p.y + v as i64) % 64) as f64
     }
 }
 
@@ -155,12 +164,20 @@ impl Workload for Stencil {
 
     fn execute(&self, rt: &mut Runtime) -> WorkloadRun {
         let cfg = &self.cfg;
+        let vars = cfg.vars.max(1);
         let (w, h) = cfg.grid_extent();
         let grid = rt
             .forest_mut()
             .create_root("grid", IndexSpace::from_rect(Rect::xy(0, w - 1, 0, h - 1)));
-        let f_in = rt.forest_mut().add_field(grid, "in");
-        let f_out = rt.forest_mut().add_field(grid, "out");
+        // One `in`/`out` field pair per variable: 2·vars analysis shards.
+        let fields: Vec<(viz_region::FieldId, viz_region::FieldId)> = (0..vars)
+            .map(|v| {
+                (
+                    rt.forest_mut().add_field(grid, format!("in{v}")),
+                    rt.forest_mut().add_field(grid, format!("out{v}")),
+                )
+            })
+            .collect();
         let tiles: Vec<IndexSpace> = (0..cfg.pieces)
             .map(|i| IndexSpace::from_rect(self.tile_rect(i)))
             .collect();
@@ -176,131 +193,152 @@ impl Workload for Stencil {
         let stencil_ns = (tile_points as f64 * STENCIL_NS_PER_POINT) as u64;
         let add_ns = (tile_points as f64 * ADD_NS_PER_POINT) as u64;
         let mut run = WorkloadRun {
-            elements_per_iter: (w * h) as u64,
+            elements_per_iter: (w * h) as u64 * vars as u64,
             ..Default::default()
         };
 
-        // Setup: per-piece initialization of both fields.
+        // Setup: per-piece initialization of each variable's field pair.
+        // Each wave goes through the batched driver; with one analysis
+        // thread (or inside a trace) it degenerates to serial launches.
+        let mut wave: Vec<LaunchSpec> = Vec::new();
         for i in 0..cfg.pieces {
             let piece = rt.forest().subregion(p, i);
-            let body: Option<TaskBody> = cfg.with_bodies.then(|| {
-                Arc::new(move |rs: &mut [PhysicalRegion]| {
-                    rs[0].update_all(|pt, _| Stencil::initial_in(pt));
-                    rs[1].update_all(|_, _| 0.0);
-                }) as TaskBody
-            });
-            rt.launch(
-                "init",
-                i % cfg.nodes,
-                vec![
-                    RegionRequirement::read_write(piece, f_in),
-                    RegionRequirement::read_write(piece, f_out),
-                ],
-                INIT_TASK_NS,
-                body,
-            );
+            for (v, &(f_in, f_out)) in fields.iter().enumerate() {
+                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                    Arc::new(move |rs: &mut [PhysicalRegion]| {
+                        rs[0].update_all(|pt, _| Stencil::initial_var(v, pt));
+                        rs[1].update_all(|_, _| 0.0);
+                    }) as TaskBody
+                });
+                wave.push(LaunchSpec::new(
+                    "init",
+                    i % cfg.nodes,
+                    vec![
+                        RegionRequirement::read_write(piece, f_in),
+                        RegionRequirement::read_write(piece, f_out),
+                    ],
+                    INIT_TASK_NS,
+                    body,
+                ));
+            }
         }
+        rt.run_batch(wave);
 
         for iter in 0..cfg.iterations {
             if cfg.traced {
                 rt.begin_trace(0);
             }
-            let mut last = None;
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let piece = rt.forest().subregion(p, i);
                 let halo = rt.forest().subregion(hp, i);
                 let (gw, gh) = (w, h);
-                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
-                    Arc::new(move |rs: &mut [PhysicalRegion]| {
-                        // rs[0] = out (rw tile), rs[1] = in (tile),
-                        // rs[2] = in (halo).
-                        let (out, ins) = rs.split_at_mut(1);
-                        let get = |pt: Point| {
-                            if ins[0].contains(pt) {
-                                ins[0].get(pt)
-                            } else {
-                                ins[1].get(pt)
-                            }
-                        };
-                        out[0].update_all(|pt, v| {
-                            // PRK computes interior points only.
-                            if pt.x >= RADIUS
-                                && pt.x < gw - RADIUS
-                                && pt.y >= RADIUS
-                                && pt.y < gh - RADIUS
-                            {
-                                v + Stencil::star(&get, pt)
-                            } else {
-                                v
-                            }
-                        });
-                    }) as TaskBody
-                });
-                rt.launch(
-                    format!("stencil[{iter}]"),
-                    i % cfg.nodes,
-                    vec![
-                        RegionRequirement::read_write(piece, f_out),
-                        RegionRequirement::read(piece, f_in),
-                        RegionRequirement::read(halo, f_in),
-                    ],
-                    stencil_ns,
-                    body,
-                );
+                for &(f_in, f_out) in &fields {
+                    let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                        Arc::new(move |rs: &mut [PhysicalRegion]| {
+                            // rs[0] = out (rw tile), rs[1] = in (tile),
+                            // rs[2] = in (halo).
+                            let (out, ins) = rs.split_at_mut(1);
+                            let get = |pt: Point| {
+                                if ins[0].contains(pt) {
+                                    ins[0].get(pt)
+                                } else {
+                                    ins[1].get(pt)
+                                }
+                            };
+                            out[0].update_all(|pt, v| {
+                                // PRK computes interior points only.
+                                if pt.x >= RADIUS
+                                    && pt.x < gw - RADIUS
+                                    && pt.y >= RADIUS
+                                    && pt.y < gh - RADIUS
+                                {
+                                    v + Stencil::star(&get, pt)
+                                } else {
+                                    v
+                                }
+                            });
+                        }) as TaskBody
+                    });
+                    wave.push(LaunchSpec::new(
+                        format!("stencil[{iter}]"),
+                        i % cfg.nodes,
+                        vec![
+                            RegionRequirement::read_write(piece, f_out),
+                            RegionRequirement::read(piece, f_in),
+                            RegionRequirement::read(halo, f_in),
+                        ],
+                        stencil_ns,
+                        body,
+                    ));
+                }
             }
+            rt.run_batch(wave);
             // Second phase: the data-parallel increment `in += 1` (all
             // stencil tasks of the iteration read the pre-increment `in`).
+            let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
                 let piece = rt.forest().subregion(p, i);
-                let body: Option<TaskBody> = cfg.with_bodies.then(|| {
-                    Arc::new(move |rs: &mut [PhysicalRegion]| {
-                        rs[0].update_all(|_, v| v + 1.0);
-                    }) as TaskBody
-                });
-                last = Some(rt.launch(
-                    format!("add[{iter}]"),
-                    i % cfg.nodes,
-                    vec![RegionRequirement::read_write(piece, f_in)],
-                    add_ns,
-                    body,
-                ));
+                for &(f_in, _) in &fields {
+                    let body: Option<TaskBody> = cfg.with_bodies.then(|| {
+                        Arc::new(move |rs: &mut [PhysicalRegion]| {
+                            rs[0].update_all(|_, v| v + 1.0);
+                        }) as TaskBody
+                    });
+                    wave.push(LaunchSpec::new(
+                        format!("add[{iter}]"),
+                        i % cfg.nodes,
+                        vec![RegionRequirement::read_write(piece, f_in)],
+                        add_ns,
+                        body,
+                    ));
+                }
             }
+            let ids = rt.run_batch(wave);
             if cfg.traced {
                 rt.end_trace(0);
             }
-            run.iter_end.push(last.unwrap());
+            run.iter_end.push(*ids.last().unwrap());
         }
 
         if cfg.with_bodies {
-            run.probes.push(rt.inline_read(grid, f_out));
-            run.probes.push(rt.inline_read(grid, f_in));
+            for &(f_in, f_out) in &fields {
+                run.probes.push(rt.inline_read(grid, f_out));
+                run.probes.push(rt.inline_read(grid, f_in));
+            }
         }
         run
     }
 
     fn reference(&self) -> Vec<Vec<f64>> {
         let cfg = &self.cfg;
+        let vars = cfg.vars.max(1);
         let (w, h) = cfg.grid_extent();
         let idx = |x: i64, y: i64| (y * w + x) as usize;
-        let mut vin: Vec<f64> = (0..w * h)
-            .map(|k| Stencil::initial_in(Point::new(k % w, k / w)))
-            .collect();
-        let mut vout = vec![0.0f64; (w * h) as usize];
-        for _ in 0..cfg.iterations {
-            // The stencil tasks all read the same `in` version; apply them
-            // as one grid-wide step (their tiles are disjoint).
-            let prev = vin.clone();
-            let get = |p: Point| prev[idx(p.x, p.y)];
-            for y in RADIUS..h - RADIUS {
-                for x in RADIUS..w - RADIUS {
-                    vout[idx(x, y)] += Stencil::star(&get, Point::new(x, y));
+        let mut out = Vec::with_capacity(2 * vars);
+        for var in 0..vars {
+            let mut vin: Vec<f64> = (0..w * h)
+                .map(|k| Stencil::initial_var(var, Point::new(k % w, k / w)))
+                .collect();
+            let mut vout = vec![0.0f64; (w * h) as usize];
+            for _ in 0..cfg.iterations {
+                // The stencil tasks all read the same `in` version; apply
+                // them as one grid-wide step (their tiles are disjoint).
+                let prev = vin.clone();
+                let get = |p: Point| prev[idx(p.x, p.y)];
+                for y in RADIUS..h - RADIUS {
+                    for x in RADIUS..w - RADIUS {
+                        vout[idx(x, y)] += Stencil::star(&get, Point::new(x, y));
+                    }
+                }
+                for v in vin.iter_mut() {
+                    *v += 1.0;
                 }
             }
-            for v in vin.iter_mut() {
-                *v += 1.0;
-            }
+            out.push(vout);
+            out.push(vin);
         }
-        vec![vout, vin]
+        out
     }
 }
 
@@ -310,11 +348,26 @@ mod tests {
     use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
 
     fn run_and_verify(engine: EngineKind, cfg: StencilConfig, nodes: usize, dcr: bool) {
+        run_and_verify_threads(engine, cfg, nodes, dcr, 1);
+    }
+
+    fn run_and_verify_threads(
+        engine: EngineKind,
+        cfg: StencilConfig,
+        nodes: usize,
+        dcr: bool,
+        threads: usize,
+    ) {
         let app = Stencil::new(StencilConfig {
             nodes,
             ..cfg.clone()
         });
-        let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(engine)
+                .nodes(nodes)
+                .dcr(dcr)
+                .analysis_threads(threads),
+        );
         let run = app.execute(&mut rt);
         let violations =
             viz_runtime::validate::check_sufficiency(rt.forest(), rt.launches(), rt.dag());
@@ -373,6 +426,41 @@ mod tests {
         // init wave, then 2 iterations × (stencil wave + add wave), probes.
         assert!(waves[0].len() >= 4, "init tasks are parallel");
         assert!(waves[1].len() == 4, "stencil tasks are parallel");
+    }
+
+    #[test]
+    fn independent_variable_pairs_match_reference() {
+        for engine in EngineKind::all() {
+            run_and_verify(
+                engine,
+                StencilConfig {
+                    vars: 2,
+                    ..StencilConfig::small(4, 6, 2)
+                },
+                1,
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_driver_matches_reference() {
+        // The batched driver with 4 analysis threads must produce the same
+        // values as the serial path, on every engine, with and without DCR.
+        for engine in EngineKind::all() {
+            for (nodes, dcr) in [(1, false), (4, true)] {
+                run_and_verify_threads(
+                    engine,
+                    StencilConfig {
+                        vars: 3,
+                        ..StencilConfig::small(4, 6, 3)
+                    },
+                    nodes,
+                    dcr,
+                    4,
+                );
+            }
+        }
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   RayCast vs Warnock on the same launch stream (reported, not timed).
 //! * **A5** — index-space set algebra on the hot shapes (halo rings,
 //!   sparse ghost sets).
+//! * **A7** — the sharded analysis driver (`analysis_threads > 1`) vs the
+//!   serial one on a multi-variable stencil (host time; the analyses are
+//!   bit-identical, see `tests/sharded_determinism.rs`).
 
 use criterion::{BenchmarkId, Criterion};
 use viz_apps::{Circuit, CircuitConfig, Stencil, StencilConfig, Workload};
@@ -174,6 +177,42 @@ fn a5_geometry(c: &mut Criterion) {
     g.finish();
 }
 
+/// A7: serial vs sharded analysis driver. Same launches, same results —
+/// only the host-side scheduling of the per-(root, field) scans differs.
+fn a7_sharded_driver(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sharded_driver");
+    g.sample_size(10);
+    let app = Stencil::new(StencilConfig {
+        pieces: 16,
+        tile: 16,
+        iterations: 4,
+        nodes: 4,
+        with_bodies: false,
+        traced: false,
+        vars: 4,
+    });
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("raycast_threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut rt = Runtime::new(
+                        RuntimeConfig::new(EngineKind::RayCast)
+                            .nodes(4)
+                            .dcr(true)
+                            .validate(false)
+                            .analysis_threads(threads),
+                    );
+                    let run = app.execute(&mut rt);
+                    assert!(!run.iter_end.is_empty());
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
 fn main() {
     a1_paint_views_report();
     a4_dominating_write_report();
@@ -186,5 +225,6 @@ fn main() {
     a2_warnock_memo(&mut c);
     a3_raycast_index(&mut c);
     a5_geometry(&mut c);
+    a7_sharded_driver(&mut c);
     c.final_summary();
 }

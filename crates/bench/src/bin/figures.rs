@@ -15,6 +15,10 @@
 //! * `--profile PATH` — record a structured trace of the sweep and write a
 //!   Chrome trace-event JSON to `PATH`, a folded-stack flamegraph to
 //!   `PATH.folded`, and per-engine metrics to `PATH.metrics.tsv`.
+//! * `--analysis-threads N` — run every analysis through the sharded
+//!   driver with N worker threads (default: `VIZ_ANALYSIS_THREADS`, else
+//!   serial). The figures are bit-identical either way; only host time
+//!   changes.
 
 use std::io::Write;
 use viz_bench::{
@@ -65,6 +69,17 @@ fn parse_args() -> Args {
             "--tracing" => args.tracing = true,
             "--plot" => args.plot = true,
             "--profile" => args.profile = Some(it.next().expect("--profile PATH")),
+            "--analysis-threads" => {
+                let n: usize = it
+                    .next()
+                    .expect("--analysis-threads N")
+                    .parse()
+                    .expect("thread count");
+                assert!(n >= 1, "--analysis-threads needs N >= 1");
+                // The sweep builds its runtimes internally; route the
+                // setting through the env default they all read.
+                std::env::set_var("VIZ_ANALYSIS_THREADS", n.to_string());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);

@@ -2,11 +2,14 @@
 //! sizes for one app × configuration × node count.
 //!
 //! ```text
-//! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> [--quick] [--profile]
+//! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> \
+//!       [--quick] [--profile] [--analysis-threads N]
 //! ```
 //!
 //! `--profile` records a structured trace of the run and appends the
-//! per-engine metrics table (TSV) to the output.
+//! per-engine metrics table (TSV) to the output. `--analysis-threads N`
+//! runs the analysis through the sharded driver with N workers (the
+//! reported figures are bit-identical to serial; only host time changes).
 
 use viz_bench::AppKind;
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
@@ -30,6 +33,16 @@ fn main() {
     let nodes: usize = args[3].parse().unwrap();
     let quick = args.iter().any(|a| a == "--quick");
     let profile = args.iter().any(|a| a == "--profile");
+    let analysis_threads = args
+        .iter()
+        .position(|a| a == "--analysis-threads")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--analysis-threads N")
+                .parse::<usize>()
+                .expect("thread count")
+        })
+        .unwrap_or_else(viz_runtime::default_analysis_threads);
     if profile {
         viz_profile::enable();
     }
@@ -43,19 +56,21 @@ fn main() {
         RuntimeConfig::new(engine)
             .nodes(nodes)
             .dcr(dcr)
-            .validate(false),
+            .validate(false)
+            .analysis_threads(analysis_threads),
     );
     let host = std::time::Instant::now();
     let run = workload.execute(&mut rt);
     let host_analysis = host.elapsed().as_secs_f64();
     let report = rt.timed_schedule();
     println!(
-        "app={} engine={} dcr={} nodes={} launches={} host_analysis={:.2}s",
+        "app={} engine={} dcr={} nodes={} launches={} analysis_threads={} host_analysis={:.2}s",
         app.label(),
         engine.label(),
         dcr,
         nodes,
         rt.num_tasks(),
+        analysis_threads,
         host_analysis
     );
     let mut prev = 0u64;

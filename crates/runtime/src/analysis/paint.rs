@@ -26,15 +26,20 @@
 //! the ancestor's owner, and are *replicated on demand* — the first scan
 //! from a node fetches the view, later scans are local. The one root is the
 //! scalability sore spot the paper observes (§8.1).
+//!
+//! All of a tree's per-node state for one field lives in a single
+//! [`PaintShard`]: the walk, closes and view bookkeeping of one requirement
+//! never leave its `(root, field)` shard, which is what lets the sharded
+//! driver scan distinct shards concurrently.
 
 use crate::analysis::history::{HistEntry, VisScan};
-use crate::analysis::ChargeSet;
-use crate::engine::{AnalysisCtx, CoherenceEngine, StateSize};
-use crate::plan::AnalysisResult;
+use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
+use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::sharding::ShardMap;
 use crate::task::TaskLaunch;
 use std::sync::Arc;
 use viz_geometry::{FxHashMap, FxHashSet, IndexSpace, Rect};
-use viz_region::{privilege::PrivilegeSummary, FieldId, PartitionId, RegionForest, RegionId};
+use viz_region::{privilege::PrivilegeSummary, PartitionId, RegionForest, RegionId};
 use viz_sim::{NodeId, Op};
 
 #[derive(Clone)]
@@ -54,7 +59,12 @@ pub struct CompositeView {
     /// Union of captured *write* domains — what this view occludes.
     write_domain: IndexSpace,
     summary: PrivilegeSummary,
+    /// Task entries captured, including those inside nested views.
     entries: usize,
+    /// Composite views captured, counting this view itself and every view
+    /// nested (transitively) inside it — what occluding this view removes
+    /// from the alive-view count.
+    views: usize,
 }
 
 struct NodeState {
@@ -107,11 +117,15 @@ impl SubtreeAgg {
     }
 }
 
-/// The optimized painter's algorithm ("Paint" in the figures).
-pub struct Painter {
-    nodes: FxHashMap<(RegionId, FieldId), NodeState>,
+/// One `(root, field)` shard of the painter's state: the sub-histories of
+/// every node in that root's region tree for that field, plus the view
+/// bookkeeping (ids, alive counts, replication cache), all of which is
+/// tree-local.
+#[derive(Default)]
+struct PaintShard {
+    nodes: FxHashMap<RegionId, NodeState>,
     /// Children of a partition with non-empty subtree state.
-    touched: FxHashMap<(PartitionId, FieldId), Vec<RegionId>>,
+    touched: FxHashMap<PartitionId, Vec<RegionId>>,
     next_view: u64,
     views_alive: usize,
     entries_alive: usize,
@@ -119,40 +133,29 @@ pub struct Painter {
     fetched: FxHashSet<(u64, NodeId)>,
 }
 
-impl Painter {
-    pub fn new() -> Self {
-        Painter {
-            nodes: FxHashMap::default(),
-            touched: FxHashMap::default(),
-            next_view: 0,
-            views_alive: 0,
-            entries_alive: 0,
-            fetched: FxHashSet::default(),
-        }
-    }
-
+impl PaintShard {
     /// Aggregate the state of `region`'s subtree (visiting only touched
     /// nodes).
     fn subtree_agg(
         &self,
         forest: &RegionForest,
         region: RegionId,
-        field: FieldId,
         agg: &mut SubtreeAgg,
-        shards: &crate::sharding::ShardMap,
+        shards: &ShardMap,
+        task: u32,
     ) {
-        if let Some(ns) = self.nodes.get(&(region, field)) {
+        if let Some(ns) = self.nodes.get(&region) {
             if !ns.is_empty() {
                 agg.summary.merge(ns.own_summary);
                 agg.bbox = agg.bbox.union_bbox(&ns.own_bbox);
                 agg.entries += ns.hist.len();
-                agg.owners.push(shards.owner(region));
+                agg.owners.push(shards.owner(region, task));
             }
         }
         for q in forest.partitions_of(region) {
-            if let Some(kids) = self.touched.get(&(*q, field)) {
+            if let Some(kids) = self.touched.get(q) {
                 for k in kids.clone() {
-                    self.subtree_agg(forest, k, field, agg, shards);
+                    self.subtree_agg(forest, k, agg, shards, task);
                 }
             }
         }
@@ -163,10 +166,9 @@ impl Painter {
         &mut self,
         forest: &RegionForest,
         region: RegionId,
-        field: FieldId,
         out: &mut Vec<(RegionId, Vec<PathEntry>)>,
     ) {
-        if let Some(ns) = self.nodes.get_mut(&(region, field)) {
+        if let Some(ns) = self.nodes.get_mut(&region) {
             if !ns.is_empty() {
                 let hist = std::mem::take(&mut ns.hist);
                 ns.own_bbox = Rect::EMPTY;
@@ -175,9 +177,9 @@ impl Painter {
             }
         }
         for q in forest.partitions_of(region).to_vec() {
-            if let Some(kids) = self.touched.remove(&(q, field)) {
+            if let Some(kids) = self.touched.remove(&q) {
                 for k in kids {
-                    self.capture(forest, k, field, out);
+                    self.capture(forest, k, out);
                 }
             }
         }
@@ -188,7 +190,6 @@ impl Painter {
         &mut self,
         forest: &RegionForest,
         q: PartitionId,
-        field: FieldId,
         children: &[RegionId],
         keep: Option<RegionId>,
     ) -> Option<Arc<CompositeView>> {
@@ -197,13 +198,13 @@ impl Painter {
             if Some(*c) == keep {
                 continue;
             }
-            self.capture(forest, *c, field, &mut nodes);
+            self.capture(forest, *c, &mut nodes);
         }
         // Update the partition's touched list: drop the captured children.
-        if let Some(kids) = self.touched.get_mut(&(q, field)) {
+        if let Some(kids) = self.touched.get_mut(&q) {
             kids.retain(|k| Some(*k) == keep || !children.contains(k));
             if kids.is_empty() {
-                self.touched.remove(&(q, field));
+                self.touched.remove(&q);
             }
         }
         if nodes.is_empty() {
@@ -213,6 +214,7 @@ impl Painter {
         let mut write_domain = IndexSpace::empty();
         let mut summary = PrivilegeSummary::EMPTY;
         let mut entries = 0;
+        let mut views = 1; // this view itself
         for (_, hist) in &nodes {
             for e in hist {
                 match e {
@@ -226,6 +228,7 @@ impl Painter {
                     }
                     PathEntry::View(v) => {
                         entries += v.entries;
+                        views += v.views;
                         bbox = bbox.union_bbox(&v.bbox);
                         write_domain = write_domain.union(&v.write_domain);
                         summary.merge(v.summary);
@@ -243,12 +246,13 @@ impl Painter {
             write_domain,
             summary,
             entries,
+            views,
         }))
     }
 
     /// Append an entry to a node's history, applying the occlusion-pruning
     /// rule for full writes. Returns geometry ops performed.
-    fn append(&mut self, region: RegionId, field: FieldId, entry: PathEntry) -> usize {
+    fn append(&mut self, region: RegionId, entry: PathEntry) -> usize {
         let mut geom = 0;
         let (bbox, summary_priv, write_domain) = match &entry {
             PathEntry::Task(h) => (
@@ -270,60 +274,55 @@ impl Painter {
                 },
             ),
         };
-        let mut dropped_entries = 0usize;
-        let mut dropped_views = 0usize;
-        {
-            let ns = self.nodes.entry((region, field)).or_default();
-            if let Some(wd) = &write_domain {
-                ns.hist.retain(|old| {
-                    geom += 1;
-                    let occluded = match old {
-                        PathEntry::Task(h) => wd.contains(&h.domain),
-                        // Conservative: prune a view only when the write
-                        // covers its whole bounding box.
-                        PathEntry::View(v) => wd.contains(&IndexSpace::from_rect(v.bbox)),
-                    };
-                    if occluded {
-                        match old {
-                            PathEntry::Task(_) => dropped_entries += 1,
-                            PathEntry::View(v) => {
-                                dropped_views += 1;
-                                dropped_entries += v.entries;
-                            }
-                        }
-                    }
-                    !occluded
-                });
-            }
-            if let Some(p) = summary_priv {
-                ns.own_summary.add(p);
-            } else if let PathEntry::View(v) = &entry {
-                ns.own_summary.merge(v.summary);
-            }
-            ns.own_bbox = ns.own_bbox.union_bbox(&bbox);
-            match &entry {
-                PathEntry::Task(_) => {}
-                PathEntry::View(_) => {}
-            }
-            ns.hist.push(entry);
-        }
-        self.entries_alive -= dropped_entries;
-        self.views_alive -= dropped_views;
         // Task entries are counted once, when first committed; a view's
         // entries were already counted at their original nodes and merely
         // moved, so appending a view adds nothing.
-        let ns = &self.nodes[&(region, field)];
-        if matches!(ns.hist.last().unwrap(), PathEntry::Task(_)) {
+        let is_task = matches!(&entry, PathEntry::Task(_));
+        let mut dropped_entries = 0usize;
+        let mut dropped_views = 0usize;
+        let ns = self.nodes.entry(region).or_default();
+        if let Some(wd) = &write_domain {
+            ns.hist.retain(|old| {
+                geom += 1;
+                let occluded = match old {
+                    PathEntry::Task(h) => wd.contains(&h.domain),
+                    // Conservative: prune a view only when the write
+                    // covers its whole bounding box.
+                    PathEntry::View(v) => wd.contains(&IndexSpace::from_rect(v.bbox)),
+                };
+                if occluded {
+                    match old {
+                        PathEntry::Task(_) => dropped_entries += 1,
+                        // A pruned view takes every nested view with it.
+                        PathEntry::View(v) => {
+                            dropped_views += v.views;
+                            dropped_entries += v.entries;
+                        }
+                    }
+                }
+                !occluded
+            });
+        }
+        if let Some(p) = summary_priv {
+            ns.own_summary.add(p);
+        } else if let PathEntry::View(v) = &entry {
+            ns.own_summary.merge(v.summary);
+        }
+        ns.own_bbox = ns.own_bbox.union_bbox(&bbox);
+        ns.hist.push(entry);
+        self.entries_alive -= dropped_entries;
+        self.views_alive -= dropped_views;
+        if is_task {
             self.entries_alive += 1;
         }
         geom
     }
 
     /// Mark `region` as touched under its parent partition, up the path.
-    fn mark_touched(&mut self, forest: &RegionForest, region: RegionId, field: FieldId) {
+    fn mark_touched(&mut self, forest: &RegionForest, region: RegionId) {
         let mut cur = region;
         while let Some(q) = forest.parent_partition(cur) {
-            let kids = self.touched.entry((q, field)).or_default();
+            let kids = self.touched.entry(q).or_default();
             if !kids.contains(&cur) {
                 kids.push(cur);
             }
@@ -347,9 +346,15 @@ impl Painter {
     }
 }
 
-impl Default for Painter {
-    fn default() -> Self {
-        Self::new()
+/// The optimized painter's algorithm ("Paint" in the figures).
+#[derive(Default)]
+pub struct Painter {
+    shards: ShardedState<PaintShard>,
+}
+
+impl Painter {
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -358,27 +363,45 @@ impl CoherenceEngine for Painter {
         "paint"
     }
 
-    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
-        let origin = ctx.shards.origin(launch.node);
-        ctx.machine.op(origin, Op::LaunchOverhead);
-        let mut result = AnalysisResult::default();
-        let mut commits: Vec<(RegionId, FieldId, HistEntry)> = Vec::new();
+    fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
+        let groups = group_reqs_by_shard(launch, ctx.forest);
+        for (key, _) in &groups {
+            self.shards.get_or_insert_with(*key, PaintShard::default);
+        }
+        groups
+    }
 
-        for (ri, req) in launch.reqs.iter().enumerate() {
-            let field = req.field;
+    fn analyze_shard(
+        &self,
+        key: ShardKey,
+        launch: &TaskLaunch,
+        reqs: &[u32],
+        ctx: &ShardCtx<'_>,
+    ) -> Vec<ReqOutcome> {
+        let origin = ctx.shards.origin(launch.node);
+        let mut shard = self.shards.lock(key);
+        let mut outcomes: Vec<ReqOutcome> = Vec::with_capacity(reqs.len());
+        let mut commits: Vec<(RegionId, HistEntry)> = Vec::with_capacity(reqs.len());
+
+        for &ri in reqs {
+            let req = &launch.reqs[ri as usize];
+            let mut out = ReqOutcome {
+                req: ri,
+                ..ReqOutcome::default()
+            };
             let r_domain = ctx.forest.domain(req.region).clone();
             let r_bbox = r_domain.bbox();
             let path = ctx.forest.path_from_root(req.region);
             // The logical-state walk along the path (version/open-close
             // bookkeeping at every node).
-            ctx.machine.op(origin, Op::PaintWalk { nodes: path.len() });
+            out.scan_log.op(origin, Op::PaintWalk { nodes: path.len() });
 
             // ---- Phase 1: close interfering open subtrees along the path.
             for (k, a) in path.iter().enumerate() {
                 let next_on_path = path.get(k + 1).copied();
-                let owner_a = ctx.shards.owner(*a);
+                let owner_a = ctx.shards.owner(*a, launch.id.0);
                 for q in ctx.forest.partitions_of(*a).to_vec() {
-                    let Some(kids) = self.touched.get(&(q, field)).cloned() else {
+                    let Some(kids) = shard.touched.get(&q).cloned() else {
                         continue;
                     };
                     let keep = next_on_path.filter(|n| kids.contains(n));
@@ -394,9 +417,9 @@ impl CoherenceEngine for Painter {
                             continue;
                         }
                         let mut child_agg = SubtreeAgg::default();
-                        self.subtree_agg(ctx.forest, *c, field, &mut child_agg, ctx.shards);
+                        shard.subtree_agg(ctx.forest, *c, &mut child_agg, ctx.shards, launch.id.0);
                         // Per-child open/summary/bbox test: cheap metadata.
-                        ctx.machine.op(origin, Op::HistScan { entries: 1 });
+                        out.scan_log.op(origin, Op::HistScan { entries: 1 });
                         if child_agg.open()
                             && child_agg.summary.may_interfere(req.privilege)
                             && child_agg.bbox.overlaps(&r_bbox)
@@ -412,14 +435,14 @@ impl CoherenceEngine for Painter {
                     }
                     // Close: capture the interfering subtrees bottom-up into
                     // one view, one gather message per remote captured node.
-                    if let Some(view) = self.close_children(ctx.forest, q, field, &to_close, keep) {
+                    if let Some(view) = shard.close_children(ctx.forest, q, &to_close, keep) {
                         for o in &agg.owners {
                             if *o != owner_a {
-                                ctx.machine
+                                out.scan_log
                                     .send(*o, owner_a, 64 + 24 * (view.entries as u64));
                             }
                         }
-                        ctx.machine.op(
+                        out.scan_log.op(
                             owner_a,
                             Op::ViewCreate {
                                 entries: view.entries,
@@ -428,10 +451,10 @@ impl CoherenceEngine for Painter {
                         viz_profile::instant(viz_profile::EventKind::CompositeView {
                             entries: view.entries as u64,
                         });
-                        self.fetched.insert((view.id, owner_a));
-                        let geom = self.append(*a, field, PathEntry::View(view));
-                        ctx.machine.op(owner_a, Op::GeomOp { rects: geom });
-                        self.mark_touched(ctx.forest, *a, field);
+                        shard.fetched.insert((view.id, owner_a));
+                        let geom = shard.append(*a, PathEntry::View(view));
+                        out.scan_log.op(owner_a, Op::GeomOp { rects: geom });
+                        shard.mark_touched(ctx.forest, *a);
                     }
                 }
             }
@@ -447,10 +470,10 @@ impl CoherenceEngine for Painter {
                 if scan.done() {
                     break;
                 }
-                let owner_a = ctx.shards.owner(*a);
+                let owner_a = ctx.shards.owner(*a, launch.id.0);
                 let mut scanned_here = 0usize;
-                let mut view_fetches: Vec<usize> = Vec::new();
-                if let Some(ns) = self.nodes.get(&(*a, field)) {
+                let mut view_fetches: Vec<(u64, usize)> = Vec::new();
+                if let Some(ns) = shard.nodes.get(a) {
                     for e in ns.hist.iter().rev() {
                         if scan.done() {
                             break;
@@ -464,10 +487,10 @@ impl CoherenceEngine for Painter {
                                 scanned_here += 1;
                                 // Bounding-box prefilter before expanding.
                                 if v.bbox.overlaps(&scan.needed().bbox()) {
-                                    if self.fetched.insert((v.id, origin)) {
-                                        view_fetches.push(v.entries);
+                                    if !shard.fetched.contains(&(v.id, origin)) {
+                                        view_fetches.push((v.id, v.entries));
                                     }
-                                    Self::scan_view(v, &mut scan);
+                                    PaintShard::scan_view(v, &mut scan);
                                 }
                             }
                         }
@@ -475,9 +498,10 @@ impl CoherenceEngine for Painter {
                 }
                 // Replication on demand: first use of a view at this origin
                 // fetches it from the owner.
-                for entries in view_fetches {
+                for (vid, entries) in view_fetches {
+                    shard.fetched.insert((vid, origin));
                     if owner_a != origin {
-                        ctx.machine
+                        out.scan_log
                             .request(origin, owner_a, 96, 64 + 24 * entries as u64, &[]);
                     }
                 }
@@ -501,18 +525,18 @@ impl CoherenceEngine for Painter {
             });
             let (deps, plan) = scan.finish();
             for _ in &deps {
-                ctx.machine.op(origin, Op::DepRecord);
+                out.scan_log.op(origin, Op::DepRecord);
             }
-            charges.flush(ctx.machine, origin);
-            result.deps.extend(deps);
-            result.plans.push(plan);
+            charges.flush_into(&mut out.scan_log, origin);
+            out.deps = deps;
+            out.plan = plan;
+            outcomes.push(out);
 
             commits.push((
                 req.region,
-                field,
                 HistEntry {
                     task: launch.id,
-                    req: ri as u32,
+                    req: ri,
                     privilege: req.privilege,
                     domain: r_domain,
                 },
@@ -520,36 +544,36 @@ impl CoherenceEngine for Painter {
         }
 
         // ---- Phase 3: commit all requirement results.
-        for (region, field, entry) in commits {
-            let owner_r = ctx.shards.owner(region);
-            ctx.machine.send(origin, owner_r, 96);
-            let geom = self.append(region, field, PathEntry::Task(entry));
-            ctx.machine.op(owner_r, Op::GeomOp { rects: geom });
-            ctx.machine.op(owner_r, Op::HistScan { entries: 1 });
-            self.mark_touched(ctx.forest, region, field);
+        for (out, (region, entry)) in outcomes.iter_mut().zip(commits) {
+            let owner_r = ctx.shards.owner(region, launch.id.0);
+            out.commit_log.send(origin, owner_r, 96);
+            let geom = shard.append(region, PathEntry::Task(entry));
+            out.commit_log.op(owner_r, Op::GeomOp { rects: geom });
+            out.commit_log.op(owner_r, Op::HistScan { entries: 1 });
+            shard.mark_touched(ctx.forest, region);
         }
-        result.normalize();
-        result
+        outcomes
     }
 
     fn state_size(&self) -> StateSize {
-        StateSize {
-            history_entries: self.entries_alive,
-            equivalence_sets: 0,
-            composite_views: self.views_alive,
-            index_nodes: 0,
+        let mut size = StateSize::default();
+        for (_, shard) in self.shards.iter() {
+            size.history_entries += shard.entries_alive;
+            size.composite_views += shard.views_alive;
             // Replicated-view bookkeeping is the painter's only cache.
-            memo_entries: self.fetched.len(),
+            size.memo_entries += shard.fetched.len();
         }
+        size
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sharding::ShardMap;
+    use crate::engine::AnalysisCtx;
+    use crate::plan::AnalysisResult;
     use crate::task::{RegionRequirement, TaskId};
-    use viz_region::{Privilege, RedOpRegistry};
+    use viz_region::{FieldId, Privilege, RedOpRegistry};
     use viz_sim::Machine;
 
     struct Fixture {
@@ -722,5 +746,86 @@ mod tests {
             .copies
             .iter()
             .all(|c| c.source != crate::plan::Source::Initial));
+    }
+
+    /// Regression (commit-path accounting): a full write over a node whose
+    /// history is entirely occluded — including a composite view that
+    /// *nests* another view — must prune the whole stack and leave the
+    /// alive counts consistent. The seed code counted only the top-level
+    /// view when pruning (leaking `composite_views`) and re-looked-up the
+    /// just-pushed entry with `hist.last().unwrap()`.
+    #[test]
+    fn full_write_over_occluded_node_clears_view_accounting() {
+        // A three-level tree: N ⊃ P{P0,P1}, P0 ⊃ Q{Q0,Q1}, plus an aliased
+        // partition G of N overlapping P0 — deep enough for a view captured
+        // at P0 to be nested inside a later view at N.
+        let mut forest = RegionForest::new();
+        let n = forest.create_root("N", IndexSpace::span(0, 29));
+        let f = forest.add_field(n, "v");
+        let p = forest.create_partition(
+            n,
+            "P",
+            vec![IndexSpace::span(0, 14), IndexSpace::span(15, 29)],
+        );
+        let p0 = forest.subregion(p, 0);
+        let q = forest.create_partition(
+            p0,
+            "Q",
+            vec![IndexSpace::span(0, 7), IndexSpace::span(8, 14)],
+        );
+        let g = forest.create_partition(n, "G", vec![IndexSpace::span(5, 20)]);
+        let g0 = forest.subregion(g, 0);
+
+        let mut machine = Machine::new(1);
+        let shards = ShardMap::new(1, false);
+        let mut eng = Painter::new();
+        let mut next = 0u32;
+        let mut run =
+            |eng: &mut Painter, machine: &mut Machine, region: RegionId, privilege: Privilege| {
+                let id = next;
+                next += 1;
+                let launch = TaskLaunch {
+                    id: TaskId(id),
+                    name: format!("t{id}"),
+                    node: 0,
+                    reqs: vec![RegionRequirement::new(region, f, privilege)],
+                    duration_ns: 0,
+                };
+                let mut ctx = AnalysisCtx {
+                    forest: &forest,
+                    machine,
+                    shards: &shards,
+                };
+                eng.analyze(&launch, &mut ctx)
+            };
+
+        // Writes under Q, closed into V0 at P0 by a read of P0.
+        run(
+            &mut eng,
+            &mut machine,
+            forest.subregion(q, 0),
+            Privilege::ReadWrite,
+        );
+        run(
+            &mut eng,
+            &mut machine,
+            forest.subregion(q, 1),
+            Privilege::ReadWrite,
+        );
+        run(&mut eng, &mut machine, p0, Privilege::Read);
+        assert_eq!(eng.state_size().composite_views, 1, "V0 at P0");
+        // A read through G closes P0's subtree from N: the new view V1
+        // captures P0's history, *nesting* V0.
+        run(&mut eng, &mut machine, g0, Privilege::Read);
+        assert_eq!(eng.state_size().composite_views, 2, "V1 nests V0");
+        // Full write over the root: every entry and every view — nested
+        // ones included — is occluded and pruned in the same commit.
+        run(&mut eng, &mut machine, n, Privilege::ReadWrite);
+        let size = eng.state_size();
+        assert_eq!(
+            size.composite_views, 0,
+            "all views (incl. nested) pruned by the full write"
+        );
+        assert_eq!(size.history_entries, 1, "only the full write remains");
     }
 }

@@ -16,24 +16,21 @@
 //! Fig 7 behavior.
 
 use crate::analysis::history::{HistEntry, VisScan};
-use crate::analysis::ChargeSet;
-use crate::engine::{AnalysisCtx, CoherenceEngine, StateSize};
-use crate::plan::AnalysisResult;
+use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
+use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::task::TaskLaunch;
-use viz_geometry::FxHashMap;
-use viz_region::{FieldId, RegionId};
 use viz_sim::Op;
 
 /// One global history per (root region, field).
 pub struct PaintNaive {
-    hists: FxHashMap<(RegionId, FieldId), Vec<HistEntry>>,
+    shards: ShardedState<Vec<HistEntry>>,
     prune_occluded: bool,
 }
 
 impl PaintNaive {
     pub fn new() -> Self {
         PaintNaive {
-            hists: FxHashMap::default(),
+            shards: ShardedState::new(),
             prune_occluded: true,
         }
     }
@@ -42,7 +39,7 @@ impl PaintNaive {
     /// history only ever grows.
     pub fn without_pruning() -> Self {
         PaintNaive {
-            hists: FxHashMap::default(),
+            shards: ShardedState::new(),
             prune_occluded: false,
         }
     }
@@ -59,22 +56,34 @@ impl CoherenceEngine for PaintNaive {
         "paint-naive"
     }
 
-    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
-        let origin = ctx.shards.origin(launch.node);
-        ctx.machine.op(origin, Op::LaunchOverhead);
-        let mut result = AnalysisResult::default();
-        let mut new_entries: Vec<((RegionId, FieldId), HistEntry)> = Vec::new();
+    fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
+        let groups = group_reqs_by_shard(launch, ctx.forest);
+        for (key, _) in &groups {
+            self.shards.get_or_insert_with(*key, Vec::new);
+        }
+        groups
+    }
 
-        for (ri, req) in launch.reqs.iter().enumerate() {
-            let root = ctx.forest.root_of(req.region);
-            let key = (root, req.field);
+    fn analyze_shard(
+        &self,
+        key: ShardKey,
+        launch: &TaskLaunch,
+        reqs: &[u32],
+        ctx: &ShardCtx<'_>,
+    ) -> Vec<ReqOutcome> {
+        let origin = ctx.shards.origin(launch.node);
+        let mut hist = self.shards.lock(key);
+        let mut outcomes: Vec<ReqOutcome> = Vec::with_capacity(reqs.len());
+        let mut new_entries: Vec<HistEntry> = Vec::with_capacity(reqs.len());
+
+        for &ri in reqs {
+            let req = &launch.reqs[ri as usize];
             let domain = ctx.forest.domain(req.region).clone();
             let mut scan = VisScan::new(
                 domain.clone(),
                 req.privilege,
                 req.privilege.needs_current_values(),
             );
-            let hist = self.hists.entry(key).or_default();
             for e in hist.iter().rev() {
                 scan.visit(e);
                 if scan.done() && self.prune_occluded {
@@ -107,23 +116,24 @@ impl CoherenceEngine for PaintNaive {
             for _ in &deps {
                 charges.add(0, Op::DepRecord);
             }
-            charges.flush(ctx.machine, origin);
-            result.deps.extend(deps);
-            result.plans.push(plan);
-            new_entries.push((
-                key,
-                HistEntry {
-                    task: launch.id,
-                    req: ri as u32,
-                    privilege: req.privilege,
-                    domain,
-                },
-            ));
+            let mut out = ReqOutcome {
+                req: ri,
+                deps,
+                plan,
+                ..ReqOutcome::default()
+            };
+            charges.flush_into(&mut out.scan_log, origin);
+            outcomes.push(out);
+            new_entries.push(HistEntry {
+                task: launch.id,
+                req: ri,
+                privilege: req.privilege,
+                domain,
+            });
         }
 
         // Commit: append the results of all requirements (Fig 7 line 20).
-        for (key, entry) in new_entries {
-            let hist = self.hists.entry(key).or_default();
+        for (out, entry) in outcomes.iter_mut().zip(new_entries) {
             if self.prune_occluded && entry.privilege.is_write() {
                 // §5.1's occlusion rule, applied at entry granularity: an
                 // older entry wholly covered by this write can never be
@@ -133,17 +143,16 @@ impl CoherenceEngine for PaintNaive {
                     geom += 1;
                     !entry.domain.contains(&old.domain)
                 });
-                ctx.machine.op(0, Op::GeomOp { rects: geom });
+                out.commit_log.op(0, Op::GeomOp { rects: geom });
             }
             hist.push(entry);
         }
-        result.normalize();
-        result
+        outcomes
     }
 
     fn state_size(&self) -> StateSize {
         StateSize {
-            history_entries: self.hists.values().map(Vec::len).sum(),
+            history_entries: self.shards.iter().map(|(_, h)| h.len()).sum(),
             ..StateSize::default()
         }
     }
@@ -152,9 +161,10 @@ impl CoherenceEngine for PaintNaive {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AnalysisCtx;
     use crate::sharding::ShardMap;
     use crate::task::{RegionRequirement, TaskId};
-    use viz_region::RegionForest;
+    use viz_region::{FieldId, RegionForest, RegionId};
     use viz_sim::Machine;
 
     fn setup() -> (RegionForest, RegionId, FieldId) {

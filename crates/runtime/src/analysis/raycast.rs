@@ -18,15 +18,18 @@
 //! The result: fewer live sets than Warnock (writes reset the
 //! decomposition every iteration), no global discovery traffic, and the
 //! near-flat scaling of the `RayCast` curves in Figs 12–17.
+//!
+//! Everything for one `(root, field)` — sets, spatial index, anchor memo,
+//! usage counters — is one shard; nothing an analysis does crosses shards.
 
 use crate::analysis::warnock::{scan_eq_history, EqEntry};
-use crate::analysis::ChargeSet;
-use crate::engine::{AnalysisCtx, CoherenceEngine, StateSize};
-use crate::plan::{AnalysisResult, MaterializePlan};
+use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
+use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::plan::MaterializePlan;
 use crate::task::TaskLaunch;
 use viz_geometry::{FxHashMap, IndexSpace, KdTree};
-use viz_region::{FieldId, PartitionId, Privilege, RegionForest, RegionId};
-use viz_sim::{NodeId, Op};
+use viz_region::{PartitionId, Privilege, RegionForest, RegionId};
+use viz_sim::{ChargeLog, NodeId, Op};
 
 /// A live equivalence set.
 struct RaySet {
@@ -51,6 +54,7 @@ enum SetIndex {
     Kd { tree: KdTree },
 }
 
+/// Per-(root, field) ray-casting state — one shard.
 struct FieldState {
     sets: Vec<RaySet>,
     index: SetIndex,
@@ -86,15 +90,17 @@ impl FieldState {
 
 /// The ray-casting engine ("RayCast" / `neweqcr` in the figures).
 pub struct RayCast {
-    fields: FxHashMap<(RegionId, FieldId), FieldState>,
+    shards: ShardedState<FieldState>,
     force_kd: bool,
+    use_anchor_memo: bool,
 }
 
 impl RayCast {
     pub fn new() -> Self {
         RayCast {
-            fields: FxHashMap::default(),
+            shards: ShardedState::new(),
             force_kd: false,
+            use_anchor_memo: true,
         }
     }
 
@@ -103,6 +109,16 @@ impl RayCast {
     pub fn force_kd_tree() -> Self {
         RayCast {
             force_kd: true,
+            ..Self::new()
+        }
+    }
+
+    /// Disable the overlapping-anchor memo: every launch recomputes its
+    /// anchor list from the region tree. The reference for the memo's
+    /// correctness property tests.
+    pub fn without_anchor_memo() -> Self {
+        RayCast {
+            use_anchor_memo: false,
             ..Self::new()
         }
     }
@@ -178,7 +194,7 @@ impl RayCast {
     /// disjoint-complete partitions, the runtime shifts the equivalence
     /// sets to the new subtree").
     pub fn shift_count(&self) -> u64 {
-        self.fields.values().map(|f| f.shifts).sum()
+        self.shards.iter().map(|(_, f)| f.shifts).sum()
     }
 
     /// The disjoint-and-complete partition on `region`'s path from the
@@ -201,7 +217,7 @@ impl RayCast {
         state: &mut FieldState,
         forest: &RegionForest,
         home: Option<PartitionId>,
-        machine: &mut viz_sim::Machine,
+        log: &mut ChargeLog,
         origin: NodeId,
     ) {
         let Some(home) = home else { return };
@@ -237,16 +253,40 @@ impl RayCast {
                 }
             }
         }
-        machine.op(origin, Op::GeomOp { rects: moved });
+        log.op(origin, Op::GeomOp { rects: moved });
         for _ in 0..moved {
-            machine.op(origin, Op::SetTouch);
+            log.op(origin, Op::SetTouch);
         }
         state.index = SetIndex::Anchored {
             partition: home,
             buckets,
             anchor_bboxes,
         };
-        state.anchor_memo.clear();
+        // Refresh the anchor memo instead of clearing it wholesale: a
+        // memoized list is stale only if the region's overlapping-anchor
+        // set actually differs under the new partition. Recompute each
+        // list once (priced as a geometry query), keep the entries that
+        // come out unchanged and drop the rest. Keeping an entry is sound
+        // precisely because lookups interpret the stored positions against
+        // the *current* partition, and the kept value equals the fresh
+        // computation against it.
+        let memo = std::mem::take(&mut state.anchor_memo);
+        for (region, old) in memo {
+            let overlapping = forest.overlapping_children(home, forest.domain(region));
+            log.op(
+                origin,
+                Op::GeomOp {
+                    rects: overlapping.len().max(1),
+                },
+            );
+            let fresh: Vec<u32> = overlapping
+                .into_iter()
+                .map(|c| children.iter().position(|k| *k == c).unwrap() as u32)
+                .collect();
+            if fresh == old {
+                state.anchor_memo.insert(region, fresh);
+            }
+        }
         state.usage.clear();
         state.shifts += 1;
     }
@@ -263,62 +303,90 @@ impl CoherenceEngine for RayCast {
         "raycast"
     }
 
-    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
-        let origin = ctx.shards.origin(launch.node);
-        ctx.machine.op(origin, Op::LaunchOverhead);
-        let mut result = AnalysisResult::default();
-        // Deferred commits: (key, set ids, entry).
-        let mut commits: Vec<((RegionId, FieldId), Vec<u32>, EqEntry)> = Vec::new();
+    fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
+        let groups = group_reqs_by_shard(launch, ctx.forest);
+        for (key, _) in &groups {
+            let force_kd = self.force_kd;
+            self.shards
+                .get_or_insert_with(*key, || Self::init_state(ctx.forest, key.0, force_kd));
+        }
+        groups
+    }
 
-        for (ri, req) in launch.reqs.iter().enumerate() {
-            let root = ctx.forest.root_of(req.region);
-            let key = (root, req.field);
+    fn analyze_shard(
+        &self,
+        key: ShardKey,
+        launch: &TaskLaunch,
+        reqs: &[u32],
+        ctx: &ShardCtx<'_>,
+    ) -> Vec<ReqOutcome> {
+        let origin = ctx.shards.origin(launch.node);
+        let mut shard = self.shards.lock(key);
+        // Split the ShardRef borrow once so disjoint fields (index vs memo
+        // vs sets) can be borrowed independently below.
+        let state: &mut FieldState = &mut shard;
+        let mut outcomes: Vec<ReqOutcome> = Vec::with_capacity(reqs.len());
+        // Deferred commits: (set ids, entry) per requirement.
+        let mut commits: Vec<(Vec<u32>, EqEntry)> = Vec::with_capacity(reqs.len());
+
+        for &ri in reqs {
+            let req = &launch.reqs[ri as usize];
+            let mut out = ReqOutcome {
+                req: ri,
+                ..ReqOutcome::default()
+            };
             let target = ctx.forest.domain(req.region).clone();
-            let state = self
-                .fields
-                .entry(key)
-                .or_insert_with(|| Self::init_state(ctx.forest, root, self.force_kd));
             if !self.force_kd {
                 let home = Self::home_partition(ctx.forest, req.region);
-                Self::maybe_shift(state, ctx.forest, home, ctx.machine, origin);
+                Self::maybe_shift(state, ctx.forest, home, &mut out.scan_log, origin);
             }
 
             // ---- Ray casting: find the candidate sets through the index.
             // With anchors this is a (replicated, local) region-tree query;
             // the memoized anchor list makes the steady state O(1).
             let mut candidates: Vec<u32> = Vec::new();
+            // The anchor positions this requirement resolved to (used again
+            // by the dominating-write commit below).
+            let mut req_anchors: Vec<u32> = Vec::new();
             match &mut state.index {
                 SetIndex::Anchored {
                     partition, buckets, ..
                 } => {
-                    ctx.machine.op(origin, Op::Memo);
-                    let anchors = match state.anchor_memo.get(&req.region) {
-                        Some(a) => a.clone(),
-                        None => {
-                            let kids = ctx.forest.overlapping_children(*partition, &target);
-                            ctx.machine.op(
-                                origin,
-                                Op::GeomOp {
-                                    rects: kids.len().max(1),
-                                },
-                            );
-                            let idx: Vec<u32> = kids
-                                .into_iter()
-                                .map(|c| {
-                                    ctx.forest
-                                        .children(*partition)
-                                        .iter()
-                                        .position(|k| *k == c)
-                                        .unwrap() as u32
-                                })
-                                .collect();
-                            state.anchor_memo.insert(req.region, idx.clone());
-                            idx
-                        }
+                    let compute = |log: &mut ChargeLog| {
+                        let kids = ctx.forest.overlapping_children(*partition, &target);
+                        log.op(
+                            origin,
+                            Op::GeomOp {
+                                rects: kids.len().max(1),
+                            },
+                        );
+                        kids.into_iter()
+                            .map(|c| {
+                                ctx.forest
+                                    .children(*partition)
+                                    .iter()
+                                    .position(|k| *k == c)
+                                    .unwrap() as u32
+                            })
+                            .collect::<Vec<u32>>()
                     };
-                    for a in anchors {
-                        candidates.extend(buckets[a as usize].iter().copied());
+                    let anchors = if self.use_anchor_memo {
+                        out.scan_log.op(origin, Op::Memo);
+                        match state.anchor_memo.get(&req.region) {
+                            Some(a) => a.clone(),
+                            None => {
+                                let idx = compute(&mut out.scan_log);
+                                state.anchor_memo.insert(req.region, idx.clone());
+                                idx
+                            }
+                        }
+                    } else {
+                        compute(&mut out.scan_log)
+                    };
+                    for a in &anchors {
+                        candidates.extend(buckets[*a as usize].iter().copied());
                     }
+                    req_anchors = anchors;
                     // A set spanning several anchors appears in each bucket:
                     // deduplicate so it is scanned (and folded) once.
                     candidates.sort_unstable();
@@ -334,7 +402,7 @@ impl CoherenceEngine for RayCast {
                     }
                     hits.sort_unstable();
                     hits.dedup();
-                    ctx.machine.op(
+                    out.scan_log.op(
                         origin,
                         Op::GeomOp {
                             rects: hits.len().max(1),
@@ -404,7 +472,7 @@ impl CoherenceEngine for RayCast {
                     count: 2 * killed.len() as u64,
                 });
             }
-            ctx.machine.op(
+            out.scan_log.op(
                 origin,
                 Op::GeomOp {
                     rects: tests.max(1),
@@ -438,17 +506,22 @@ impl CoherenceEngine for RayCast {
                 entries: entries_scanned as u64,
             });
             for _ in &deps {
-                ctx.machine.op(origin, Op::DepRecord);
+                out.scan_log.op(origin, Op::DepRecord);
             }
             if !req.privilege.needs_current_values() {
                 plan.copies.clear();
                 plan.reductions.clear();
             }
-            result.deps.extend(deps);
-            result.plans.push(plan);
+            out.deps = deps;
+            out.plan = plan;
 
             // ---- Dominating write (Fig 11): one fresh set replaces every
             // constituent set; the occluded sets are pruned.
+            let entry = EqEntry {
+                task: launch.id,
+                req: ri,
+                privilege: req.privilege,
+            };
             if req.privilege.is_write() {
                 for n in &relevant {
                     let owner = state.sets[*n as usize].owner;
@@ -463,13 +536,8 @@ impl CoherenceEngine for RayCast {
                 // as in Fig 11).
                 let pieces: Vec<IndexSpace> = match &state.index {
                     SetIndex::Anchored { partition, .. } => {
-                        let anchors = state
-                            .anchor_memo
-                            .get(&req.region)
-                            .cloned()
-                            .unwrap_or_default();
                         let kids = ctx.forest.children(*partition);
-                        anchors
+                        req_anchors
                             .iter()
                             .map(|a| {
                                 let adom = ctx.forest.domain(kids[*a as usize]);
@@ -488,7 +556,7 @@ impl CoherenceEngine for RayCast {
                 let mut new_ids = Vec::with_capacity(pieces.len());
                 for piece in pieces {
                     let id = state.new_set(piece, Vec::new(), launch.node);
-                    ctx.machine.op(origin, Op::EqSetCreate);
+                    out.scan_log.op(origin, Op::EqSetCreate);
                     new_ids.push(id);
                 }
                 viz_profile::instant(viz_profile::EventKind::EqSetCreated {
@@ -496,32 +564,19 @@ impl CoherenceEngine for RayCast {
                 });
                 Self::index_replace(&mut state.index, &state.sets, u32::MAX, &new_ids);
                 Self::index_remove_dead(&mut state.index, &state.sets, &relevant);
-                commits.push((
-                    key,
-                    new_ids,
-                    EqEntry {
-                        task: launch.id,
-                        req: ri as u32,
-                        privilege: req.privilege,
-                    },
-                ));
+                commits.push((new_ids, entry));
             } else {
-                commits.push((
-                    key,
-                    relevant,
-                    EqEntry {
-                        task: launch.id,
-                        req: ri as u32,
-                        privilege: req.privilege,
-                    },
-                ));
+                commits.push((relevant, entry));
             }
-            charges.flush(ctx.machine, origin);
+            charges.flush_into(&mut out.scan_log, origin);
+            outcomes.push(out);
         }
 
-        // ---- Commit.
-        for (key, ids, entry) in commits {
-            let state = self.fields.get_mut(&key).unwrap();
+        // ---- Commit: append to each requirement's target sets. The sets
+        // live in the shard this analysis already holds; a requirement that
+        // resolved to no sets (empty target) commits nothing — there is no
+        // state lookup left to fail.
+        for (out, (ids, entry)) in outcomes.iter_mut().zip(commits) {
             for n in ids {
                 let s = &mut state.sets[n as usize];
                 if !s.live {
@@ -535,14 +590,13 @@ impl CoherenceEngine for RayCast {
                 // owner's message service. A mutating commit migrates the
                 // set to the task's node (Legion moves equivalence-set
                 // metadata to its active users).
-                ctx.machine.send(origin, s.owner, 64);
+                out.commit_log.send(origin, s.owner, 64);
                 if entry.privilege.is_mutating() {
                     s.owner = launch.node;
                 }
             }
         }
-        result.normalize();
-        result
+        outcomes
     }
 
     fn state_size(&self) -> StateSize {
@@ -550,7 +604,7 @@ impl CoherenceEngine for RayCast {
         let mut entries = 0;
         let mut index_nodes = 0;
         let mut memo_entries = 0;
-        for s in self.fields.values() {
+        for (_, s) in self.shards.iter() {
             sets += s.live;
             index_nodes += match &s.index {
                 SetIndex::Anchored { buckets, .. } => buckets.len(),
@@ -620,9 +674,12 @@ impl RayCast {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AnalysisCtx;
+    use crate::plan::AnalysisResult;
     use crate::sharding::ShardMap;
     use crate::task::{RegionRequirement, TaskId};
-    use viz_region::RedOpRegistry;
+    use proptest::prelude::*;
+    use viz_region::{FieldId, RedOpRegistry};
     use viz_sim::Machine;
 
     struct Fixture {
@@ -832,5 +889,139 @@ mod tests {
             .copies
             .iter()
             .all(|c| c.source != crate::plan::Source::Initial));
+    }
+
+    /// Regression (commit path): a requirement that resolves to *no*
+    /// equivalence sets — here a write to an empty region — must commit as
+    /// a no-op. The seed committed through
+    /// `self.fields.get_mut(&key).unwrap()` under the assumption the scan
+    /// left something to commit to.
+    #[test]
+    fn commit_with_no_relevant_sets_is_a_noop() {
+        let (mut fx, n, _p, _g) = paper_fixture();
+        let e = fx
+            .forest
+            .create_partition(n, "E", vec![IndexSpace::empty()]);
+        let empty = fx.forest.subregion(e, 0);
+        let r = fx.launch(empty, Privilege::ReadWrite);
+        assert!(r.deps.is_empty());
+        assert!(r.plans[0].copies.is_empty(), "nothing to materialize");
+        assert_eq!(fx.eng.state_size().equivalence_sets, 3);
+        let r2 = fx.launch(n, Privilege::Read);
+        assert!(r2.deps.is_empty(), "empty-region write left no history");
+    }
+
+    /// Regression (§7.1 shifting): re-anchoring used to clear the whole
+    /// anchor memo; it must only invalidate regions whose overlapping-
+    /// anchor sets actually changed under the new partition.
+    #[test]
+    fn shift_keeps_memo_entries_whose_anchors_are_unchanged() {
+        let (mut fx, _n, p, _g) = paper_fixture();
+        // A second disjoint-and-complete partition: Q0 = [0,14], Q1 = [15,29].
+        // P0 = [0,9] overlaps exactly {Q0}: its memo entry [0] is valid
+        // under both partitions. P2 = [20,29] maps to anchor 2 under P but
+        // anchor 1 under Q: stale.
+        let n = fx.forest.root_of(fx.forest.subregion(p, 0));
+        let q = fx.forest.create_partition(
+            n,
+            "Q",
+            vec![IndexSpace::span(0, 14), IndexSpace::span(15, 29)],
+        );
+        for i in 0..3 {
+            fx.launch(fx.forest.subregion(p, i), Privilege::ReadWrite);
+        }
+        assert_eq!(fx.eng.shift_count(), 0);
+        // Drive usage of Q until the shift heuristic fires (≥16 uses and
+        // ≥4× the current partition's).
+        let q0 = fx.forest.subregion(q, 0);
+        for _ in 0..16 {
+            fx.launch(q0, Privilege::Read);
+        }
+        assert_eq!(fx.eng.shift_count(), 1, "re-anchored to Q");
+        // The memo holds Q0 (just looked up) *and* the still-valid P0
+        // entry; P1 and P2 were invalidated. The seed's wholesale clear
+        // leaves only Q0.
+        assert_eq!(fx.eng.state_size().memo_entries, 2);
+        // Post-shift answers stay correct: reading P2 sees the P-wave
+        // write, through a freshly recomputed anchor list.
+        let r = fx.launch(fx.forest.subregion(p, 2), Privilege::Read);
+        assert_eq!(r.deps, vec![TaskId(2)]);
+    }
+
+    /// One step of a random workload over the paper fixture plus a second
+    /// disjoint-complete partition (so anchor shifts can trigger).
+    #[derive(Clone, Debug)]
+    struct RandOp {
+        part: u8,
+        child: u8,
+        privilege: u8,
+    }
+
+    fn rand_op() -> impl Strategy<Value = RandOp> {
+        (0u8..4, 0u8..3, 0u8..3).prop_map(|(part, child, privilege)| RandOp {
+            part,
+            child,
+            privilege,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The anchor memo is a pure cache: across random refine sequences
+        /// — including usage-driven anchor shifts — the memoized engine
+        /// must produce exactly the dependences and plans of an engine
+        /// that recomputes every anchor lookup from the region tree.
+        #[test]
+        fn anchor_memo_agrees_with_unmemoized(
+            ops in prop::collection::vec(rand_op(), 1..60),
+        ) {
+            let (mut fx, n, p, g) = paper_fixture();
+            let q = fx.forest.create_partition(
+                n,
+                "Q",
+                vec![IndexSpace::span(0, 14), IndexSpace::span(15, 29)],
+            );
+            let mut bare = RayCast::without_anchor_memo();
+            let mut bare_machine = Machine::new(1);
+            for (i, op) in ops.iter().enumerate() {
+                let region = match op.part {
+                    0 => fx.forest.subregion(p, (op.child % 3) as usize),
+                    1 => fx.forest.subregion(g, (op.child % 3) as usize),
+                    // Bias toward Q so shift heuristics actually fire.
+                    _ => fx.forest.subregion(q, (op.child % 2) as usize),
+                };
+                let privilege = match op.privilege {
+                    0 => Privilege::ReadWrite,
+                    1 => Privilege::Read,
+                    _ => Privilege::Reduce(RedOpRegistry::SUM),
+                };
+                let launch = TaskLaunch {
+                    id: TaskId(i as u32),
+                    name: String::new(),
+                    node: 0,
+                    reqs: vec![RegionRequirement::new(region, fx.field, privilege)],
+                    duration_ns: 0,
+                };
+                let mut ctx = AnalysisCtx {
+                    forest: &fx.forest,
+                    machine: &mut fx.machine,
+                    shards: &fx.shards,
+                };
+                let memoized = fx.eng.analyze(&launch, &mut ctx);
+                let mut ctx = AnalysisCtx {
+                    forest: &fx.forest,
+                    machine: &mut bare_machine,
+                    shards: &fx.shards,
+                };
+                let reference = bare.analyze(&launch, &mut ctx);
+                prop_assert_eq!(&memoized.deps, &reference.deps, "launch {}", i);
+                prop_assert_eq!(&memoized.plans, &reference.plans, "launch {}", i);
+            }
+            prop_assert_eq!(
+                fx.eng.state_size().equivalence_sets,
+                bare.state_size().equivalence_sets
+            );
+        }
     }
 }

@@ -22,13 +22,17 @@
 //! refinement tree's inner nodes are immutable once split, so they
 //! replicate on demand — but *discovery* of brand-new regions must traverse
 //! from the root, whose authority lives on node 0.
+//!
+//! The whole refinement tree for one `(root, field)` — including its memo
+//! and replication cache — is one shard; nothing an analysis does ever
+//! crosses shards.
 
-use crate::analysis::ChargeSet;
-use crate::engine::{AnalysisCtx, CoherenceEngine, StateSize};
-use crate::plan::{AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source};
+use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
+use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::plan::{CopyRange, MaterializePlan, ReduceRange, Source};
 use crate::task::{TaskId, TaskLaunch};
 use viz_geometry::{FxHashMap, FxHashSet, IndexSpace};
-use viz_region::{FieldId, Privilege, RegionId};
+use viz_region::{Privilege, RegionId};
 use viz_sim::{NodeId, Op};
 
 /// One operation recorded in an equivalence set's history. The domain is
@@ -103,7 +107,7 @@ enum EqKind {
     Inner { children: Vec<u32> },
 }
 
-/// Per-(root, field) refinement tree.
+/// Per-(root, field) refinement tree — one shard of Warnock's state.
 struct FieldTree {
     nodes: Vec<EqNode>,
     root: u32,
@@ -112,6 +116,8 @@ struct FieldTree {
     /// correct because refinement only splits.
     memo: FxHashMap<RegionId, Vec<u32>>,
     live_leaves: usize,
+    /// Inner tree nodes already replicated at a given machine node.
+    replicated: FxHashSet<(u32, NodeId)>,
 }
 
 impl FieldTree {
@@ -125,23 +131,21 @@ impl FieldTree {
             root: 0,
             memo: FxHashMap::default(),
             live_leaves: 1,
+            replicated: FxHashSet::default(),
         }
     }
 }
 
 /// Warnock's algorithm ("Warnock" / `oldeqcr` in the figures).
 pub struct Warnock {
-    trees: FxHashMap<(RegionId, FieldId), FieldTree>,
-    /// Inner tree nodes already replicated at a given machine node.
-    replicated: FxHashSet<(RegionId, FieldId, u32, NodeId)>,
+    shards: ShardedState<FieldTree>,
     memoize: bool,
 }
 
 impl Warnock {
     pub fn new() -> Self {
         Warnock {
-            trees: FxHashMap::default(),
-            replicated: FxHashSet::default(),
+            shards: ShardedState::new(),
             memoize: true,
         }
     }
@@ -167,24 +171,38 @@ impl CoherenceEngine for Warnock {
         "warnock"
     }
 
-    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
-        let origin = ctx.shards.origin(launch.node);
-        ctx.machine.op(origin, Op::LaunchOverhead);
-        let mut result = AnalysisResult::default();
-        let mut commits: Vec<((RegionId, FieldId), Vec<u32>, EqEntry)> = Vec::new();
+    fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
+        let groups = group_reqs_by_shard(launch, ctx.forest);
+        for (key, _) in &groups {
+            self.shards
+                .get_or_insert_with(*key, || FieldTree::new(ctx.forest.domain(key.0).clone()));
+        }
+        groups
+    }
 
-        for (ri, req) in launch.reqs.iter().enumerate() {
-            let root = ctx.forest.root_of(req.region);
-            let key = (root, req.field);
+    fn analyze_shard(
+        &self,
+        key: ShardKey,
+        launch: &TaskLaunch,
+        reqs: &[u32],
+        ctx: &ShardCtx<'_>,
+    ) -> Vec<ReqOutcome> {
+        let origin = ctx.shards.origin(launch.node);
+        let mut tree = self.shards.lock(key);
+        let mut outcomes: Vec<ReqOutcome> = Vec::with_capacity(reqs.len());
+        let mut commits: Vec<(Vec<u32>, EqEntry)> = Vec::with_capacity(reqs.len());
+
+        for &ri in reqs {
+            let req = &launch.reqs[ri as usize];
+            let mut out = ReqOutcome {
+                req: ri,
+                ..ReqOutcome::default()
+            };
             let target = ctx.forest.domain(req.region).clone();
-            let tree = self
-                .trees
-                .entry(key)
-                .or_insert_with(|| FieldTree::new(ctx.forest.domain(root).clone()));
 
             // ---- Discovery: find the starting nodes (memo hit) or
             // traverse from the tree root (memo miss).
-            ctx.machine.op(origin, Op::Memo);
+            out.scan_log.op(origin, Op::Memo);
             let starts = match tree.memo.get(&req.region) {
                 Some(nodes) if self.memoize => nodes.clone(),
                 _ => vec![tree.root],
@@ -206,7 +224,7 @@ impl CoherenceEngine for Warnock {
                 };
                 // Each traversal step tests the target against this node's
                 // (possibly heavily fragmented) domain.
-                ctx.machine.op(
+                out.scan_log.op(
                     origin,
                     Op::GeomOp {
                         rects: rects.min(64),
@@ -220,7 +238,7 @@ impl CoherenceEngine for Warnock {
                     // Replication on demand of immutable inner nodes: the
                     // descriptors this traversal needs and has not yet
                     // cached are fetched in one batched request below.
-                    if self.replicated.insert((key.0, key.1, n, origin)) {
+                    if tree.replicated.insert((n, origin)) {
                         to_replicate += 1;
                     }
                     if let EqKind::Inner { children } = &tree.nodes[n as usize].kind {
@@ -281,7 +299,7 @@ impl CoherenceEngine for Warnock {
                 refined += 1;
                 relevant.push(inside_idx);
             }
-            refine_charges.flush(ctx.machine, origin);
+            refine_charges.flush_into(&mut out.scan_log, origin);
             viz_profile::instant(viz_profile::EventKind::BvhTraversal {
                 nodes: traversal_tests as u64,
             });
@@ -296,7 +314,7 @@ impl CoherenceEngine for Warnock {
             if to_replicate > 0 {
                 // One batched fetch: the authoritative tree lives on node
                 // 0, which must build and ship the descriptors.
-                ctx.machine.request(
+                out.scan_log.request(
                     origin,
                     0,
                     96,
@@ -338,35 +356,37 @@ impl CoherenceEngine for Warnock {
                     },
                 );
             }
-            charges.flush(ctx.machine, origin);
+            charges.flush_into(&mut out.scan_log, origin);
             viz_profile::instant(viz_profile::EventKind::HistoryScan {
                 entries: entries_scanned as u64,
             });
             for _ in &deps {
-                ctx.machine.op(origin, Op::DepRecord);
+                out.scan_log.op(origin, Op::DepRecord);
             }
             if !req.privilege.needs_current_values() {
                 plan.copies.clear();
                 plan.reductions.clear();
             }
-            result.deps.extend(deps);
-            result.plans.push(plan);
+            out.deps = deps;
+            out.plan = plan;
+            outcomes.push(out);
 
             commits.push((
-                key,
                 relevant,
                 EqEntry {
                     task: launch.id,
-                    req: ri as u32,
+                    req: ri,
                     privilege: req.privilege,
                 },
             ));
         }
 
         // ---- Commit (Fig 9): append to each constituent set; a write
-        // clears the prior history, keeping histories precise.
-        for (key, relevant, entry) in commits {
-            let tree = self.trees.get_mut(&key).unwrap();
+        // clears the prior history, keeping histories precise. A
+        // requirement whose scan found no sets (empty target) commits
+        // nothing — the loop body simply never runs, there is no state
+        // lookup left to panic on.
+        for (out, (relevant, entry)) in outcomes.iter_mut().zip(commits) {
             for n in relevant {
                 let node = &mut tree.nodes[n as usize];
                 let EqKind::Leaf { hist } = &mut node.kind else {
@@ -379,14 +399,13 @@ impl CoherenceEngine for Warnock {
                 // One-way commit notification; the append is handled by the
                 // owner's message service. A mutating commit migrates the
                 // set to the task's node.
-                ctx.machine.send(origin, node.owner, 64);
+                out.commit_log.send(origin, node.owner, 64);
                 if entry.privilege.is_mutating() {
                     node.owner = launch.node;
                 }
             }
         }
-        result.normalize();
-        result
+        outcomes
     }
 
     fn state_size(&self) -> StateSize {
@@ -394,7 +413,7 @@ impl CoherenceEngine for Warnock {
         let mut entries = 0;
         let mut index_nodes = 0;
         let mut memo_entries = 0;
-        for t in self.trees.values() {
+        for (_, t) in self.shards.iter() {
             sets += t.live_leaves;
             index_nodes += t.nodes.len();
             memo_entries += t.memo.values().map(Vec::len).sum::<usize>();
@@ -417,9 +436,11 @@ impl CoherenceEngine for Warnock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::AnalysisCtx;
+    use crate::plan::AnalysisResult;
     use crate::sharding::ShardMap;
     use crate::task::RegionRequirement;
-    use viz_region::{RedOpRegistry, RegionForest};
+    use viz_region::{FieldId, RedOpRegistry, RegionForest};
     use viz_sim::Machine;
 
     struct Fixture {
@@ -619,5 +640,25 @@ mod tests {
         let total: u64 = r.plans[0].copies.iter().map(|c| c.domain.volume()).sum();
         assert_eq!(total, 30);
         assert_eq!(r.deps.len(), 2, "depends on both prior writes");
+    }
+
+    /// Regression (commit path): a requirement whose scan finds *no*
+    /// relevant sets — here an empty region — must commit as a no-op. The
+    /// seed committed through `self.trees.get_mut(&key).unwrap()` keyed
+    /// off state the scan was assumed to have created.
+    #[test]
+    fn commit_with_no_relevant_sets_is_a_noop() {
+        let (mut fx, n) = fixture_with(|f, n| {
+            f.create_partition(n, "E", vec![IndexSpace::empty(), IndexSpace::span(0, 29)]);
+        });
+        let e = fx.forest.partitions_of(n)[0];
+        let empty = fx.forest.subregion(e, 0);
+        let r = fx.launch(empty, Privilege::ReadWrite);
+        assert!(r.deps.is_empty());
+        assert!(r.plans[0].copies.is_empty(), "nothing to materialize");
+        // The root set is untouched, and a follow-up full write still works.
+        assert_eq!(fx.eng.state_size().equivalence_sets, 1);
+        let r2 = fx.launch(n, Privilege::ReadWrite);
+        assert!(r2.deps.is_empty(), "empty-region write left no history");
     }
 }

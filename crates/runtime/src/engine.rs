@@ -1,11 +1,11 @@
 //! The coherence-engine interface shared by all three visibility algorithms.
 
-use crate::analysis::{paint, paint_naive, raycast, warnock};
-use crate::plan::AnalysisResult;
+use crate::analysis::{paint, paint_naive, raycast, warnock, ReqOutcome, ShardKey};
+use crate::plan::{AnalysisResult, MaterializePlan};
 use crate::sharding::ShardMap;
 use crate::task::TaskLaunch;
 use viz_region::RegionForest;
-use viz_sim::Machine;
+use viz_sim::{Machine, Op};
 
 /// Everything an engine may consult while analyzing a launch. The engines
 /// run their data structures for real; `machine` only *prices* the
@@ -16,27 +16,113 @@ pub struct AnalysisCtx<'a> {
     pub shards: &'a ShardMap,
 }
 
+/// The read-only context available to a shard-local scan. Unlike
+/// [`AnalysisCtx`], it carries no machine: scans record their charges into
+/// per-requirement [`viz_sim::ChargeLog`]s, replayed by the driver in
+/// canonical order.
+pub struct ShardCtx<'a> {
+    pub forest: &'a RegionForest,
+    pub shards: &'a ShardMap,
+}
+
 /// A dynamic dependence/coherence analysis: the `materialize`/`commit`
 /// framework of §4 (Fig 6), fused into a single `analyze` observing each
 /// task launch in program order.
 ///
-/// `analyze` must return
+/// Engines are *sharded*: all four key their retained state by the
+/// `(root region, field)` of a requirement, and state on distinct shards
+/// never interacts (§5–7). The interface splits a launch's analysis into
+///
+/// * [`prepare`](CoherenceEngine::prepare) — on the driver thread, with
+///   exclusive access: group the requirements by shard and create any
+///   missing shard state. Performs no machine charges.
+/// * [`analyze_shard`](CoherenceEngine::analyze_shard) — scan and commit
+///   the given requirements against one shard. Takes `&self`: calls for
+///   *distinct* shards may run concurrently on worker threads; the driver
+///   never runs two calls against the same shard at once. Charges are
+///   recorded, not applied.
+///
+/// The provided [`analyze`](CoherenceEngine::analyze) drives the two hooks
+/// sequentially and replays the recorded charges immediately — the serial
+/// reference the sharded driver must match byte-for-byte.
+///
+/// Analysis must produce, per launch:
 /// * the launch's dependences (a sufficient set: with transitivity, every
 ///   interfering pair of tasks is ordered), and
 /// * one materialization plan per region requirement (§3.1): base copies
 ///   covering the domain from the most recent writes, plus the pending
 ///   reductions to fold — or an identity fill for reduction privileges
 ///   (the lazy-reduction rule of Fig 7, line 14).
-pub trait CoherenceEngine: Send {
+pub trait CoherenceEngine: Send + Sync {
     fn name(&self) -> &'static str;
 
-    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult;
+    /// Group `launch`'s requirements by shard (first-touch order, see
+    /// [`crate::analysis::group_reqs_by_shard`]) and create missing shard
+    /// state. Driver thread only; must not charge the machine.
+    fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)>;
+
+    /// Analyze requirements `reqs` (indices into `launch.reqs`, ascending)
+    /// against shard `key`: run the backward visibility scans, commit the
+    /// requirements into the shard state, and record all machine charges
+    /// into the returned outcomes' logs.
+    fn analyze_shard(
+        &self,
+        key: ShardKey,
+        launch: &TaskLaunch,
+        reqs: &[u32],
+        ctx: &ShardCtx<'_>,
+    ) -> Vec<ReqOutcome>;
+
+    /// Serial analysis: prepare, scan every shard in order, replay charges.
+    fn analyze(&mut self, launch: &TaskLaunch, ctx: &mut AnalysisCtx<'_>) -> AnalysisResult {
+        ctx.machine
+            .op(ctx.shards.origin(launch.node), Op::LaunchOverhead);
+        let sctx = ShardCtx {
+            forest: ctx.forest,
+            shards: ctx.shards,
+        };
+        let groups = self.prepare(launch, &sctx);
+        let mut outcomes = Vec::with_capacity(launch.reqs.len());
+        for (key, reqs) in &groups {
+            outcomes.extend(self.analyze_shard(*key, launch, reqs, &sctx));
+        }
+        assemble_outcomes(launch, outcomes, ctx.machine)
+    }
 
     /// Structure-size report for instrumentation (equivalence sets alive,
     /// history entries stored, composite views alive).
     fn state_size(&self) -> StateSize {
         StateSize::default()
     }
+}
+
+/// Replay per-requirement charge logs in canonical order (all scans in
+/// requirement order, then all commits in requirement order — the exact
+/// sequence a serial engine produces) and assemble the launch's
+/// [`AnalysisResult`]. Shared by the serial and the sharded drivers, which
+/// is what makes the two byte-identical.
+pub(crate) fn assemble_outcomes(
+    launch: &TaskLaunch,
+    mut outcomes: Vec<ReqOutcome>,
+    machine: &mut Machine,
+) -> AnalysisResult {
+    outcomes.sort_by_key(|o| o.req);
+    for o in &outcomes {
+        o.scan_log.replay(machine);
+    }
+    for o in &outcomes {
+        o.commit_log.replay(machine);
+    }
+    let mut result = AnalysisResult {
+        deps: Vec::new(),
+        plans: vec![MaterializePlan::default(); launch.reqs.len()],
+    };
+    for o in outcomes {
+        result.deps.extend(o.deps);
+        result.plans[o.req as usize] = o.plan;
+    }
+    result.normalize();
+    result
 }
 
 /// Sizes of an engine's retained analysis state.

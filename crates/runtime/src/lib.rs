@@ -53,7 +53,7 @@ pub use index_launch::{IndexLaunchResult, Projection};
 pub use instance::PhysicalRegion;
 pub use mapper::Mapper;
 pub use plan::{AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source};
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{default_analysis_threads, LaunchSpec, Runtime, RuntimeConfig};
 pub use sharding::ShardMap;
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
 pub use trace::TraceId;

@@ -40,7 +40,7 @@ pub struct ReduceRange {
 }
 
 /// The coherence plan for one region requirement.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MaterializePlan {
     /// Base values. Empty for `reduce` privileges (which materialize an
     /// identity-filled instance instead — the lazy-reduction optimization
@@ -100,7 +100,7 @@ impl MaterializePlan {
 }
 
 /// The full result of analyzing one task launch.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct AnalysisResult {
     /// Tasks this launch must wait for (sorted, deduplicated). Together with
     /// transitivity this orders every interfering pair (§3.2).

@@ -26,6 +26,21 @@ pub struct RuntimeConfig {
     /// Check the §4 requirement-aliasing rule on every launch (on by
     /// default; benchmarks at large scales may disable it).
     pub validate_launches: bool,
+    /// Worker threads for the sharded analysis driver
+    /// ([`Runtime::run_batch`]): with more than one, a batch's per-(root,
+    /// field) shard scans run concurrently. Defaults from the
+    /// `VIZ_ANALYSIS_THREADS` environment variable (else 1 = serial).
+    pub analysis_threads: usize,
+}
+
+/// The `VIZ_ANALYSIS_THREADS` default for
+/// [`RuntimeConfig::analysis_threads`] (1 when unset or unparsable).
+pub fn default_analysis_threads() -> usize {
+    std::env::var("VIZ_ANALYSIS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .unwrap_or(1)
 }
 
 impl RuntimeConfig {
@@ -36,6 +51,7 @@ impl RuntimeConfig {
             dcr: false,
             cost: CostModel::default(),
             validate_launches: true,
+            analysis_threads: default_analysis_threads(),
         }
     }
 
@@ -57,6 +73,39 @@ impl RuntimeConfig {
     pub fn validate(mut self, v: bool) -> Self {
         self.validate_launches = v;
         self
+    }
+
+    pub fn analysis_threads(mut self, n: usize) -> Self {
+        self.analysis_threads = n.max(1);
+        self
+    }
+}
+
+/// A deferred launch, for [`Runtime::run_batch`]: the same arguments
+/// [`Runtime::launch`] takes, as data.
+pub struct LaunchSpec {
+    pub name: String,
+    pub node: NodeId,
+    pub reqs: Vec<RegionRequirement>,
+    pub duration_ns: u64,
+    pub body: Option<TaskBody>,
+}
+
+impl LaunchSpec {
+    pub fn new(
+        name: impl Into<String>,
+        node: NodeId,
+        reqs: Vec<RegionRequirement>,
+        duration_ns: u64,
+        body: Option<TaskBody>,
+    ) -> Self {
+        LaunchSpec {
+            name: name.into(),
+            node,
+            reqs,
+            duration_ns,
+            body,
+        }
     }
 }
 
@@ -81,6 +130,7 @@ pub struct Runtime {
     dag: TaskDag,
     initial: FxHashMap<(RegionId, FieldId), InitFn>,
     validate_launches: bool,
+    analysis_threads: usize,
     tracing: Tracing,
 }
 
@@ -99,6 +149,7 @@ impl Runtime {
             dag: TaskDag::new(),
             initial: FxHashMap::default(),
             validate_launches: config.validate_launches,
+            analysis_threads: config.analysis_threads,
             tracing: Tracing::default(),
         }
     }
@@ -188,7 +239,7 @@ impl Runtime {
             TraceAction::Analyze { record } => {
                 // First-touch ownership of analysis state.
                 for req in &launch.reqs {
-                    self.shards.touch(req.region, launch.node);
+                    self.shards.touch(req.region, launch.node, id.0);
                 }
                 let engine_name = self.engine.name();
                 let host_span = viz_profile::span(engine_name);
@@ -232,6 +283,112 @@ impl Runtime {
         self.launches.push(launch);
         self.bodies.push(body);
         id
+    }
+
+    /// Launch a *batch* of independent-or-not tasks through the sharded
+    /// analysis driver. Semantically identical to calling
+    /// [`Runtime::launch`] for each item in order — dependences, plans,
+    /// simulated clocks, and counters come out byte-for-byte the same — but
+    /// with `analysis_threads > 1` the per-`(root, field)` visibility scans
+    /// of the batch run concurrently on a scoped worker pool, with a
+    /// pipelined commit stage retiring launches in order.
+    ///
+    /// Falls back to the serial path when `analysis_threads <= 1`, inside a
+    /// trace (trace bookkeeping is per-launch-in-order), or for batches of
+    /// one.
+    pub fn run_batch(&mut self, items: Vec<LaunchSpec>) -> Vec<TaskId> {
+        if self.analysis_threads <= 1 || self.tracing.in_trace() || items.len() <= 1 {
+            return items
+                .into_iter()
+                .map(|s| self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body))
+                .collect();
+        }
+        let base = self.launches.len() as u32;
+        let count = items.len();
+        let mut batch: Vec<TaskLaunch> = Vec::with_capacity(count);
+        let mut batch_bodies: Vec<Option<TaskBody>> = Vec::with_capacity(count);
+        let mut groups: Vec<Vec<(crate::analysis::ShardKey, Vec<u32>)>> = Vec::with_capacity(count);
+        // Phase A (driver thread): validate, assign ids, first-touch the
+        // shard map, and let the engine create missing shard state. The
+        // grouping depends only on the region forest, so the whole batch
+        // can be prepared before any scan runs.
+        for spec in items {
+            if self.validate_launches {
+                self.validate_reqs(&spec.reqs);
+            }
+            let launch = TaskLaunch {
+                id: TaskId(base + batch.len() as u32),
+                name: spec.name,
+                node: spec.node % self.shards.nodes(),
+                reqs: spec.reqs,
+                duration_ns: spec.duration_ns,
+            };
+            for req in &launch.reqs {
+                self.shards.touch(req.region, launch.node, launch.id.0);
+            }
+            groups.push(self.engine.prepare(
+                &launch,
+                &crate::engine::ShardCtx {
+                    forest: &self.forest,
+                    shards: &self.shards,
+                },
+            ));
+            batch.push(launch);
+            batch_bodies.push(spec.body);
+        }
+        // Phase B (workers) + C (pipelined commit on this thread). Borrows
+        // split per field: workers read the engine/forest/shard map; the
+        // retire closure replays charges and grows the bookkeeping.
+        {
+            let engine: &dyn CoherenceEngine = &*self.engine;
+            let forest = &self.forest;
+            let shards = &self.shards;
+            let machine = &mut self.machine;
+            let results = &mut self.results;
+            let analysis_done = &mut self.analysis_done;
+            let dag = &mut self.dag;
+            let tracing = &self.tracing;
+            let batch_ref = &batch;
+            crate::exec::scan_batch(
+                engine,
+                forest,
+                shards,
+                batch_ref,
+                &groups,
+                self.analysis_threads,
+                |i, outcomes| {
+                    // Exactly the serial per-launch charge sequence:
+                    // overhead at the origin, then every scan log in
+                    // requirement order, then every commit log.
+                    let launch = &batch_ref[i];
+                    let origin = shards.origin(launch.node);
+                    let sim_start = machine.now(origin);
+                    machine.op(origin, viz_sim::Op::LaunchOverhead);
+                    let mut result = crate::engine::assemble_outcomes(launch, outcomes, machine);
+                    if viz_profile::enabled() {
+                        let sim_end = machine.now(origin);
+                        viz_profile::sim_event(
+                            sim_start,
+                            sim_end.saturating_sub(sim_start),
+                            viz_profile::Track::SimProgram {
+                                node: origin as u32,
+                            },
+                            viz_profile::EventKind::LaunchAnalyzed {
+                                engine: engine.name(),
+                                task: launch.id.0 as u64,
+                            },
+                        );
+                    }
+                    tracing.rebase_result(&mut result);
+                    analysis_done.push(machine.now(origin));
+                    dag.push(result.deps.clone());
+                    results.push(result);
+                },
+            );
+        }
+        self.launches.append(&mut batch);
+        self.bodies.append(&mut batch_bodies);
+        (0..count as u32).map(|k| TaskId(base + k)).collect()
     }
 
     /// Begin a trace (dynamic tracing, \[15\]): the launches up to the

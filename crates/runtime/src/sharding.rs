@@ -19,11 +19,18 @@ use viz_region::RegionId;
 use viz_sim::NodeId;
 
 /// Maps analysis work and state to machine nodes.
+///
+/// Ownership entries are **versioned by the launch that created them**: a
+/// lookup on behalf of launch `t` sees exactly the touches of launches
+/// `<= t`. The serial driver gets the behavior it always had (each launch
+/// touches, then analyzes); the batched driver can touch a whole batch up
+/// front and still hand every concurrent scan the view its launch would
+/// have seen serially.
 #[derive(Clone, Debug)]
 pub struct ShardMap {
     nodes: usize,
     dcr: bool,
-    owners: FxHashMap<RegionId, NodeId>,
+    owners: FxHashMap<RegionId, (NodeId, u32)>,
 }
 
 impl ShardMap {
@@ -53,15 +60,21 @@ impl ShardMap {
     }
 
     /// Record the first-touch owner for a region's analysis state (no-op if
-    /// already owned).
-    pub fn touch(&mut self, region: RegionId, node: NodeId) {
-        self.owners.entry(region).or_insert(node % self.nodes);
+    /// already owned), on behalf of launch `task`.
+    pub fn touch(&mut self, region: RegionId, node: NodeId, task: u32) {
+        self.owners
+            .entry(region)
+            .or_insert((node % self.nodes, task));
     }
 
-    /// The owner of analysis state keyed by `region`; regions never touched
-    /// default to node 0 (the root's home, where the initial state lives).
-    pub fn owner(&self, region: RegionId) -> NodeId {
-        self.owners.get(&region).copied().unwrap_or(0)
+    /// The owner of analysis state keyed by `region`, as visible to launch
+    /// `task`; regions not yet touched by then default to node 0 (the
+    /// root's home, where the initial state lives).
+    pub fn owner(&self, region: RegionId, task: u32) -> NodeId {
+        match self.owners.get(&region) {
+            Some((node, touched)) if *touched <= task => *node,
+            _ => 0,
+        }
     }
 }
 
@@ -88,9 +101,21 @@ mod tests {
     fn first_touch_ownership_sticks() {
         let mut s = ShardMap::new(4, true);
         let r = RegionId(7);
-        assert_eq!(s.owner(r), 0, "untouched state lives at the root's home");
-        s.touch(r, 2);
-        s.touch(r, 3);
-        assert_eq!(s.owner(r), 2, "first touch wins");
+        assert_eq!(s.owner(r, 0), 0, "untouched state lives at the root's home");
+        s.touch(r, 2, 0);
+        s.touch(r, 3, 1);
+        assert_eq!(s.owner(r, 1), 2, "first touch wins");
+    }
+
+    #[test]
+    fn touches_by_later_launches_are_invisible_to_earlier_ones() {
+        let mut s = ShardMap::new(4, true);
+        let r = RegionId(7);
+        // A batch touches regions for every launch before any scan runs;
+        // launch 3's touch must not leak into launch 2's view.
+        s.touch(r, 1, 3);
+        assert_eq!(s.owner(r, 2), 0, "launch 2 predates the touch");
+        assert_eq!(s.owner(r, 3), 1, "the toucher itself sees it");
+        assert_eq!(s.owner(r, 9), 1, "so does everyone after");
     }
 }

@@ -268,4 +268,11 @@ impl Tracing {
     pub fn is_replaying(&self) -> bool {
         self.active.as_ref().is_some_and(|a| a.replaying)
     }
+
+    /// Inside a `begin_trace`/`end_trace` region (warming, capturing, or
+    /// replaying)? Batched analysis falls back to the serial driver here:
+    /// trace bookkeeping is inherently per-launch-in-order.
+    pub fn in_trace(&self) -> bool {
+        self.active.is_some()
+    }
 }

@@ -110,7 +110,7 @@ impl CostModel {
 
 /// Analysis operations charged by the coherence engines. Each bumps a
 /// counter and advances the charged node's clock by [`CostModel::op_ns`].
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Op {
     /// One index-space set operation touching `rects` rectangles total.
     GeomOp {

@@ -20,10 +20,12 @@
 //! * [`event`] — a minimal Realm-like deferred-execution event layer used by
 //!   the executor to propagate completion times through task/copy graphs.
 
+pub mod charge;
 pub mod cost;
 pub mod event;
 pub mod machine;
 
+pub use charge::{ChargeLog, MachineCall};
 pub use cost::{CostModel, Counters, Op};
 pub use event::{Event, EventPool};
 pub use machine::{Machine, NodeId, SimTime};

@@ -1,0 +1,138 @@
+//! The sharded-analysis determinism gate: running the visibility analysis
+//! on a multi-thread scoped worker pool must be **byte-identical** to the
+//! serial driver — same dependences, same materialization plans, same
+//! simulated clocks, counters, and makespans. The batched driver only
+//! reorders *host* work (per-`(root, field)` scans run concurrently); the
+//! pipelined commit stage replays every launch's recorded machine charges
+//! in the exact order the serial driver would have issued them.
+
+use visibility::apps::{
+    Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload,
+};
+use visibility::prelude::*;
+use visibility::sim::SimTime;
+
+fn run_one(
+    workload: &dyn Workload,
+    engine: EngineKind,
+    nodes: usize,
+    dcr: bool,
+    threads: usize,
+) -> Snapshot {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(engine)
+            .nodes(nodes)
+            .dcr(dcr)
+            .analysis_threads(threads),
+    );
+    let run = workload.execute(&mut rt);
+    let results: Vec<visibility::runtime::AnalysisResult> = rt.results().to_vec();
+    let analysis_done: Vec<SimTime> = (0..rt.num_tasks() as u32)
+        .map(|t| rt.analysis_done(TaskId(t)))
+        .collect();
+    let clocks = rt.machine().clocks().to_vec();
+    let service_clocks = rt.machine().service_clocks().to_vec();
+    let counters = rt.machine().counters().clone();
+    let state = rt.state_size();
+    let report = rt.timed_schedule();
+    let makespan = report.completion_through(*run.iter_end.last().unwrap());
+    Snapshot {
+        results,
+        analysis_done,
+        clocks,
+        service_clocks,
+        counters,
+        state,
+        makespan,
+    }
+}
+
+struct Snapshot {
+    results: Vec<visibility::runtime::AnalysisResult>,
+    analysis_done: Vec<SimTime>,
+    clocks: Vec<SimTime>,
+    service_clocks: Vec<SimTime>,
+    counters: visibility::sim::Counters,
+    state: visibility::runtime::engine::StateSize,
+    makespan: SimTime,
+}
+
+fn assert_identical(workload: &dyn Workload, engine: EngineKind, nodes: usize, dcr: bool) {
+    let serial = run_one(workload, engine, nodes, dcr, 1);
+    let sharded = run_one(workload, engine, nodes, dcr, 4);
+    let tag = format!("{} {engine:?} nodes={nodes} dcr={dcr}", workload.name());
+    assert_eq!(
+        serial.results.len(),
+        sharded.results.len(),
+        "{tag}: launch counts differ"
+    );
+    for (t, (a, b)) in serial.results.iter().zip(&sharded.results).enumerate() {
+        assert_eq!(a.deps, b.deps, "{tag}: dependences of task {t} differ");
+        assert_eq!(a.plans, b.plans, "{tag}: plans of task {t} differ");
+    }
+    assert_eq!(
+        serial.analysis_done, sharded.analysis_done,
+        "{tag}: per-launch analysis completion times differ"
+    );
+    assert_eq!(serial.clocks, sharded.clocks, "{tag}: node clocks differ");
+    assert_eq!(
+        serial.service_clocks, sharded.service_clocks,
+        "{tag}: service clocks differ"
+    );
+    assert_eq!(serial.counters, sharded.counters, "{tag}: counters differ");
+    assert_eq!(serial.state, sharded.state, "{tag}: state sizes differ");
+    assert_eq!(serial.makespan, sharded.makespan, "{tag}: makespans differ");
+}
+
+#[test]
+fn stencil_sharded_matches_serial_bit_exactly() {
+    let app = Stencil::new(StencilConfig {
+        nodes: 4,
+        vars: 2,
+        with_bodies: false,
+        ..StencilConfig::small(4, 8, 3)
+    });
+    for engine in EngineKind::all() {
+        assert_identical(&app, engine, 4, true);
+        assert_identical(&app, engine, 2, false);
+    }
+}
+
+#[test]
+fn circuit_sharded_matches_serial_bit_exactly() {
+    let app = Circuit::new(CircuitConfig {
+        nodes: 4,
+        with_bodies: false,
+        ..CircuitConfig::small(4, 3)
+    });
+    for engine in EngineKind::all() {
+        assert_identical(&app, engine, 4, true);
+        assert_identical(&app, engine, 2, false);
+    }
+}
+
+#[test]
+fn pennant_sharded_matches_serial_bit_exactly() {
+    let app = Pennant::new(PennantConfig {
+        nodes: 4,
+        with_bodies: false,
+        ..PennantConfig::small(4, 3)
+    });
+    for engine in EngineKind::all() {
+        assert_identical(&app, engine, 4, true);
+        assert_identical(&app, engine, 2, false);
+    }
+}
+
+#[test]
+fn traced_workloads_fall_back_to_serial_and_stay_identical() {
+    // Inside begin/end_trace the batched driver must defer to the serial
+    // path; the surrounding waves still shard. Everything stays identical.
+    let app = Stencil::new(StencilConfig {
+        nodes: 2,
+        traced: true,
+        with_bodies: false,
+        ..StencilConfig::small(4, 8, 6)
+    });
+    assert_identical(&app, EngineKind::RayCast, 2, true);
+}

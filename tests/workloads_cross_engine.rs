@@ -128,3 +128,204 @@ fn engines_agree_on_dag_shape() {
     assert_eq!(shapes[0], shapes[1]);
     assert_eq!(shapes[1], shapes[2]);
 }
+
+// ---------------------------------------------------------------------
+// Random cross-engine programs (proptest): all four engines must find
+// the same dependence *closure* and commit the same values, under both
+// the serial and the sharded analysis driver.
+// ---------------------------------------------------------------------
+
+mod random_programs {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use visibility::region::RedOpRegistry;
+    use visibility::runtime::{LaunchSpec, TaskBody};
+
+    /// One randomly drawn launch: an access kind, a partition family, and
+    /// a child index (wrapped modulo the family's arity).
+    #[derive(Copy, Clone, Debug)]
+    struct OpSpec {
+        kind: u8,
+        part: u8,
+        child: u8,
+    }
+
+    /// `weights = (read, write, reduce)` — relative odds of each kind.
+    fn op_strategy(weights: (u32, u32, u32)) -> impl Strategy<Value = OpSpec> {
+        let kind = prop_oneof![
+            weights.0 => (0u8..1).boxed(),
+            weights.1 => (1u8..2).boxed(),
+            weights.2 => (2u8..3).boxed(),
+        ];
+        (kind, 0u8..4, 0u8..4).prop_map(|(kind, part, child)| OpSpec { kind, part, child })
+    }
+
+    /// Run a random program and return `(dependence closure, probe values)`.
+    ///
+    /// The region tree is adversarially aliased: a disjoint-complete
+    /// 4-piece partition P, an aliased 3-piece partition Q whose pieces
+    /// overlap each other and straddle P's boundaries, and an aliased
+    /// incomplete 4-piece "ghost" partition G. `part == 3` targets the
+    /// root itself.
+    fn run_program(
+        ops: &[OpSpec],
+        engine: EngineKind,
+        threads: usize,
+        batch: usize,
+    ) -> (Vec<Vec<bool>>, Vec<f64>) {
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(engine)
+                .nodes(2)
+                .dcr(true)
+                .analysis_threads(threads),
+        );
+        let root = rt.forest_mut().create_root("N", IndexSpace::span(0, 47));
+        let f = rt.forest_mut().add_field(root, "f");
+        let p_spaces: Vec<IndexSpace> = (0..4)
+            .map(|i| IndexSpace::span(12 * i, 12 * i + 11))
+            .collect();
+        let p = rt
+            .forest_mut()
+            .create_partition_with_flags(root, "P", p_spaces, true, true);
+        let q_spaces = vec![
+            IndexSpace::span(0, 19),
+            IndexSpace::span(10, 35),
+            IndexSpace::span(28, 47),
+        ];
+        let q = rt
+            .forest_mut()
+            .create_partition_with_flags(root, "Q", q_spaces, false, false);
+        let g_spaces: Vec<IndexSpace> = (0..4)
+            .map(|i| IndexSpace::span(8 * i, 8 * i + 15))
+            .collect();
+        let g = rt
+            .forest_mut()
+            .create_partition_with_flags(root, "G", g_spaces, false, false);
+        let sum = RedOpRegistry::SUM;
+
+        let mut specs: Vec<LaunchSpec> = Vec::with_capacity(ops.len());
+        for (t, op) in ops.iter().enumerate() {
+            let region = match op.part {
+                0 => rt.forest().subregion(p, op.child as usize % 4),
+                1 => rt.forest().subregion(q, op.child as usize % 3),
+                2 => rt.forest().subregion(g, op.child as usize % 4),
+                _ => root,
+            };
+            let (req, body): (RegionRequirement, TaskBody) = match op.kind {
+                0 => (
+                    RegionRequirement::read(region, f),
+                    Arc::new(|_: &mut [PhysicalRegion]| {}),
+                ),
+                1 => {
+                    let val = (t + 1) as f64;
+                    (
+                        RegionRequirement::read_write(region, f),
+                        Arc::new(move |rs: &mut [PhysicalRegion]| {
+                            rs[0].update_all(|pt, _| val + 0.25 * pt.x as f64);
+                        }),
+                    )
+                }
+                _ => {
+                    let contrib = 1.0 + (t % 7) as f64;
+                    (
+                        RegionRequirement::reduce(region, f, sum),
+                        Arc::new(move |rs: &mut [PhysicalRegion]| {
+                            let dom = rs[0].domain().clone();
+                            for pt in dom.points() {
+                                rs[0].reduce(pt, contrib);
+                            }
+                        }),
+                    )
+                }
+            };
+            specs.push(LaunchSpec::new(
+                format!("op{t}"),
+                t % 2,
+                vec![req],
+                1_000,
+                Some(body),
+            ));
+        }
+        // Feed the program through the driver in waves of `batch`; with
+        // `threads == 1` each wave degenerates to serial launches.
+        let mut rest = specs;
+        while !rest.is_empty() {
+            let tail = rest.split_off(rest.len().min(batch));
+            rt.run_batch(rest);
+            rest = tail;
+        }
+
+        let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(violations.is_empty(), "{engine:?}: {violations:?}");
+
+        // Transitive closure of the recorded dependences (tasks are
+        // topologically ordered by id, so one forward pass suffices).
+        let n = rt.num_tasks();
+        let mut closure: Vec<Vec<bool>> = vec![vec![false; n]; n];
+        for t in 0..n {
+            let deps: Vec<usize> = rt.results()[t].deps.iter().map(|d| d.0 as usize).collect();
+            for d in deps {
+                closure[t][d] = true;
+                let (head, tail) = closure.split_at_mut(t);
+                for (j, reach) in head[d].iter().enumerate() {
+                    if *reach {
+                        tail[0][j] = true;
+                    }
+                }
+            }
+        }
+
+        let probe = rt.inline_read(root, f);
+        let store = rt.execute_values();
+        let values: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
+        // Drop the probe task's row (its id differs per driver only if the
+        // program length differs, which it never does — keep it anyway).
+        (closure, values)
+    }
+
+    fn assert_engines_and_drivers_agree(ops: &[OpSpec]) {
+        let (base_closure, base_values) = run_program(ops, EngineKind::Paint, 1, 1);
+        for engine in EngineKind::all() {
+            // (threads, batch): serial, sharded small waves, sharded one
+            // big batch (maximal cross-launch overlap).
+            for (threads, batch) in [(1, 1), (4, 5), (4, usize::MAX)] {
+                let (closure, values) = run_program(ops, engine, threads, batch);
+                assert_eq!(
+                    closure, base_closure,
+                    "{engine:?} threads={threads} batch={batch}: dependence closure \
+                     diverged from serial Paint"
+                );
+                assert_eq!(
+                    values, base_values,
+                    "{engine:?} threads={threads} batch={batch}: committed values \
+                     diverged from serial Paint"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Reduction-heavy random programs: long runs of same-operator
+        /// reductions interleaved with occasional reads/writes exercise
+        /// the engines' reduce-coalescing paths.
+        #[test]
+        fn reduction_heavy_programs_agree(
+            ops in prop::collection::vec(op_strategy((1, 1, 6)), 1..28)
+        ) {
+            assert_engines_and_drivers_agree(&ops);
+        }
+
+        /// Adversarially-aliased random programs: accesses concentrate on
+        /// the overlapping partitions (Q, G) and the root, so nearly every
+        /// pair of launches aliases without being equal.
+        #[test]
+        fn aliased_programs_agree(
+            ops in prop::collection::vec(op_strategy((3, 3, 2)), 1..28)
+        ) {
+            assert_engines_and_drivers_agree(&ops);
+        }
+    }
+}
