@@ -12,6 +12,9 @@
 //! * `--quick` — scaled-down workloads (fast smoke run).
 //! * `--reps N` — repetition count in the artifact TSV (simulation is
 //!   deterministic; reps are replicated rows, default 1).
+//! * `--tracing` — also emit the manual dynamic-tracing extension table
+//!   (`ext_tracing_<app>`); `--auto-tracing` — the automatic trace
+//!   detection table (`ext_autotracing_<app>`).
 //! * `--profile PATH` — record a structured trace of the sweep and write a
 //!   Chrome trace-event JSON to `PATH`, a folded-stack flamegraph to
 //!   `PATH.folded`, and per-engine metrics to `PATH.metrics.tsv`.
@@ -22,8 +25,8 @@
 
 use std::io::Write;
 use viz_bench::{
-    artifact_tsv, init_figure_tsv, paper_node_counts, sweep, tracing_sweep, weak_figure_tsv,
-    AppKind,
+    artifact_tsv, autotracing_sweep, init_figure_tsv, paper_node_counts, sweep, tracing_sweep,
+    weak_figure_tsv, AppKind,
 };
 
 struct Args {
@@ -34,6 +37,7 @@ struct Args {
     out: Option<String>,
     quick: bool,
     tracing: bool,
+    auto_tracing: bool,
     plot: bool,
     profile: Option<String>,
 }
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         out: None,
         quick: false,
         tracing: false,
+        auto_tracing: false,
         plot: false,
         profile: None,
     };
@@ -67,6 +72,7 @@ fn parse_args() -> Args {
             "--out" => args.out = Some(it.next().expect("--out DIR")),
             "--quick" => args.quick = true,
             "--tracing" => args.tracing = true,
+            "--auto-tracing" => args.auto_tracing = true,
             "--plot" => args.plot = true,
             "--profile" => args.profile = Some(it.next().expect("--profile PATH")),
             "--analysis-threads" => {
@@ -190,6 +196,13 @@ fn main() {
                 &args.out,
                 &format!("ext_tracing_{}", app.label()),
                 &tracing_sweep(app, &nodes),
+            );
+        }
+        if args.auto_tracing {
+            emit(
+                &args.out,
+                &format!("ext_autotracing_{}", app.label()),
+                &autotracing_sweep(app, &nodes),
             );
         }
     }

@@ -3,13 +3,15 @@
 //!
 //! ```text
 //! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> \
-//!       [--quick] [--profile] [--analysis-threads N]
+//!       [--quick] [--profile] [--analysis-threads N] [--auto-trace]
 //! ```
 //!
 //! `--profile` records a structured trace of the run and appends the
 //! per-engine metrics table (TSV) to the output. `--analysis-threads N`
 //! runs the analysis through the sharded driver with N workers (the
 //! reported figures are bit-identical to serial; only host time changes).
+//! `--auto-trace` enables automatic trace detection and reports what the
+//! detector promoted, replayed, and demoted.
 
 use viz_bench::AppKind;
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
@@ -33,6 +35,7 @@ fn main() {
     let nodes: usize = args[3].parse().unwrap();
     let quick = args.iter().any(|a| a == "--quick");
     let profile = args.iter().any(|a| a == "--profile");
+    let auto_trace = args.iter().any(|a| a == "--auto-trace");
     let analysis_threads = args
         .iter()
         .position(|a| a == "--analysis-threads")
@@ -57,7 +60,8 @@ fn main() {
             .nodes(nodes)
             .dcr(dcr)
             .validate(false)
-            .analysis_threads(analysis_threads),
+            .analysis_threads(analysis_threads)
+            .auto_trace(auto_trace),
     );
     let host = std::time::Instant::now();
     let run = workload.execute(&mut rt);
@@ -119,6 +123,16 @@ fn main() {
         state.index_nodes,
         state.memo_entries
     );
+    if auto_trace {
+        println!(
+            "auto-trace: detected={} demoted={} replayed_launches={} violations={} rebase_ranges={}",
+            rt.auto_traces_detected(),
+            rt.auto_traces_demoted(),
+            rt.replayed_launches(),
+            rt.trace_violations().len(),
+            rt.trace_rebase_ranges()
+        );
+    }
     println!("counters: {:#?}", rt.machine().counters());
     if profile {
         let prof = viz_profile::take();

@@ -332,6 +332,41 @@ fn series_tsv(rows: &[Measurement], value_name: &str, f: impl Fn(&Measurement) -
     s
 }
 
+/// Steady-state per-node throughput of one workload on one runtime, plus
+/// the runtime's tracing statistics: (throughput, replayed launches,
+/// auto traces detected, auto traces demoted).
+fn steady_state_run(
+    workload: &dyn Workload,
+    config: RunConfig,
+    nodes: usize,
+    auto_trace: bool,
+) -> (f64, u64, u64, u64) {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(config.engine)
+            .nodes(nodes)
+            .dcr(config.dcr)
+            .validate(false)
+            .auto_trace(auto_trace),
+    );
+    let run = workload.execute(&mut rt);
+    let report = rt.timed_schedule();
+    let mut deltas: Vec<u64> = run
+        .iter_end
+        .windows(2)
+        .map(|w| report.completion_through(w[1]) - report.completion_through(w[0]))
+        .collect();
+    let mut half = deltas.split_off(deltas.len() / 2);
+    half.sort_unstable();
+    let per_iter_s = half[half.len() / 2] as f64 * 1e-9;
+    let tput = run.elements_per_iter as f64 / per_iter_s / nodes as f64;
+    (
+        tput,
+        rt.replayed_launches(),
+        rt.auto_traces_detected(),
+        rt.auto_traces_demoted(),
+    )
+}
+
 /// The dynamic-tracing extension experiment (E9 in DESIGN.md): the
 /// ray-casting engine with and without per-iteration traces, at paper
 /// scale. Tracing removes the per-launch analysis from the steady state,
@@ -351,30 +386,49 @@ nodes	untraced	traced	replayed_launches
     );
     for &nodes in node_counts {
         let plain = measure(app, app.paper(nodes).as_ref(), config, nodes);
-        let workload = app.paper_traced(nodes);
-        let mut rt = Runtime::new(
-            RuntimeConfig::new(config.engine)
-                .nodes(nodes)
-                .dcr(config.dcr)
-                .validate(false),
-        );
-        let run = workload.execute(&mut rt);
-        let report = rt.timed_schedule();
-        let mut deltas: Vec<u64> = run
-            .iter_end
-            .windows(2)
-            .map(|w| report.completion_through(w[1]) - report.completion_through(w[0]))
-            .collect();
-        let mut half = deltas.split_off(deltas.len() / 2);
-        half.sort_unstable();
-        let per_iter_s = half[half.len() / 2] as f64 * 1e-9;
-        let traced_tput = run.elements_per_iter as f64 / per_iter_s / nodes as f64;
+        let (traced_tput, replayed, _, _) =
+            steady_state_run(app.paper_traced(nodes).as_ref(), config, nodes, false);
         s.push_str(&format!(
-            "{nodes}	{:.4}	{:.4}	{}
+            "{nodes}	{:.4}	{:.4}	{replayed}
 ",
             plain.throughput_per_node / scale,
             traced_tput / scale,
-            rt.replayed_launches()
+        ));
+    }
+    s
+}
+
+/// The automatic trace detection experiment: the same weak-scaling
+/// workload untraced, manually traced (`begin_trace`/`end_trace` in the
+/// app), and *unannotated* on a runtime that detects the repeats itself.
+/// Auto-traced throughput should track manual tracing closely — the
+/// detector only costs extra analyzed instances before promotion, which
+/// the steady-state median excludes.
+pub fn autotracing_sweep(app: AppKind, node_counts: &[usize]) -> String {
+    let config = RunConfig {
+        engine: EngineKind::RayCast,
+        dcr: false,
+    };
+    let (scale, unit) = app.unit_scale();
+    let mut s = format!(
+        "# Extension: automatic trace detection — {} weak scaling, RayCast No DCR
+         # value: {unit}
+nodes	untraced	traced	auto_traced	replayed_manual	replayed_auto	detected	demoted
+",
+        app.label()
+    );
+    for &nodes in node_counts {
+        let plain = measure(app, app.paper(nodes).as_ref(), config, nodes);
+        let (manual_tput, manual_replayed, _, _) =
+            steady_state_run(app.paper_traced(nodes).as_ref(), config, nodes, false);
+        let (auto_tput, auto_replayed, detected, demoted) =
+            steady_state_run(app.paper(nodes).as_ref(), config, nodes, true);
+        s.push_str(&format!(
+            "{nodes}	{:.4}	{:.4}	{:.4}	{manual_replayed}	{auto_replayed}	{detected}	{demoted}
+",
+            plain.throughput_per_node / scale,
+            manual_tput / scale,
+            auto_tput / scale,
         ));
     }
     s

@@ -82,6 +82,12 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::GpuTask { task } => {
             let _ = write!(out, "{{\"task\":{task}}}");
         }
+        EventKind::TraceDetect { trace, len } => {
+            let _ = write!(out, "{{\"trace\":{trace},\"len\":{len}}}");
+        }
+        EventKind::TraceReplay { trace, launches } => {
+            let _ = write!(out, "{{\"trace\":{trace},\"launches\":{launches}}}");
+        }
     }
 }
 

@@ -71,6 +71,12 @@ pub enum EventKind {
     MsgServe { from: u32, to: u32, queued_ns: u64 },
     /// A task occupying a node's GPU.
     GpuTask { task: u64 },
+    /// The auto-tracer promoted a repeating launch pattern of `len`
+    /// launches into trace `trace`.
+    TraceDetect { trace: u32, len: u64 },
+    /// Trace `trace` replayed an instance of `launches` launches without
+    /// re-analysis.
+    TraceReplay { trace: u32, launches: u64 },
 }
 
 impl EventKind {
@@ -89,6 +95,8 @@ impl EventKind {
             EventKind::MsgSend { .. } => "msg_send",
             EventKind::MsgServe { .. } => "msg_serve",
             EventKind::GpuTask { .. } => "gpu_task",
+            EventKind::TraceDetect { .. } => "trace_detect",
+            EventKind::TraceReplay { .. } => "trace_replay",
         }
     }
 
@@ -108,6 +116,8 @@ impl EventKind {
             EventKind::MsgSend { bytes, .. } => bytes,
             EventKind::MsgServe { queued_ns, .. } => queued_ns,
             EventKind::GpuTask { .. } => 1,
+            EventKind::TraceDetect { len, .. } => len,
+            EventKind::TraceReplay { launches, .. } => launches,
         }
     }
 }

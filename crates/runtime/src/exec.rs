@@ -7,7 +7,7 @@ use crate::analysis::{ReqOutcome, ShardKey};
 use crate::dag::TaskDag;
 use crate::engine::{CoherenceEngine, ShardCtx};
 use crate::instance::PhysicalRegion;
-use crate::plan::{AnalysisResult, Source};
+use crate::plan::{Source, StoredResult};
 use crate::sharding::ShardMap;
 use crate::task::{TaskBody, TaskId, TaskLaunch};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -152,7 +152,7 @@ pub(crate) fn execute_values(
     redops: &RedOpRegistry,
     launches: &[TaskLaunch],
     bodies: &[Option<TaskBody>],
-    results: &[AnalysisResult],
+    results: &[StoredResult],
     dag: &TaskDag,
     initial: &FxHashMap<(RegionId, FieldId), InitFn>,
 ) -> ValueStore {
@@ -196,7 +196,11 @@ pub(crate) fn execute_values(
     let run_one = |t: usize| {
         let _task_span = viz_profile::span("task");
         let launch = &launches[t];
-        let result = &results[t];
+        // Replayed launches share the trace template's result; task
+        // references are in template coordinates and get shifted here,
+        // at the read, instead of deep-cloning the plans per instance.
+        let shift = results[t].shift();
+        let result = results[t].raw();
         let mut instances = Vec::with_capacity(launch.reqs.len());
         for (ri, req) in launch.reqs.iter().enumerate() {
             let plan = &result.plans[ri];
@@ -216,7 +220,7 @@ pub(crate) fn execute_values(
                         inst.copy_from(&init_instances[&key], &copy.domain);
                     }
                     Source::Task(tid, r) => {
-                        let src = &outputs[tid.index()]
+                        let src = &outputs[shift.apply(*tid).index()]
                             .get()
                             .expect("source task not yet executed — dependence missing")
                             [*r as usize];
@@ -226,7 +230,7 @@ pub(crate) fn execute_values(
             }
             // `plan.normalize()` sorted reductions into program order.
             for red in &plan.reductions {
-                let src = &outputs[red.task.index()]
+                let src = &outputs[shift.apply(red.task).index()]
                     .get()
                     .expect("reduction source not yet executed — dependence missing")
                     [red.req as usize];
@@ -319,7 +323,7 @@ impl TimedSchedule {
     pub(crate) fn run(
         forest: &RegionForest,
         launches: &[TaskLaunch],
-        results: &[AnalysisResult],
+        results: &[StoredResult],
         dag: &TaskDag,
         analysis_done: &[SimTime],
         machine: &mut Machine,
@@ -343,9 +347,13 @@ impl TimedSchedule {
             // Inter-node data movement for inputs: each remote copy is an
             // operation whose precondition is the producer's completion and
             // whose own completion gates the task.
-            for plan in &results[t].plans {
+            // Replayed launches keep task references in template
+            // coordinates; shift them onto this instance at the read.
+            let shift = results[t].shift();
+            for plan in &results[t].raw().plans {
                 for copy in &plan.copies {
                     if let Source::Task(s, _) = &copy.source {
+                        let s = shift.apply(*s);
                         let src_node = launches[s.index()].node;
                         if src_node != launch.node {
                             let bytes = copy.domain.volume() * bytes_per_element;
@@ -356,15 +364,12 @@ impl TimedSchedule {
                     }
                 }
                 for red in &plan.reductions {
-                    let src_node = launches[red.task.index()].node;
+                    let src = shift.apply(red.task);
+                    let src_node = launches[src.index()].node;
                     if src_node != launch.node {
                         let bytes = red.domain.volume() * bytes_per_element;
-                        let arrival = machine.copy(
-                            src_node,
-                            launch.node,
-                            bytes,
-                            completion[red.task.index()],
-                        );
+                        let arrival =
+                            machine.copy(src_node, launch.node, bytes, completion[src.index()]);
                         preconditions.push(events.create(arrival));
                     }
                 }

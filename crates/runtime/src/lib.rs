@@ -33,6 +33,7 @@
 //! the paper's scaling experiments.
 
 pub mod analysis;
+pub mod autotrace;
 pub mod dag;
 pub mod engine;
 pub mod exec;
@@ -47,13 +48,18 @@ pub mod task;
 pub mod trace;
 pub mod validate;
 
+pub use autotrace::AutoTraceConfig;
 pub use dag::TaskDag;
 pub use engine::{CoherenceEngine, EngineKind};
 pub use index_launch::{IndexLaunchResult, Projection};
 pub use instance::PhysicalRegion;
 pub use mapper::Mapper;
-pub use plan::{AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source};
-pub use runtime::{default_analysis_threads, LaunchSpec, Runtime, RuntimeConfig};
+pub use plan::{
+    AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source, StoredResult, TaskShift,
+};
+pub use runtime::{
+    default_analysis_threads, default_auto_trace, LaunchSpec, Runtime, RuntimeConfig,
+};
 pub use sharding::ShardMap;
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
-pub use trace::TraceId;
+pub use trace::{TraceId, TraceViolation, ViolationKind};

@@ -6,6 +6,7 @@
 //! since that write (semi-transparent), ordered by the program-order clock.
 
 use crate::task::TaskId;
+use std::sync::Arc;
 use viz_geometry::IndexSpace;
 use viz_region::ReductionOpId;
 
@@ -115,6 +116,104 @@ impl AnalysisResult {
         self.deps.dedup();
         for p in &mut self.plans {
             p.normalize();
+        }
+    }
+}
+
+/// A uniform task-id translation: ids in `[lo, hi)` move by `+delta`,
+/// everything else is untouched. Trace replay computes one shift per
+/// *instance* (not per launch) mapping the recorded template window onto
+/// the replayed position; consumers apply it lazily when reading task
+/// references, so replay never deep-clones an [`AnalysisResult`].
+///
+/// Because the shift is uniform over the window and replayed windows sit
+/// above all earlier ids, applying it preserves the ascending `TaskId`
+/// (program) order that reduction folding relies on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TaskShift {
+    pub lo: u32,
+    pub hi: u32,
+    pub delta: u32,
+}
+
+impl TaskShift {
+    pub const IDENTITY: TaskShift = TaskShift {
+        lo: 0,
+        hi: 0,
+        delta: 0,
+    };
+
+    #[inline]
+    pub fn is_identity(&self) -> bool {
+        self.delta == 0 || self.lo >= self.hi
+    }
+
+    #[inline]
+    pub fn apply(&self, t: TaskId) -> TaskId {
+        if t.0 >= self.lo && t.0 < self.hi {
+            TaskId(t.0 + self.delta)
+        } else {
+            t
+        }
+    }
+}
+
+/// How the runtime stores one launch's analysis: engine-produced results
+/// are owned; recorded/replayed results share the template's `Arc` plus the
+/// instance's [`TaskShift`]. The replay path stores `Shared` without
+/// cloning `deps`/`plans` — resolution happens at the readers.
+#[derive(Clone)]
+pub enum StoredResult {
+    Owned(AnalysisResult),
+    Shared {
+        result: Arc<AnalysisResult>,
+        shift: TaskShift,
+    },
+}
+
+impl StoredResult {
+    /// The stored result *before* shifting (template coordinates for
+    /// `Shared`). Pair reads of task references with [`StoredResult::shift`].
+    #[inline]
+    pub fn raw(&self) -> &AnalysisResult {
+        match self {
+            StoredResult::Owned(r) => r,
+            StoredResult::Shared { result, .. } => result,
+        }
+    }
+
+    #[inline]
+    pub fn shift(&self) -> TaskShift {
+        match self {
+            StoredResult::Owned(_) => TaskShift::IDENTITY,
+            StoredResult::Shared { shift, .. } => *shift,
+        }
+    }
+
+    /// Materialize the result with the shift applied (allocates; for
+    /// introspection and differential tests, not the replay hot path).
+    pub fn resolve(&self) -> AnalysisResult {
+        match self {
+            StoredResult::Owned(r) => r.clone(),
+            StoredResult::Shared { result, shift } => {
+                let mut r = (**result).clone();
+                if !shift.is_identity() {
+                    for d in &mut r.deps {
+                        *d = shift.apply(*d);
+                    }
+                    for plan in &mut r.plans {
+                        for c in &mut plan.copies {
+                            if let Source::Task(t, _) = &mut c.source {
+                                *t = shift.apply(*t);
+                            }
+                        }
+                        for red in &mut plan.reductions {
+                            red.task = shift.apply(red.task);
+                        }
+                    }
+                }
+                r
+            }
         }
     }
 }

@@ -1,12 +1,13 @@
 //! The runtime facade: region creation, task launching, deferred execution.
 
+use crate::autotrace::{AutoTraceConfig, AutoTracer};
 use crate::dag::TaskDag;
 use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
-use crate::plan::AnalysisResult;
+use crate::plan::{AnalysisResult, StoredResult, TaskShift};
 use crate::sharding::ShardMap;
 use crate::task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
-use crate::trace::{TraceAction, TraceId, Tracing};
+use crate::trace::{TraceAction, TraceId, TraceViolation, Tracing};
 use std::sync::Arc;
 use viz_geometry::{FxHashMap, Point};
 use viz_region::{redop::Value, FieldId, Privilege, RedOpRegistry, RegionForest, RegionId};
@@ -31,6 +32,10 @@ pub struct RuntimeConfig {
     /// field) shard scans run concurrently. Defaults from the
     /// `VIZ_ANALYSIS_THREADS` environment variable (else 1 = serial).
     pub analysis_threads: usize,
+    /// Online automatic trace detection: watch the launch stream for
+    /// repeated subsequences and replay them without `begin_trace`
+    /// annotations. `enabled` defaults from `VIZ_AUTO_TRACE`.
+    pub auto_trace: AutoTraceConfig,
 }
 
 /// The `VIZ_ANALYSIS_THREADS` default for
@@ -43,6 +48,18 @@ pub fn default_analysis_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The `VIZ_AUTO_TRACE` default for [`RuntimeConfig::auto_trace`]
+/// (disabled when unset; "1"/"true" enable).
+pub fn default_auto_trace() -> bool {
+    std::env::var("VIZ_AUTO_TRACE")
+        .ok()
+        .map(|s| {
+            let s = s.trim();
+            s == "1" || s.eq_ignore_ascii_case("true")
+        })
+        .unwrap_or(false)
+}
+
 impl RuntimeConfig {
     pub fn new(engine: EngineKind) -> Self {
         RuntimeConfig {
@@ -52,6 +69,10 @@ impl RuntimeConfig {
             cost: CostModel::default(),
             validate_launches: true,
             analysis_threads: default_analysis_threads(),
+            auto_trace: AutoTraceConfig {
+                enabled: default_auto_trace(),
+                ..AutoTraceConfig::default()
+            },
         }
     }
 
@@ -77,6 +98,30 @@ impl RuntimeConfig {
 
     pub fn analysis_threads(mut self, n: usize) -> Self {
         self.analysis_threads = n.max(1);
+        self
+    }
+
+    /// Toggle online automatic trace detection.
+    pub fn auto_trace(mut self, on: bool) -> Self {
+        self.auto_trace.enabled = on;
+        self
+    }
+
+    /// Shortest repeated subsequence the auto-tracer will promote.
+    pub fn auto_trace_min_len(mut self, n: u32) -> Self {
+        self.auto_trace.min_len = n.max(1);
+        self
+    }
+
+    /// Longest repeated subsequence considered (bounds detector memory).
+    pub fn auto_trace_max_len(mut self, n: u32) -> Self {
+        self.auto_trace.max_len = n.max(1);
+        self
+    }
+
+    /// Identical consecutive repetitions required before promotion (≥ 2).
+    pub fn auto_trace_confidence(mut self, n: u32) -> Self {
+        self.auto_trace.confidence = n.max(2);
         self
     }
 }
@@ -123,7 +168,7 @@ pub struct Runtime {
     shards: ShardMap,
     launches: Vec<TaskLaunch>,
     bodies: Vec<Option<TaskBody>>,
-    results: Vec<AnalysisResult>,
+    results: Vec<StoredResult>,
     /// Simulated time at which each launch's analysis completed on its
     /// origin node — execution cannot start earlier.
     analysis_done: Vec<SimTime>,
@@ -150,7 +195,12 @@ impl Runtime {
             initial: FxHashMap::default(),
             validate_launches: config.validate_launches,
             analysis_threads: config.analysis_threads,
-            tracing: Tracing::default(),
+            tracing: Tracing::new(
+                config
+                    .auto_trace
+                    .enabled
+                    .then(|| AutoTracer::new(&config.auto_trace)),
+            ),
         }
     }
 
@@ -228,13 +278,25 @@ impl Runtime {
             duration_ns,
         };
         let origin = self.shards.origin(launch.node);
-        let result = match self.tracing.on_launch(launch.node, &launch.reqs, id.0) {
-            TraceAction::Replay(result) => {
+        let mut action = self.tracing.on_launch(launch.node, &launch.reqs, id.0);
+        if let TraceAction::Violation(v) = action {
+            // The prediction diverged: demote (annotated traces fall back
+            // to normal analysis and recapture; auto traces return to
+            // observation) — never abort.
+            self.tracing.demote(v);
+            action = self.tracing.on_launch(launch.node, &launch.reqs, id.0);
+        }
+        let stored = match action {
+            TraceAction::Replay { result, shift } => {
                 // Dynamic tracing [15]: the recorded analysis is reused —
                 // only a template lookup is paid, not the visibility
-                // algorithm.
+                // algorithm. The shared result is *not* cloned; the
+                // instance's shift is applied lazily by readers.
                 self.machine.op(origin, viz_sim::Op::Memo);
-                *result
+                self.analysis_done.push(self.machine.now(origin));
+                self.dag
+                    .push(result.deps.iter().map(|d| shift.apply(*d)).collect());
+                StoredResult::Shared { result, shift }
             }
             TraceAction::Analyze { record } => {
                 // First-touch ownership of analysis state.
@@ -268,18 +330,30 @@ impl Runtime {
                 // Stale references into a recorded-and-replayed instance
                 // move onto its latest replay.
                 self.tracing.rebase_result(&mut result);
+                self.analysis_done.push(self.machine.now(origin));
+                self.dag.push(result.deps.clone());
                 if record {
-                    self.tracing
-                        .record(launch.node, launch.reqs.clone(), result.clone());
+                    // Capturing: the template shares the result with the
+                    // runtime's own storage (identity shift) — no clone.
+                    let result = Arc::new(result);
+                    self.tracing.record(
+                        launch.node,
+                        launch.reqs.clone(),
+                        Arc::clone(&result),
+                        &self.forest,
+                    );
+                    StoredResult::Shared {
+                        result,
+                        shift: TaskShift::IDENTITY,
+                    }
                 } else {
                     self.tracing.advance();
+                    StoredResult::Owned(result)
                 }
-                result
             }
+            TraceAction::Violation(_) => unreachable!("demotion resolves violations"),
         };
-        self.analysis_done.push(self.machine.now(origin));
-        self.dag.push(result.deps.clone());
-        self.results.push(result);
+        self.results.push(stored);
         self.launches.push(launch);
         self.bodies.push(body);
         id
@@ -293,26 +367,61 @@ impl Runtime {
     /// of the batch run concurrently on a scoped worker pool, with a
     /// pipelined commit stage retiring launches in order.
     ///
-    /// Falls back to the serial path when `analysis_threads <= 1`, inside a
-    /// trace (trace bookkeeping is per-launch-in-order), or for batches of
-    /// one.
+    /// Falls back to the serial path when `analysis_threads <= 1` or for
+    /// batches of one. Traces no longer force the whole batch serial:
+    /// the batch is *segmented* — launches inside a warm-up/capture
+    /// instance run through [`Runtime::launch`] in order (engine scans are
+    /// per-launch-in-order there), a **replaying** segment synthesizes its
+    /// results in bulk with no engine scan at all (each launch is just a
+    /// validation + an `Arc` handoff to the in-order retire sequence), and
+    /// the remaining untraced prefix goes through the sharded scan
+    /// pipeline, feeding the auto-trace detector in batch order so
+    /// detection fires at the same launch as the serial driver.
     pub fn run_batch(&mut self, items: Vec<LaunchSpec>) -> Vec<TaskId> {
-        if self.analysis_threads <= 1 || self.tracing.in_trace() || items.len() <= 1 {
-            return items
-                .into_iter()
-                .map(|s| self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body))
-                .collect();
+        let mut ids = Vec::with_capacity(items.len());
+        let mut items: std::collections::VecDeque<LaunchSpec> = items.into();
+        while !items.is_empty() {
+            if self.analysis_threads <= 1 || items.len() == 1 {
+                for s in items.drain(..) {
+                    ids.push(self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body));
+                }
+                break;
+            }
+            if self.tracing.pending_or_active() {
+                // Trace segment: replay drains launches in bulk (O(1)
+                // each: validate, charge the memo op, retire the shared
+                // result); warm-up/capture launches analyze in order. A
+                // demotion mid-segment drops back out and re-shards the
+                // remainder of the batch.
+                while !items.is_empty() && self.tracing.pending_or_active() {
+                    let s = items.pop_front().unwrap();
+                    ids.push(self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body));
+                }
+                continue;
+            }
+            ids.extend(self.run_batch_sharded(&mut items));
         }
+        ids
+    }
+
+    /// The sharded scan pipeline over the untraced prefix of `items`:
+    /// stops early (after the detection point) when the auto-tracer
+    /// promotes a repeat, leaving the rest for the caller to re-dispatch.
+    fn run_batch_sharded(
+        &mut self,
+        items: &mut std::collections::VecDeque<LaunchSpec>,
+    ) -> Vec<TaskId> {
         let base = self.launches.len() as u32;
-        let count = items.len();
-        let mut batch: Vec<TaskLaunch> = Vec::with_capacity(count);
-        let mut batch_bodies: Vec<Option<TaskBody>> = Vec::with_capacity(count);
-        let mut groups: Vec<Vec<(crate::analysis::ShardKey, Vec<u32>)>> = Vec::with_capacity(count);
-        // Phase A (driver thread): validate, assign ids, first-touch the
-        // shard map, and let the engine create missing shard state. The
-        // grouping depends only on the region forest, so the whole batch
-        // can be prepared before any scan runs.
-        for spec in items {
+        let mut batch: Vec<TaskLaunch> = Vec::with_capacity(items.len());
+        let mut batch_bodies: Vec<Option<TaskBody>> = Vec::with_capacity(items.len());
+        let mut groups: Vec<Vec<(crate::analysis::ShardKey, Vec<u32>)>> =
+            Vec::with_capacity(items.len());
+        // Phase A (driver thread): validate, assign ids, feed the
+        // auto-trace detector, first-touch the shard map, and let the
+        // engine create missing shard state. The grouping depends only on
+        // the region forest, so the whole segment can be prepared before
+        // any scan runs.
+        while let Some(spec) = items.pop_front() {
             if self.validate_launches {
                 self.validate_reqs(&spec.reqs);
             }
@@ -323,6 +432,16 @@ impl Runtime {
                 reqs: spec.reqs,
                 duration_ns: spec.duration_ns,
             };
+            // Outside traces this only updates detector state and returns
+            // `Analyze { record: false }` — the same call the serial
+            // driver makes, at the same position in the launch stream.
+            match self
+                .tracing
+                .on_launch(launch.node, &launch.reqs, launch.id.0)
+            {
+                TraceAction::Analyze { record: false } => {}
+                _ => unreachable!("untraced segment launches analyze without recording"),
+            }
             for req in &launch.reqs {
                 self.shards.touch(req.region, launch.node, launch.id.0);
             }
@@ -335,7 +454,13 @@ impl Runtime {
             ));
             batch.push(launch);
             batch_bodies.push(spec.body);
+            if self.tracing.capture_pending() {
+                // A repeat was just detected: capture starts with the next
+                // launch, which must go through the trace machinery.
+                break;
+            }
         }
+        let count = batch.len();
         // Phase B (workers) + C (pipelined commit on this thread). Borrows
         // split per field: workers read the engine/forest/shard map; the
         // retire closure replays charges and grows the bookkeeping.
@@ -382,7 +507,7 @@ impl Runtime {
                     tracing.rebase_result(&mut result);
                     analysis_done.push(machine.now(origin));
                     dag.push(result.deps.clone());
-                    results.push(result);
+                    results.push(StoredResult::Owned(result));
                 },
             );
         }
@@ -400,9 +525,11 @@ impl Runtime {
         self.tracing.begin(TraceId(id), self.launches.len() as u32);
     }
 
-    /// End the current trace instance.
-    pub fn end_trace(&mut self, id: u32) {
-        self.tracing.end(TraceId(id), self.launches.len() as u32);
+    /// End the current trace instance. A replay that ran short of the
+    /// recorded instance is reported (and the trace recaptures); it is not
+    /// an abort.
+    pub fn end_trace(&mut self, id: u32) -> Option<TraceViolation> {
+        self.tracing.end(TraceId(id), self.launches.len() as u32)
     }
 
     /// Is the runtime currently replaying a recorded trace?
@@ -410,9 +537,49 @@ impl Runtime {
         self.tracing.is_replaying()
     }
 
+    /// Inside a trace (manual or auto, any phase: warming, capturing, or
+    /// replaying)?
+    pub fn in_trace(&self) -> bool {
+        self.tracing.in_trace()
+    }
+
     /// Launches whose analysis was synthesized from a trace template.
     pub fn replayed_launches(&self) -> u64 {
         self.tracing.replayed_launches
+    }
+
+    /// The address of the shared template result backing task `t`, if `t`
+    /// was captured into or replayed from a trace (`None` for ordinary
+    /// analyzed launches). Benchmarks use pointer identity to prove the
+    /// replay path shares one allocation per template entry instead of
+    /// deep-cloning the `AnalysisResult`.
+    pub fn shared_result_addr(&self, t: TaskId) -> Option<usize> {
+        match &self.results[t.index()] {
+            StoredResult::Shared { result, .. } => Some(Arc::as_ptr(result) as usize),
+            StoredResult::Owned(_) => None,
+        }
+    }
+
+    /// Repeats promoted by the auto-tracer so far.
+    pub fn auto_traces_detected(&self) -> u64 {
+        self.tracing.auto_promotions
+    }
+
+    /// Auto traces demoted back to normal analysis (failed speculation).
+    pub fn auto_traces_demoted(&self) -> u64 {
+        self.tracing.auto_demotions
+    }
+
+    /// Every trace violation observed, in program order. Violations demote
+    /// the offending trace; execution continues with normal analysis.
+    pub fn trace_violations(&self) -> &[TraceViolation] {
+        self.tracing.violations()
+    }
+
+    /// Current size of the trace rebase interval map (stays O(active
+    /// templates) — see `trace.rs`).
+    pub fn trace_rebase_ranges(&self) -> usize {
+        self.tracing.rebase_ranges()
     }
 
     /// §4: two region arguments of one task must have disjoint domains
@@ -455,16 +622,19 @@ impl Runtime {
     /// dependence analysis should not reorder across; trace replay also
     /// relies on the same all-predecessor construction.
     pub fn fence(&mut self) -> TaskId {
+        // Fences are not analyzed launches: they interrupt any in-flight
+        // trace instance and break detected periodicity.
+        self.tracing.barrier();
         let deps: Vec<TaskId> = (0..self.launches.len() as u32).map(TaskId).collect();
         let id = TaskId(self.launches.len() as u32);
         let origin = self.shards.origin(0);
         self.machine.op(origin, viz_sim::Op::LaunchOverhead);
         self.analysis_done.push(self.machine.now(origin));
         self.dag.push(deps.clone());
-        self.results.push(AnalysisResult {
+        self.results.push(StoredResult::Owned(AnalysisResult {
             deps,
             plans: Vec::new(),
-        });
+        }));
         self.launches.push(TaskLaunch {
             id,
             name: "fence".into(),
@@ -534,8 +704,15 @@ impl Runtime {
         &self.launches
     }
 
-    pub fn results(&self) -> &[AnalysisResult] {
-        &self.results
+    /// Every launch's analysis result, fully materialized (replayed
+    /// launches get their template result with the instance shift applied).
+    pub fn results(&self) -> Vec<AnalysisResult> {
+        self.results.iter().map(StoredResult::resolve).collect()
+    }
+
+    /// One launch's analysis result, materialized.
+    pub fn result(&self, t: TaskId) -> AnalysisResult {
+        self.results[t.index()].resolve()
     }
 
     pub fn machine(&self) -> &Machine {

@@ -27,7 +27,7 @@ impl TaskId {
 /// One region argument of a task: *which* data (a region and a field) and
 /// *how* it is accessed (a privilege). The region names only the domain; the
 /// runtime fills in correct values (§4).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RegionRequirement {
     pub region: RegionId,
     pub field: FieldId,

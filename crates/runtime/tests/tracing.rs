@@ -5,7 +5,9 @@
 use std::sync::Arc;
 use viz_region::RedOpRegistry;
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime};
+use viz_runtime::{
+    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig, TraceId, ViolationKind,
+};
 
 struct Loop {
     rt: Runtime,
@@ -16,7 +18,11 @@ struct Loop {
 }
 
 fn setup(engine: EngineKind) -> Loop {
-    let mut rt = Runtime::single_node(engine);
+    // Pin auto-tracing off regardless of `VIZ_AUTO_TRACE`: these tests
+    // assert exact replay counts for *annotated* traces against untraced
+    // control runs (the auto/manual interplay is tested in
+    // `autotracing.rs`).
+    let mut rt = Runtime::new(RuntimeConfig::new(engine).auto_trace(false));
     let root = rt.forest_mut().create_root_1d("A", 40);
     let f = rt.forest_mut().add_field(root, "v");
     let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
@@ -185,25 +191,155 @@ fn interleaved_launches_invalidate_the_template() {
     assert_eq!(a, b);
 }
 
+/// A divergent launch during replay demotes the trace (structured
+/// [`TraceViolation`], no panic), the offending launch falls through to
+/// normal analysis, and the trace recaptures on later clean instances.
 #[test]
-#[should_panic(expected = "violated")]
-fn trace_violation_is_detected() {
+fn trace_violation_demotes_and_recaptures() {
+    let divergent = |l: &mut Loop| {
+        // First launch diverges: read instead of read-write on piece 0.
+        let piece = l.rt.forest().subregion(l.p, 0);
+        l.rt.launch(
+            "w",
+            0,
+            vec![RegionRequirement::read(piece, l.f)],
+            1_000,
+            None,
+        );
+        for i in 1..4 {
+            let piece = l.rt.forest().subregion(l.p, i);
+            l.rt.launch(
+                "w",
+                0,
+                vec![RegionRequirement::read_write(piece, l.f)],
+                1_000,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|_, v| v + 1.0);
+                })),
+            );
+        }
+        for i in 0..4 {
+            let ghost = l.rt.forest().subregion(l.g, i);
+            l.rt.launch(
+                "r",
+                0,
+                vec![RegionRequirement::reduce(ghost, l.f, RedOpRegistry::SUM)],
+                1_000,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    let dom = rs[0].domain().clone();
+                    for pt in dom.points() {
+                        rs[0].reduce(pt, 2.0);
+                    }
+                })),
+            );
+        }
+    };
+
     let mut l = setup(EngineKind::RayCast);
     for _ in 0..2 {
         l.rt.begin_trace(1);
         iteration(&mut l);
         l.rt.end_trace(1);
     }
-    // Third instance diverges: different privilege on the first launch.
+    // Third instance would replay, but diverges at its first launch.
     l.rt.begin_trace(1);
-    let piece = l.rt.forest().subregion(l.p, 0);
-    l.rt.launch(
-        "w",
-        0,
-        vec![RegionRequirement::read(piece, l.f)],
-        1_000,
-        None,
+    divergent(&mut l);
+    l.rt.end_trace(1);
+    let violations = l.rt.trace_violations();
+    assert_eq!(violations.len(), 1, "one structured violation recorded");
+    let v = &violations[0];
+    assert_eq!(v.id, TraceId(1));
+    assert_eq!(v.cursor, 0, "diverged at the first launch of the instance");
+    assert!(
+        matches!(v.kind, ViolationKind::RequirementMismatch { index: 0 }),
+        "privilege mismatch on requirement 0, got {:?}",
+        v.kind
     );
+    let replayed_before = l.rt.replayed_launches();
+
+    // The demoted trace recaptures: warm-up + capture + replay.
+    for _ in 0..3 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    assert_eq!(
+        l.rt.replayed_launches(),
+        replayed_before + 8,
+        "third clean instance after demotion replays again"
+    );
+    assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
+    let probe = l.rt.inline_read(l.root, l.f);
+    let store = l.rt.execute_values();
+
+    // Cross-check values against the identical untraced program.
+    let mut l2 = setup(EngineKind::RayCast);
+    for _ in 0..2 {
+        iteration(&mut l2);
+    }
+    divergent(&mut l2);
+    for _ in 0..3 {
+        iteration(&mut l2);
+    }
+    let probe2 = l2.rt.inline_read(l2.root, l2.f);
+    let store2 = l2.rt.execute_values();
+    let a: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
+    let b: Vec<f64> = store2.inline(probe2).iter().map(|(_, v)| v).collect();
+    assert_eq!(a, b, "post-violation execution diverged from untraced run");
+}
+
+/// A replay instance that ends short of the recorded length is a
+/// violation: reported, demoted, recaptured — never silently wrong.
+#[test]
+fn short_replay_instance_is_a_violation() {
+    let mut l = setup(EngineKind::RayCast);
+    for _ in 0..2 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    // Third instance replays but stops after the 4 writes (no reductions).
+    l.rt.begin_trace(1);
+    for i in 0..4 {
+        let piece = l.rt.forest().subregion(l.p, i);
+        l.rt.launch(
+            "w",
+            0,
+            vec![RegionRequirement::read_write(piece, l.f)],
+            1_000,
+            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                rs[0].update_all(|_, v| v + 1.0);
+            })),
+        );
+    }
+    let v = l.rt.end_trace(1).expect("short instance must be reported");
+    assert_eq!(v.cursor, 4);
+    assert!(matches!(
+        v.kind,
+        ViolationKind::ShortInstance { recorded_len: 8 }
+    ));
+    // The runtime keeps going; dependences stay sufficient.
+    iteration(&mut l);
+    assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
+}
+
+/// The rebase interval map must stay O(active traces), not O(instances):
+/// each completed replay supersedes the previous instance's interval.
+#[test]
+fn rebase_map_stays_bounded_across_many_replays() {
+    let mut l = setup(EngineKind::RayCast);
+    for _ in 0..50 {
+        l.rt.begin_trace(1);
+        iteration(&mut l);
+        l.rt.end_trace(1);
+    }
+    assert_eq!(l.rt.replayed_launches(), 48 * 8);
+    assert!(
+        l.rt.trace_rebase_ranges() <= 2,
+        "rebase map grew with instance count: {} ranges",
+        l.rt.trace_rebase_ranges()
+    );
+    assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
 }
 
 #[test]

@@ -26,7 +26,7 @@ fn run_one(
             .analysis_threads(threads),
     );
     let run = workload.execute(&mut rt);
-    let results: Vec<visibility::runtime::AnalysisResult> = rt.results().to_vec();
+    let results: Vec<visibility::runtime::AnalysisResult> = rt.results();
     let analysis_done: Vec<SimTime> = (0..rt.num_tasks() as u32)
         .map(|t| rt.analysis_done(TaskId(t)))
         .collect();

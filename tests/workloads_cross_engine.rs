@@ -262,9 +262,10 @@ mod random_programs {
         // Transitive closure of the recorded dependences (tasks are
         // topologically ordered by id, so one forward pass suffices).
         let n = rt.num_tasks();
+        let results = rt.results();
         let mut closure: Vec<Vec<bool>> = vec![vec![false; n]; n];
         for t in 0..n {
-            let deps: Vec<usize> = rt.results()[t].deps.iter().map(|d| d.0 as usize).collect();
+            let deps: Vec<usize> = results[t].deps.iter().map(|d| d.0 as usize).collect();
             for d in deps {
                 closure[t][d] = true;
                 let (head, tail) = closure.split_at_mut(t);
