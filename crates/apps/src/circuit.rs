@@ -225,12 +225,12 @@ impl Workload for Circuit {
                 body,
             ));
         }
-        rt.run_batch(wave);
+        rt.submit_batch(wave).expect("valid wave");
 
         let sum = viz_region::RedOpRegistry::SUM;
         for iter in 0..cfg.iterations {
             if cfg.traced {
-                rt.begin_trace(0);
+                rt.try_begin_trace(0).expect("no trace is open");
             }
             // Phase 1: calc_new_currents.
             let mut wave: Vec<LaunchSpec> = Vec::new();
@@ -276,7 +276,7 @@ impl Workload for Circuit {
                     body,
                 ));
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid wave");
             // Phase 2: distribute_charge.
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -316,7 +316,7 @@ impl Workload for Circuit {
                     body,
                 ));
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid wave");
             // Phase 3: update_voltage.
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -343,11 +343,11 @@ impl Workload for Circuit {
                     body,
                 ));
             }
-            let ids = rt.run_batch(wave);
+            let handles = rt.submit_batch(wave).expect("valid wave");
             if cfg.traced {
-                rt.end_trace(0);
+                rt.try_end_trace(0).expect("trace 0 is open");
             }
-            run.iter_end.push(*ids.last().unwrap());
+            run.iter_end.push(handles.last().unwrap().id());
         }
 
         if cfg.with_bodies {

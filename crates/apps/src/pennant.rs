@@ -197,7 +197,8 @@ impl Workload for Pennant {
             .forest_mut()
             .create_root_1d("partials", cfg.pieces as i64);
         let f_pm = rt.forest_mut().add_field(partials_root, "pmin");
-        rt.set_initial(partials_root, f_pm, |_| f64::INFINITY);
+        rt.try_set_initial(partials_root, f_pm, |_| f64::INFINITY)
+            .expect("partials field exists");
         let partials = rt
             .forest_mut()
             .create_equal_partition_1d(partials_root, "PART", cfg.pieces);
@@ -271,13 +272,13 @@ impl Workload for Pennant {
                 body,
             ));
         }
-        rt.run_batch(wave);
+        rt.submit_batch(wave).expect("valid wave");
 
         let min_op = RedOpRegistry::MIN;
         let sum = RedOpRegistry::SUM;
         for iter in 0..cfg.iterations {
             if cfg.traced {
-                rt.begin_trace(0);
+                rt.try_begin_trace(0).expect("no trace is open");
             }
             // Phase 1: calc_zones — point positions → zone pressure.
             let mut wave: Vec<LaunchSpec> = Vec::new();
@@ -313,7 +314,7 @@ impl Workload for Pennant {
                     body,
                 ));
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid wave");
             // Phase 2: calc_dt — reduce min into the piece's partial.
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -341,7 +342,7 @@ impl Workload for Pennant {
                     body,
                 ));
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid wave");
             // reduce_dt: fold the partials, reset them, publish dt — the
             // per-iteration global synchronization (Pennant's dtH).
             let pieces = cfg.pieces;
@@ -356,7 +357,7 @@ impl Workload for Pennant {
                     rs[1].set(Point::p1(0), m);
                 }) as TaskBody
             });
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("reduce_dt[{iter}]"),
                 0,
                 vec![
@@ -365,7 +366,8 @@ impl Workload for Pennant {
                 ],
                 20_000 + REDUCE_DT_NS_PER_PIECE * cfg.pieces as u64,
                 body,
-            );
+            ))
+            .expect("valid reduce_dt launch");
             // Phase 3: gather_forces — zones scatter to their corners.
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -399,7 +401,7 @@ impl Workload for Pennant {
                     body,
                 ));
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid wave");
             // Phase 4: move_points — advance owned points, clear forces.
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -440,11 +442,11 @@ impl Workload for Pennant {
                     body,
                 ));
             }
-            let ids = rt.run_batch(wave);
+            let handles = rt.submit_batch(wave).expect("valid wave");
             if cfg.traced {
-                rt.end_trace(0);
+                rt.try_end_trace(0).expect("trace 0 is open");
             }
-            run.iter_end.push(*ids.last().unwrap());
+            run.iter_end.push(handles.last().unwrap().id());
         }
 
         if cfg.with_bodies {

@@ -170,14 +170,17 @@ impl Workload for Stencil {
             .forest_mut()
             .create_root("grid", IndexSpace::from_rect(Rect::xy(0, w - 1, 0, h - 1)));
         // One `in`/`out` field pair per variable: 2·vars analysis shards.
-        let fields: Vec<(viz_region::FieldId, viz_region::FieldId)> = (0..vars)
-            .map(|v| {
-                (
-                    rt.forest_mut().add_field(grid, format!("in{v}")),
-                    rt.forest_mut().add_field(grid, format!("out{v}")),
-                )
-            })
-            .collect();
+        let fields: Vec<(viz_region::FieldId, viz_region::FieldId)> = {
+            let mut forest = rt.forest_mut();
+            (0..vars)
+                .map(|v| {
+                    (
+                        forest.add_field(grid, format!("in{v}")),
+                        forest.add_field(grid, format!("out{v}")),
+                    )
+                })
+                .collect()
+        };
         let tiles: Vec<IndexSpace> = (0..cfg.pieces)
             .map(|i| IndexSpace::from_rect(self.tile_rect(i)))
             .collect();
@@ -222,11 +225,11 @@ impl Workload for Stencil {
                 ));
             }
         }
-        rt.run_batch(wave);
+        rt.submit_batch(wave).expect("valid init wave");
 
         for iter in 0..cfg.iterations {
             if cfg.traced {
-                rt.begin_trace(0);
+                rt.try_begin_trace(0).expect("no trace is open");
             }
             let mut wave: Vec<LaunchSpec> = Vec::new();
             for i in 0..cfg.pieces {
@@ -273,7 +276,7 @@ impl Workload for Stencil {
                     ));
                 }
             }
-            rt.run_batch(wave);
+            rt.submit_batch(wave).expect("valid stencil wave");
             // Second phase: the data-parallel increment `in += 1` (all
             // stencil tasks of the iteration read the pre-increment `in`).
             let mut wave: Vec<LaunchSpec> = Vec::new();
@@ -294,11 +297,11 @@ impl Workload for Stencil {
                     ));
                 }
             }
-            let ids = rt.run_batch(wave);
+            let handles = rt.submit_batch(wave).expect("valid add wave");
             if cfg.traced {
-                rt.end_trace(0);
+                rt.try_end_trace(0).expect("trace 0 is open");
             }
-            run.iter_end.push(*ids.last().unwrap());
+            run.iter_end.push(handles.last().unwrap().id());
         }
 
         if cfg.with_bodies {

@@ -27,6 +27,10 @@
 //! `Runtime::execute_values` once and resolve [`Scalar`]s and
 //! [`ArrayProbe`]s against the returned store.
 
+// Deprecated-wrapper allowlist (PR 4): this crate still uses the panicking
+// `launch`/`set_initial` spellings; migrate to `submit` in PR 5.
+#![allow(deprecated)]
+
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};
 use viz_region::{deppart, FieldId, PartitionId, RedOpRegistry, RegionId};
@@ -125,7 +129,9 @@ impl DistArray {
     }
 
     fn node_of(&self, rt: &Runtime, piece: usize) -> usize {
-        piece % rt.machine().num_nodes()
+        // `num_nodes` is a cached constant — unlike `machine()`, it does
+        // not drain the submission pipeline on every launch.
+        piece % rt.num_nodes()
     }
 
     /// A new array with `f` applied elementwise.
@@ -229,7 +235,7 @@ impl DistArray {
         let len = self.len;
         // Halo = image of each piece through i ↦ i+offset, minus the piece.
         let touched = deppart::image(
-            rt.forest_mut(),
+            &mut rt.forest_mut(),
             self.part,
             self.root,
             format!("shift{offset}"),
@@ -242,7 +248,7 @@ impl DistArray {
                 }
             },
         );
-        let halo = deppart::difference(rt.forest_mut(), touched, self.part, "halo");
+        let halo = deppart::difference(&mut rt.forest_mut(), touched, self.part, "halo");
         for i in 0..self.pieces {
             let piece = rt.forest().subregion(self.part, i);
             let h = rt.forest().subregion(halo, i);

@@ -22,6 +22,10 @@
 //!   driver with N worker threads (default: `VIZ_ANALYSIS_THREADS`, else
 //!   serial). The figures are bit-identical either way; only host time
 //!   changes.
+//! * `--pipeline` — route every submission through the deferred-execution
+//!   frontend (bounded queue + analysis driver thread; default:
+//!   `VIZ_PIPELINE`). Figures are bit-identical; submission and analysis
+//!   overlap on the host.
 
 use std::io::Write;
 use viz_bench::{
@@ -86,6 +90,7 @@ fn parse_args() -> Args {
                 // setting through the env default they all read.
                 std::env::set_var("VIZ_ANALYSIS_THREADS", n.to_string());
             }
+            "--pipeline" => std::env::set_var("VIZ_PIPELINE", "1"),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);

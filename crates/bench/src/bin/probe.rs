@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> \
-//!       [--quick] [--profile] [--analysis-threads N] [--auto-trace]
+//!       [--quick] [--profile] [--analysis-threads N] [--auto-trace] [--pipeline]
 //! ```
 //!
 //! `--profile` records a structured trace of the run and appends the
@@ -11,7 +11,10 @@
 //! runs the analysis through the sharded driver with N workers (the
 //! reported figures are bit-identical to serial; only host time changes).
 //! `--auto-trace` enables automatic trace detection and reports what the
-//! detector promoted, replayed, and demoted.
+//! detector promoted, replayed, and demoted. `--pipeline` routes
+//! submissions through the deferred-execution frontend (bounded queue +
+//! analysis driver thread) and reports queue depth/stall statistics; the
+//! figures again stay bit-identical, only host overlap changes.
 
 use viz_bench::AppKind;
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
@@ -36,6 +39,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     let profile = args.iter().any(|a| a == "--profile");
     let auto_trace = args.iter().any(|a| a == "--auto-trace");
+    let pipeline = args.iter().any(|a| a == "--pipeline") || viz_runtime::default_pipeline();
     let analysis_threads = args
         .iter()
         .position(|a| a == "--analysis-threads")
@@ -61,10 +65,13 @@ fn main() {
             .dcr(dcr)
             .validate(false)
             .analysis_threads(analysis_threads)
-            .auto_trace(auto_trace),
+            .auto_trace(auto_trace)
+            .pipeline(pipeline),
     );
     let host = std::time::Instant::now();
     let run = workload.execute(&mut rt);
+    let host_submit = host.elapsed().as_secs_f64();
+    rt.flush();
     let host_analysis = host.elapsed().as_secs_f64();
     let report = rt.timed_schedule();
     println!(
@@ -131,6 +138,18 @@ fn main() {
             rt.replayed_launches(),
             rt.trace_violations().len(),
             rt.trace_rebase_ranges()
+        );
+    }
+    if let Some(m) = rt.pipeline_metrics() {
+        println!(
+            "pipeline: submitted={} retired={} max_depth={} stalls={} stalled={:.3}s \
+             host_submit={host_submit:.2}s (analysis overlapped {:.2}s)",
+            m.submitted(),
+            m.retired(),
+            m.max_depth(),
+            m.stalls(),
+            m.stalled_ns() as f64 * 1e-9,
+            host_analysis - host_submit
         );
     }
     println!("counters: {:#?}", rt.machine().counters());

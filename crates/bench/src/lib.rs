@@ -235,6 +235,8 @@ pub fn measure(
     } else {
         0.0
     };
+    let counters = rt.machine().counters().clone();
+    let state = rt.state_size();
     Measurement {
         app: app.label(),
         config,
@@ -243,8 +245,8 @@ pub fn measure(
         elapsed_s: total_ns as f64 * 1e-9,
         per_iter_s,
         throughput_per_node,
-        counters: rt.machine().counters().clone(),
-        state: rt.state_size(),
+        counters,
+        state,
         host_analysis_s,
     }
 }

@@ -88,6 +88,12 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::TraceReplay { trace, launches } => {
             let _ = write!(out, "{{\"trace\":{trace},\"launches\":{launches}}}");
         }
+        EventKind::PipelineDepth { depth } => {
+            let _ = write!(out, "{{\"depth\":{depth}}}");
+        }
+        EventKind::PipelineStall { waited_ns } => {
+            let _ = write!(out, "{{\"waited_ns\":{waited_ns}}}");
+        }
     }
 }
 

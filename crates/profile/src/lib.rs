@@ -77,6 +77,12 @@ pub enum EventKind {
     /// Trace `trace` replayed an instance of `launches` launches without
     /// re-analysis.
     TraceReplay { trace: u32, launches: u64 },
+    /// The pipeline driver drained `depth` queued launches in one wakeup
+    /// (the submission queue depth it observed).
+    PipelineDepth { depth: u64 },
+    /// A submission blocked `waited_ns` on a full pipeline queue
+    /// (backpressure: the application ran a full queue ahead of analysis).
+    PipelineStall { waited_ns: u64 },
 }
 
 impl EventKind {
@@ -97,6 +103,8 @@ impl EventKind {
             EventKind::GpuTask { .. } => "gpu_task",
             EventKind::TraceDetect { .. } => "trace_detect",
             EventKind::TraceReplay { .. } => "trace_replay",
+            EventKind::PipelineDepth { .. } => "pipeline_depth",
+            EventKind::PipelineStall { .. } => "pipeline_stall",
         }
     }
 
@@ -118,6 +126,8 @@ impl EventKind {
             EventKind::GpuTask { .. } => 1,
             EventKind::TraceDetect { len, .. } => len,
             EventKind::TraceReplay { launches, .. } => launches,
+            EventKind::PipelineDepth { depth } => depth,
+            EventKind::PipelineStall { waited_ns } => waited_ns,
         }
     }
 }

@@ -1,0 +1,90 @@
+//! Typed errors for the fallible submission API.
+//!
+//! Historically every misuse of the frontend was a `panic!` deep inside the
+//! runtime. The submission redesign (PR 4) surfaces them as values instead:
+//! [`crate::Runtime::submit`], [`crate::Runtime::try_set_initial`],
+//! [`crate::Runtime::try_begin_trace`] and friends return
+//! `Result<_, RuntimeError>`, and the deprecated panicking wrappers simply
+//! `panic!("{err}")` — the `Display` strings below deliberately preserve the
+//! old panic messages so existing `should_panic` expectations keep matching.
+
+use crate::trace::TraceId;
+use viz_region::{FieldId, Privilege, RegionId};
+
+/// Why a submission (or trace annotation) was rejected.
+///
+/// Marked `#[non_exhaustive]`: later PRs will add variants (e.g. for
+/// distributed submission) without a breaking release.
+#[non_exhaustive]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A requirement names a region id the forest has never produced.
+    UnknownRegion { region: RegionId },
+    /// A requirement names a field that does not belong to the region's
+    /// root (fields are declared per root tree).
+    UnknownField { region: RegionId, field: FieldId },
+    /// Two requirements of one task alias with interfering privileges —
+    /// the §4 restriction (intra-task coherence is out of scope).
+    InterferingRequirements {
+        a: RegionId,
+        b: RegionId,
+        privilege_a: Privilege,
+        privilege_b: Privilege,
+    },
+    /// `begin_trace` while an annotated trace is already open.
+    NestedTrace { active: TraceId, requested: TraceId },
+    /// `end_trace` with no trace open.
+    EndWithoutBegin { requested: TraceId },
+    /// `end_trace` naming a different trace than the open one.
+    MismatchedTraceEnd { active: TraceId, requested: TraceId },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownRegion { region } => {
+                write!(f, "unknown region {region:?} (not created by this forest)")
+            }
+            RuntimeError::UnknownField { region, field } => {
+                write!(
+                    f,
+                    "field {field:?} does not belong to the root of region {region:?}"
+                )
+            }
+            RuntimeError::InterferingRequirements {
+                a,
+                b,
+                privilege_a,
+                privilege_b,
+            } => {
+                write!(
+                    f,
+                    "task region arguments {a:?} and {b:?} alias with interfering \
+                     privileges {privilege_a:?}/{privilege_b:?} (intra-task coherence \
+                     is out of scope, §4)"
+                )
+            }
+            RuntimeError::NestedTrace { active, requested } => {
+                write!(
+                    f,
+                    "nested or overlapping traces are not supported \
+                     (trace {} is open, begin_trace({}) requested)",
+                    active.0, requested.0
+                )
+            }
+            RuntimeError::EndWithoutBegin { requested } => {
+                write!(f, "end_trace without begin_trace (trace {})", requested.0)
+            }
+            RuntimeError::MismatchedTraceEnd { active, requested } => {
+                write!(
+                    f,
+                    "mismatched begin/end trace ids (trace {} is open, \
+                     end_trace({}) requested)",
+                    active.0, requested.0
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}

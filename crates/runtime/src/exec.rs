@@ -402,6 +402,7 @@ impl TimedSchedule {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deprecated-wrapper allowlist (PR 4): migrate in PR 5
 mod tests {
     use super::*;
     use crate::engine::EngineKind;

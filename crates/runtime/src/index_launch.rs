@@ -3,12 +3,12 @@
 //! Legion expresses `for i = 1..3 t1(P[i], G[i])` (Fig 1, line 16) as a
 //! single *index launch* over a launch domain, with projection functions
 //! mapping each index point to its region arguments. This module provides
-//! that sugar over [`crate::Runtime::launch`]: the analysis still observes
-//! the individual point tasks (the paper's algorithms are defined on the
-//! flattened stream), but applications get the natural batched API and a
-//! single handle for the whole wave.
+//! that sugar over [`crate::Runtime::submit_batch`]: the analysis still
+//! observes the individual point tasks (the paper's algorithms are defined
+//! on the flattened stream), but applications get the natural batched API
+//! and a single handle for the whole wave.
 
-use crate::runtime::Runtime;
+use crate::runtime::{LaunchSpec, Runtime, TaskHandle};
 use crate::task::{RegionRequirement, TaskBody, TaskId};
 use viz_region::{FieldId, PartitionId, Privilege};
 use viz_sim::NodeId;
@@ -84,27 +84,33 @@ impl Runtime {
         mut body_of: impl FnMut(usize) -> Option<TaskBody>,
     ) -> IndexLaunchResult {
         let name = name.into();
-        let mut tasks = Vec::with_capacity(domain);
-        for i in 0..domain {
-            let reqs: Vec<RegionRequirement> = projections
-                .iter()
-                .map(|p| {
-                    RegionRequirement::new(
-                        self.forest().subregion(p.partition, i),
-                        p.field,
-                        p.privilege,
-                    )
-                })
-                .collect();
-            tasks.push(self.launch(
-                format!("{name}[{i}]"),
-                node_of(i),
-                reqs,
-                duration_ns,
-                body_of(i),
-            ));
+        let mut specs = Vec::with_capacity(domain);
+        {
+            let forest = self.forest();
+            for i in 0..domain {
+                let reqs: Vec<RegionRequirement> = projections
+                    .iter()
+                    .map(|p| {
+                        RegionRequirement::new(
+                            forest.subregion(p.partition, i),
+                            p.field,
+                            p.privilege,
+                        )
+                    })
+                    .collect();
+                specs.push(LaunchSpec::new(
+                    format!("{name}[{i}]"),
+                    node_of(i),
+                    reqs,
+                    duration_ns,
+                    body_of(i),
+                ));
+            }
         }
-        IndexLaunchResult { tasks }
+        let handles = self.submit_batch(specs).unwrap_or_else(|e| panic!("{e}"));
+        IndexLaunchResult {
+            tasks: handles.into_iter().map(TaskHandle::id).collect(),
+        }
     }
 }
 

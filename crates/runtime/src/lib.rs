@@ -36,10 +36,12 @@ pub mod analysis;
 pub mod autotrace;
 pub mod dag;
 pub mod engine;
+pub mod error;
 pub mod exec;
 pub mod index_launch;
 pub mod instance;
 pub mod mapper;
+pub mod pipeline;
 pub mod plan;
 pub mod runtime;
 pub mod sharding;
@@ -51,14 +53,17 @@ pub mod validate;
 pub use autotrace::AutoTraceConfig;
 pub use dag::TaskDag;
 pub use engine::{CoherenceEngine, EngineKind};
+pub use error::RuntimeError;
 pub use index_launch::{IndexLaunchResult, Projection};
 pub use instance::PhysicalRegion;
 pub use mapper::Mapper;
+pub use pipeline::{CoreRead, CoreWrite, PipelineMetrics};
 pub use plan::{
     AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source, StoredResult, TaskShift,
 };
 pub use runtime::{
-    default_analysis_threads, default_auto_trace, LaunchSpec, Runtime, RuntimeConfig,
+    default_analysis_threads, default_auto_trace, default_pipeline, LaunchBuilder, LaunchSpec,
+    Runtime, RuntimeConfig, TaskHandle,
 };
 pub use sharding::ShardMap;
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};

@@ -1,0 +1,395 @@
+//! The pipelined submission frontend (PR 4).
+//!
+//! With [`crate::RuntimeConfig::pipeline`] set, the application thread no
+//! longer runs the dependence analysis inline: [`crate::Runtime::submit`]
+//! validates and snapshots the launch, pushes it into a bounded queue, and
+//! returns immediately with a [`crate::TaskHandle`]. A dedicated *analysis
+//! driver* thread drains the queue and feeds the specs — in submission
+//! order, in whatever chunk sizes it happens to observe — through
+//! [`Core::run_specs`], the same entry point the synchronous frontend
+//! uses. That code path is chunk-invariant (PR 2 made batched analysis
+//! byte-identical to serial, PR 3's detector is fed in stream order either
+//! way), so the pipelined runtime produces bit-for-bit the dependences,
+//! plans, simulated clocks, and counters of the synchronous one while the
+//! application races ahead building the next wave.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded ([`crate::RuntimeConfig::pipeline_depth`]): a full
+//! queue blocks `submit` until the driver catches up, keeping the
+//! application at most one queue ahead of the analysis — the same
+//! throttling role Legion's "runtime ahead" window plays. Stalls are
+//! counted in [`PipelineMetrics`] and emitted as
+//! [`viz_profile::EventKind::PipelineStall`] events; each driver wakeup
+//! records the depth it drained as
+//! [`viz_profile::EventKind::PipelineDepth`].
+//!
+//! ## Drain points and the drop contract
+//!
+//! Any operation that observes committed analysis state first calls
+//! [`Pipeline::drain`] (see the list on [`crate::Runtime`]). Dropping the
+//! runtime closes the queue and joins the driver, which *always* drains
+//! remaining items before honoring the close — queued launches are never
+//! lost, and the final state is exactly the synchronous one. A panic on
+//! the driver thread (an engine bug, not API misuse — misuse is rejected
+//! on the application thread before enqueue) is latched and re-raised on
+//! the application thread at the next submission or drain point.
+
+use crate::runtime::{Core, LaunchSpec};
+use std::collections::VecDeque;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
+use viz_region::RegionForest;
+
+/// What the application thread and the driver share.
+struct Shared {
+    queue: Mutex<QueueState>,
+    /// Signaled by `submit` after a push; the driver waits on it.
+    not_empty: Condvar,
+    /// Signaled by the driver after taking a batch; full `submit`s wait.
+    space: Condvar,
+    /// Signaled by the driver after committing a batch; drain/resolve wait.
+    progress: Condvar,
+    depth: usize,
+    metrics: Arc<MetricsInner>,
+}
+
+struct QueueState {
+    items: VecDeque<LaunchSpec>,
+    /// Specs the driver has taken but not yet committed. `items` empty and
+    /// `in_flight == 0` together mean every submission has retired.
+    in_flight: usize,
+    /// Absolute commit watermark: `core.launches.len()` after the driver's
+    /// latest commit (task ids below it are final). Fences bump the core
+    /// directly from the application thread at a drained moment, so the
+    /// watermark may lag the core — waiters therefore also accept the
+    /// queue-empty condition.
+    committed: u64,
+    closed: bool,
+    /// The driver panicked; latched so every waiter propagates instead of
+    /// hanging.
+    panicked: bool,
+}
+
+#[derive(Default)]
+struct MetricsInner {
+    submitted: AtomicU64,
+    retired: AtomicU64,
+    stalls: AtomicU64,
+    stalled_ns: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+/// Counters for the pipelined frontend, readable from a cloneable handle
+/// that outlives the [`crate::Runtime`] — the drop-flush test uses one to
+/// observe that every queued launch retired during `Drop`.
+#[derive(Clone)]
+pub struct PipelineMetrics {
+    inner: Arc<MetricsInner>,
+}
+
+impl PipelineMetrics {
+    /// Launches pushed into the submission queue.
+    pub fn submitted(&self) -> u64 {
+        self.inner.submitted.load(Ordering::Acquire)
+    }
+
+    /// Launches the driver has drained and committed.
+    pub fn retired(&self) -> u64 {
+        self.inner.retired.load(Ordering::Acquire)
+    }
+
+    /// Times a `submit` blocked on a full queue (backpressure).
+    pub fn stalls(&self) -> u64 {
+        self.inner.stalls.load(Ordering::Acquire)
+    }
+
+    /// Total wall-clock nanoseconds submissions spent blocked on
+    /// backpressure.
+    pub fn stalled_ns(&self) -> u64 {
+        self.inner.stalled_ns.load(Ordering::Acquire)
+    }
+
+    /// High-water mark of the queue depth observed at submission.
+    pub fn max_depth(&self) -> u64 {
+        self.inner.max_depth.load(Ordering::Acquire)
+    }
+}
+
+/// Re-raised on the application thread when the driver died.
+const DRIVER_PANIC: &str =
+    "viz-runtime analysis driver thread panicked; see its panic message above";
+
+/// The handle the [`crate::Runtime`] facade owns: the shared queue plus
+/// the driver's join handle. Dropping it closes the queue and joins the
+/// driver (which drains first).
+pub(crate) struct Pipeline {
+    shared: Arc<Shared>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Pipeline {
+    pub(crate) fn spawn(
+        core: Arc<RwLock<Core>>,
+        forest: Arc<RwLock<RegionForest>>,
+        depth: usize,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                in_flight: 0,
+                committed: 0,
+                closed: false,
+                panicked: false,
+            }),
+            not_empty: Condvar::new(),
+            space: Condvar::new(),
+            progress: Condvar::new(),
+            depth: depth.max(1),
+            metrics: Arc::new(MetricsInner::default()),
+        });
+        let driver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("viz-analysis-driver".into())
+                .spawn(move || drive(&shared, &core, &forest))
+                .expect("spawn analysis driver thread")
+        };
+        Pipeline {
+            shared,
+            driver: Some(driver),
+        }
+    }
+
+    /// Push one spec; blocks on backpressure when the queue is at depth.
+    pub(crate) fn enqueue(&self, spec: LaunchSpec) {
+        self.enqueue_all(vec![spec]);
+    }
+
+    /// Push a batch in order, respecting the depth bound chunk-wise (a
+    /// batch larger than the queue trickles in as the driver drains).
+    pub(crate) fn enqueue_all(&self, specs: Vec<LaunchSpec>) {
+        let shared = &*self.shared;
+        let n = specs.len() as u64;
+        let mut q = shared.queue.lock().unwrap();
+        let mut stall_started: Option<Instant> = None;
+        for spec in specs {
+            while q.items.len() >= shared.depth {
+                if q.panicked {
+                    panic!("{DRIVER_PANIC}");
+                }
+                stall_started.get_or_insert_with(Instant::now);
+                q = shared.space.wait(q).unwrap();
+            }
+            if q.panicked {
+                panic!("{DRIVER_PANIC}");
+            }
+            q.items.push_back(spec);
+            shared.not_empty.notify_one();
+        }
+        let observed_depth = (q.items.len() + q.in_flight) as u64;
+        drop(q);
+        let m = &shared.metrics;
+        m.submitted.fetch_add(n, Ordering::AcqRel);
+        m.max_depth.fetch_max(observed_depth, Ordering::AcqRel);
+        if let Some(t0) = stall_started {
+            let waited_ns = t0.elapsed().as_nanos() as u64;
+            m.stalls.fetch_add(1, Ordering::AcqRel);
+            m.stalled_ns.fetch_add(waited_ns, Ordering::AcqRel);
+            if viz_profile::enabled() {
+                viz_profile::instant(viz_profile::EventKind::PipelineStall { waited_ns });
+            }
+        }
+    }
+
+    /// Block until every submitted launch has been committed by the driver.
+    pub(crate) fn drain(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if q.panicked {
+                panic!("{DRIVER_PANIC}");
+            }
+            if q.items.is_empty() && q.in_flight == 0 {
+                return;
+            }
+            q = self.shared.progress.wait(q).unwrap();
+        }
+    }
+
+    /// Block until the commit watermark covers `count` launches (or the
+    /// queue is fully drained, which subsumes it — see
+    /// [`QueueState::committed`]).
+    pub(crate) fn wait_committed(&self, count: u64) {
+        let mut q = self.shared.queue.lock().unwrap();
+        loop {
+            if q.panicked {
+                panic!("{DRIVER_PANIC}");
+            }
+            if q.committed >= count || (q.items.is_empty() && q.in_flight == 0) {
+                return;
+            }
+            q = self.shared.progress.wait(q).unwrap();
+        }
+    }
+
+    pub(crate) fn metrics(&self) -> PipelineMetrics {
+        PipelineMetrics {
+            inner: Arc::clone(&self.shared.metrics),
+        }
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.closed = true;
+        }
+        self.shared.not_empty.notify_all();
+        if let Some(driver) = self.driver.take() {
+            if let Err(payload) = driver.join() {
+                // Surface the driver's death unless we are already
+                // unwinding (a double panic would abort).
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Latches the panic flag if the driver unwinds, so application-side
+/// waiters wake up and propagate instead of deadlocking on a condvar.
+struct Bomb<'a>(&'a Shared);
+
+impl Drop for Bomb<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.queue.lock().unwrap().panicked = true;
+            self.0.space.notify_all();
+            self.0.progress.notify_all();
+        }
+    }
+}
+
+/// The driver loop: take everything queued, commit it through the shared
+/// [`Core`], repeat. Exits when the queue is closed *and* empty — close is
+/// only honored after a final drain, which is the drop-flush guarantee.
+fn drive(shared: &Shared, core: &RwLock<Core>, forest: &RwLock<RegionForest>) {
+    let bomb = Bomb(shared);
+    loop {
+        let batch: Vec<LaunchSpec> = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if !q.items.is_empty() {
+                    let items = std::mem::take(&mut q.items);
+                    q.in_flight = items.len();
+                    break items.into();
+                }
+                if q.closed {
+                    drop(bomb);
+                    return;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        shared.space.notify_all();
+        let n = batch.len();
+        if viz_profile::enabled() {
+            viz_profile::instant(viz_profile::EventKind::PipelineDepth { depth: n as u64 });
+        }
+        let committed = {
+            // Lock order everywhere is forest before core. The forest is
+            // only write-locked by `forest_mut`, which drains first, so the
+            // driver's read lock never contends with a writer mid-batch.
+            let forest = forest.read().unwrap();
+            let mut core = core.write().unwrap();
+            core.run_specs(batch, &forest);
+            core.launches.len() as u64
+        };
+        shared.metrics.retired.fetch_add(n as u64, Ordering::AcqRel);
+        {
+            let mut q = shared.queue.lock().unwrap();
+            q.committed = committed;
+            q.in_flight = 0;
+        }
+        shared.progress.notify_all();
+    }
+}
+
+/// A read guard into a component of the analysis [`Core`], returned by the
+/// [`crate::Runtime`] introspection accessors (`dag()`, `launches()`,
+/// `machine()`, ...). Dereferences to the component; the core stays
+/// read-locked for the guard's lifetime. Accessors drain the pipeline
+/// before locking, so the driver is idle and cannot block behind the
+/// guard; overlapping read guards on the application thread are fine.
+pub struct CoreRead<'a, T: ?Sized> {
+    guard: RwLockReadGuard<'a, Core>,
+    map: fn(&Core) -> &T,
+}
+
+impl<'a, T: ?Sized> CoreRead<'a, T> {
+    pub(crate) fn new(core: &'a RwLock<Core>, map: fn(&Core) -> &T) -> Self {
+        CoreRead {
+            guard: core.read().unwrap(),
+            map,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for CoreRead<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        (self.map)(&self.guard)
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for CoreRead<'_, T> {
+    fn as_ref(&self) -> &T {
+        (self.map)(&self.guard)
+    }
+}
+
+/// Write counterpart of [`CoreRead`] (e.g. [`crate::Runtime::machine_mut`]).
+pub struct CoreWrite<'a, T: ?Sized> {
+    guard: RwLockWriteGuard<'a, Core>,
+    map: fn(&Core) -> &T,
+    map_mut: fn(&mut Core) -> &mut T,
+}
+
+impl<'a, T: ?Sized> CoreWrite<'a, T> {
+    pub(crate) fn new(
+        core: &'a RwLock<Core>,
+        map: fn(&Core) -> &T,
+        map_mut: fn(&mut Core) -> &mut T,
+    ) -> Self {
+        CoreWrite {
+            guard: core.write().unwrap(),
+            map,
+            map_mut,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for CoreWrite<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        (self.map)(&self.guard)
+    }
+}
+
+impl<T: ?Sized> DerefMut for CoreWrite<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        (self.map_mut)(&mut self.guard)
+    }
+}
+
+impl<T: ?Sized> AsRef<T> for CoreWrite<'_, T> {
+    fn as_ref(&self) -> &T {
+        (self.map)(&self.guard)
+    }
+}

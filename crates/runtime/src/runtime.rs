@@ -1,19 +1,52 @@
-//! The runtime facade: region creation, task launching, deferred execution.
+//! The runtime facade: region creation, task submission, deferred execution.
+//!
+//! Since PR 4 the frontend is split in two:
+//!
+//! * [`Runtime`] — the application-thread facade. It validates and
+//!   snapshots submissions ([`Runtime::submit`], [`LaunchBuilder`]),
+//!   assigns task ids in program order, and either runs the analysis
+//!   inline (synchronous mode) or enqueues the launch for the pipeline
+//!   driver (`RuntimeConfig::pipeline`, see [`crate::pipeline`]).
+//! * [`Core`] — everything the analysis driver needs: the visibility
+//!   engine, the simulated machine, the shard map, the tracing state
+//!   machine, and the per-task bookkeeping. In pipelined mode it lives
+//!   behind an `RwLock` shared with the driver thread; in synchronous
+//!   mode the same code runs on the application thread, so both modes
+//!   produce byte-identical results.
 
 use crate::autotrace::{AutoTraceConfig, AutoTracer};
 use crate::dag::TaskDag;
 use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
+use crate::error::RuntimeError;
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
+use crate::pipeline::{CoreRead, CoreWrite, Pipeline, PipelineMetrics};
 use crate::plan::{AnalysisResult, StoredResult, TaskShift};
 use crate::sharding::ShardMap;
 use crate::task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
 use crate::trace::{TraceAction, TraceId, TraceViolation, Tracing};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use viz_geometry::{FxHashMap, Point};
 use viz_region::{redop::Value, FieldId, Privilege, RedOpRegistry, RegionForest, RegionId};
 use viz_sim::{CostModel, Machine, NodeId, SimTime};
 
 /// Configuration for a [`Runtime`].
+///
+/// # Environment variables
+///
+/// Three knobs default from the environment so existing binaries and the
+/// differential CI jobs can flip execution strategies without code
+/// changes. Builder setters always win over the environment.
+///
+/// | Variable | Field | Effect |
+/// |---|---|---|
+/// | `VIZ_ANALYSIS_THREADS` | [`analysis_threads`](Self::analysis_threads) | worker threads for the sharded batch analysis (unset/`1` = serial) |
+/// | `VIZ_AUTO_TRACE` | [`auto_trace`](Self::auto_trace) | `1`/`true` enables online automatic trace detection |
+/// | `VIZ_PIPELINE` | [`pipeline`](Self::pipeline) | `1`/`true` runs the analysis on a dedicated driver thread, overlapped with submission |
+///
+/// Marked `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and
+/// the builder setters.
+#[non_exhaustive]
 #[derive(Clone, Debug)]
 pub struct RuntimeConfig {
     /// Number of simulated machine nodes.
@@ -24,18 +57,27 @@ pub struct RuntimeConfig {
     pub dcr: bool,
     /// Cost model for the simulated machine.
     pub cost: CostModel,
-    /// Check the §4 requirement-aliasing rule on every launch (on by
-    /// default; benchmarks at large scales may disable it).
+    /// Check the §4 requirement-aliasing rule (and region/field validity)
+    /// on every submission (on by default; benchmarks at large scales may
+    /// disable it).
     pub validate_launches: bool,
-    /// Worker threads for the sharded analysis driver
-    /// ([`Runtime::run_batch`]): with more than one, a batch's per-(root,
-    /// field) shard scans run concurrently. Defaults from the
-    /// `VIZ_ANALYSIS_THREADS` environment variable (else 1 = serial).
+    /// Worker threads for the sharded analysis driver: with more than one,
+    /// a batch's per-(root, field) shard scans run concurrently. Defaults
+    /// from `VIZ_ANALYSIS_THREADS` (else 1 = serial).
     pub analysis_threads: usize,
     /// Online automatic trace detection: watch the launch stream for
     /// repeated subsequences and replay them without `begin_trace`
     /// annotations. `enabled` defaults from `VIZ_AUTO_TRACE`.
     pub auto_trace: AutoTraceConfig,
+    /// Pipelined submission: launches are validated on the application
+    /// thread, pushed into a bounded queue, and analyzed by a dedicated
+    /// driver thread — application, analysis, and (simulated) execution
+    /// overlap. Results are byte-identical to the synchronous path.
+    /// Defaults from `VIZ_PIPELINE`.
+    pub pipeline: bool,
+    /// Capacity of the submission queue (backpressure bound): a full
+    /// queue blocks [`Runtime::submit`] until the driver catches up.
+    pub pipeline_depth: usize,
 }
 
 /// The `VIZ_ANALYSIS_THREADS` default for
@@ -48,10 +90,8 @@ pub fn default_analysis_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// The `VIZ_AUTO_TRACE` default for [`RuntimeConfig::auto_trace`]
-/// (disabled when unset; "1"/"true" enable).
-pub fn default_auto_trace() -> bool {
-    std::env::var("VIZ_AUTO_TRACE")
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
         .ok()
         .map(|s| {
             let s = s.trim();
@@ -59,6 +99,20 @@ pub fn default_auto_trace() -> bool {
         })
         .unwrap_or(false)
 }
+
+/// The `VIZ_AUTO_TRACE` default for [`RuntimeConfig::auto_trace`]
+/// (disabled when unset; "1"/"true" enable).
+pub fn default_auto_trace() -> bool {
+    env_flag("VIZ_AUTO_TRACE")
+}
+
+/// The `VIZ_PIPELINE` default for [`RuntimeConfig::pipeline`]
+/// (disabled when unset; "1"/"true" enable).
+pub fn default_pipeline() -> bool {
+    env_flag("VIZ_PIPELINE")
+}
+
+const DEFAULT_PIPELINE_DEPTH: usize = 256;
 
 impl RuntimeConfig {
     pub fn new(engine: EngineKind) -> Self {
@@ -73,6 +127,8 @@ impl RuntimeConfig {
                 enabled: default_auto_trace(),
                 ..AutoTraceConfig::default()
             },
+            pipeline: default_pipeline(),
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         }
     }
 
@@ -96,6 +152,10 @@ impl RuntimeConfig {
         self
     }
 
+    // --------------------------------------------------------------
+    // Execution strategy (env-var parity documented on the type)
+    // --------------------------------------------------------------
+
     pub fn analysis_threads(mut self, n: usize) -> Self {
         self.analysis_threads = n.max(1);
         self
@@ -107,27 +167,48 @@ impl RuntimeConfig {
         self
     }
 
-    /// Shortest repeated subsequence the auto-tracer will promote.
+    /// Full auto-tracer tuning (promotion length bounds, confidence).
+    /// Replaces the individual `auto_trace_*` setters.
+    pub fn auto_trace_config(mut self, cfg: AutoTraceConfig) -> Self {
+        self.auto_trace = cfg;
+        self
+    }
+
+    /// Toggle the pipelined submission frontend.
+    pub fn pipeline(mut self, on: bool) -> Self {
+        self.pipeline = on;
+        self
+    }
+
+    /// Submission-queue capacity (backpressure bound, min 1).
+    pub fn pipeline_depth(mut self, n: usize) -> Self {
+        self.pipeline_depth = n.max(1);
+        self
+    }
+
+    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
     pub fn auto_trace_min_len(mut self, n: u32) -> Self {
         self.auto_trace.min_len = n.max(1);
         self
     }
 
-    /// Longest repeated subsequence considered (bounds detector memory).
+    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
     pub fn auto_trace_max_len(mut self, n: u32) -> Self {
         self.auto_trace.max_len = n.max(1);
         self
     }
 
-    /// Identical consecutive repetitions required before promotion (≥ 2).
+    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
     pub fn auto_trace_confidence(mut self, n: u32) -> Self {
         self.auto_trace.confidence = n.max(2);
         self
     }
 }
 
-/// A deferred launch, for [`Runtime::run_batch`]: the same arguments
-/// [`Runtime::launch`] takes, as data.
+/// One deferred launch, as data: the unit of the submission queue and of
+/// [`Runtime::submit_batch`]. Construct with [`LaunchSpec::new`] or the
+/// [`LaunchBuilder`] sugar (`#[non_exhaustive]`: fields may grow).
+#[non_exhaustive]
 pub struct LaunchSpec {
     pub name: String,
     pub node: NodeId,
@@ -154,128 +235,62 @@ impl LaunchSpec {
     }
 }
 
-type InitFn = Arc<dyn Fn(Point) -> Value + Send + Sync>;
-
-/// A Legion-style runtime: launches are analyzed immediately (the dynamic
-/// dependence/coherence analysis is the subject of the paper); execution is
-/// deferred to [`Runtime::execute_values`] (real values, worker threads) or
-/// [`Runtime::timed_schedule`] (simulated time at machine scale).
-pub struct Runtime {
-    forest: RegionForest,
-    redops: RedOpRegistry,
-    machine: Machine,
-    engine: Box<dyn CoherenceEngine>,
-    shards: ShardMap,
-    launches: Vec<TaskLaunch>,
-    bodies: Vec<Option<TaskBody>>,
-    results: Vec<StoredResult>,
-    /// Simulated time at which each launch's analysis completed on its
-    /// origin node — execution cannot start earlier.
-    analysis_done: Vec<SimTime>,
-    dag: TaskDag,
-    initial: FxHashMap<(RegionId, FieldId), InitFn>,
-    validate_launches: bool,
-    analysis_threads: usize,
-    tracing: Tracing,
+/// A lightweight receipt for a submitted launch.
+///
+/// Task ids are assigned in program order and every id-consuming operation
+/// goes through the [`Runtime`] facade, so the handle's [`TaskId`] is
+/// fixed at submission time — [`TaskHandle::id`] is free and exact even
+/// while the launch is still queued. [`Runtime::resolve`] is the sync
+/// point: it additionally blocks until the launch's analysis has
+/// committed (dependences, plan, and simulated clocks are final).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TaskHandle {
+    seq: u32,
 }
 
-impl Runtime {
-    pub fn new(config: RuntimeConfig) -> Self {
-        Runtime {
-            forest: RegionForest::new(),
-            redops: RedOpRegistry::new(),
-            machine: Machine::with_cost(config.nodes, config.cost),
-            engine: config.engine.build(),
-            shards: ShardMap::new(config.nodes, config.dcr),
-            launches: Vec::new(),
-            bodies: Vec::new(),
-            results: Vec::new(),
-            analysis_done: Vec::new(),
-            dag: TaskDag::new(),
-            initial: FxHashMap::default(),
-            validate_launches: config.validate_launches,
-            analysis_threads: config.analysis_threads,
-            tracing: Tracing::new(
-                config
-                    .auto_trace
-                    .enabled
-                    .then(|| AutoTracer::new(&config.auto_trace)),
-            ),
-        }
+impl TaskHandle {
+    /// The task id this submission was (or will be) assigned.
+    pub fn id(self) -> TaskId {
+        TaskId(self.seq)
     }
 
-    /// Shorthand: single node, no DCR.
-    pub fn single_node(engine: EngineKind) -> Self {
-        Self::new(RuntimeConfig::new(engine))
+    pub fn index(self) -> usize {
+        self.seq as usize
     }
+}
 
-    /// A runtime with a custom engine instance (used by the ablation
-    /// benches for engine variants like `Warnock::without_memoization`).
-    pub fn with_engine(config: RuntimeConfig, engine: Box<dyn CoherenceEngine>) -> Self {
-        let mut rt = Self::new(config);
-        rt.engine = engine;
-        rt
-    }
+type InitFn = Arc<dyn Fn(Point) -> Value + Send + Sync>;
 
-    // ------------------------------------------------------------------
-    // Region model access
-    // ------------------------------------------------------------------
+/// Everything the analysis driver owns: engine, simulated machine, shard
+/// map, tracing state machine, and the per-task bookkeeping. All mutation
+/// of analysis state funnels through [`Core::run_specs`] / [`Core::fence`]
+/// so the synchronous and pipelined frontends share one code path.
+pub(crate) struct Core {
+    pub(crate) engine: Box<dyn CoherenceEngine>,
+    pub(crate) machine: Machine,
+    pub(crate) shards: ShardMap,
+    pub(crate) launches: Vec<TaskLaunch>,
+    pub(crate) bodies: Vec<Option<TaskBody>>,
+    pub(crate) results: Vec<StoredResult>,
+    /// Simulated time at which each launch's analysis completed on its
+    /// origin node — execution cannot start earlier.
+    pub(crate) analysis_done: Vec<SimTime>,
+    pub(crate) dag: TaskDag,
+    pub(crate) tracing: Tracing,
+    pub(crate) analysis_threads: usize,
+}
 
-    pub fn forest(&self) -> &RegionForest {
-        &self.forest
-    }
-
-    /// Region trees may be extended at any point between launches — the
-    /// analyses are fully dynamic.
-    pub fn forest_mut(&mut self) -> &mut RegionForest {
-        &mut self.forest
-    }
-
-    pub fn redops(&self) -> &RedOpRegistry {
-        &self.redops
-    }
-
-    pub fn redops_mut(&mut self) -> &mut RedOpRegistry {
-        &mut self.redops
-    }
-
-    /// Provide initial contents for a root region's field (defaults to 0.0
-    /// everywhere). Corresponds to the `[⟨read-write, A⟩]` initial history
-    /// entry of §5.
-    pub fn set_initial(
-        &mut self,
-        root: RegionId,
-        field: FieldId,
-        f: impl Fn(Point) -> Value + Send + Sync + 'static,
-    ) {
-        self.initial.insert((root, field), Arc::new(f));
-    }
-
-    // ------------------------------------------------------------------
-    // Launching
-    // ------------------------------------------------------------------
-
-    /// Launch a task: privileges + regions in, dependences + plan out.
-    /// Analysis happens *now* (this is the operation the paper measures);
-    /// the body runs later under [`Runtime::execute_values`].
-    pub fn launch(
-        &mut self,
-        name: impl Into<String>,
-        node: NodeId,
-        reqs: Vec<RegionRequirement>,
-        duration_ns: u64,
-        body: Option<TaskBody>,
-    ) -> TaskId {
+impl Core {
+    /// Analyze one launch through the serial path (the operation the paper
+    /// measures). Requirements are assumed validated by the facade.
+    fn launch_one(&mut self, spec: LaunchSpec, forest: &RegionForest) -> TaskId {
         let id = TaskId(self.launches.len() as u32);
-        if self.validate_launches {
-            self.validate_reqs(&reqs);
-        }
         let launch = TaskLaunch {
             id,
-            name: name.into(),
-            node: node % self.shards.nodes(),
-            reqs,
-            duration_ns,
+            name: spec.name,
+            node: spec.node % self.shards.nodes(),
+            reqs: spec.reqs,
+            duration_ns: spec.duration_ns,
         };
         let origin = self.shards.origin(launch.node);
         let mut action = self.tracing.on_launch(launch.node, &launch.reqs, id.0);
@@ -307,7 +322,7 @@ impl Runtime {
                 let host_span = viz_profile::span(engine_name);
                 let sim_start = self.machine.now(origin);
                 let mut ctx = AnalysisCtx {
-                    forest: &self.forest,
+                    forest,
                     machine: &mut self.machine,
                     shards: &self.shards,
                 };
@@ -340,7 +355,7 @@ impl Runtime {
                         launch.node,
                         launch.reqs.clone(),
                         Arc::clone(&result),
-                        &self.forest,
+                        forest,
                     );
                     StoredResult::Shared {
                         result,
@@ -355,35 +370,28 @@ impl Runtime {
         };
         self.results.push(stored);
         self.launches.push(launch);
-        self.bodies.push(body);
+        self.bodies.push(spec.body);
         id
     }
 
-    /// Launch a *batch* of independent-or-not tasks through the sharded
-    /// analysis driver. Semantically identical to calling
-    /// [`Runtime::launch`] for each item in order — dependences, plans,
-    /// simulated clocks, and counters come out byte-for-byte the same — but
-    /// with `analysis_threads > 1` the per-`(root, field)` visibility scans
-    /// of the batch run concurrently on a scoped worker pool, with a
-    /// pipelined commit stage retiring launches in order.
-    ///
-    /// Falls back to the serial path when `analysis_threads <= 1` or for
-    /// batches of one. Traces no longer force the whole batch serial:
-    /// the batch is *segmented* — launches inside a warm-up/capture
-    /// instance run through [`Runtime::launch`] in order (engine scans are
-    /// per-launch-in-order there), a **replaying** segment synthesizes its
-    /// results in bulk with no engine scan at all (each launch is just a
-    /// validation + an `Arc` handoff to the in-order retire sequence), and
-    /// the remaining untraced prefix goes through the sharded scan
-    /// pipeline, feeding the auto-trace detector in batch order so
-    /// detection fires at the same launch as the serial driver.
-    pub fn run_batch(&mut self, items: Vec<LaunchSpec>) -> Vec<TaskId> {
+    /// Run a sequence of launches, segmented between the serial path
+    /// (trace warm-up/capture/replay, or `analysis_threads <= 1`) and the
+    /// sharded scan pipeline — semantically identical to analyzing each
+    /// spec in order; dependences, plans, simulated clocks, and counters
+    /// come out byte-for-byte the same. Both the synchronous frontend and
+    /// the pipeline driver call exactly this, so chunk boundaries (how
+    /// many specs the driver drains per wakeup) cannot affect results.
+    pub(crate) fn run_specs(
+        &mut self,
+        items: Vec<LaunchSpec>,
+        forest: &RegionForest,
+    ) -> Vec<TaskId> {
         let mut ids = Vec::with_capacity(items.len());
-        let mut items: std::collections::VecDeque<LaunchSpec> = items.into();
+        let mut items: VecDeque<LaunchSpec> = items.into();
         while !items.is_empty() {
             if self.analysis_threads <= 1 || items.len() == 1 {
                 for s in items.drain(..) {
-                    ids.push(self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body));
+                    ids.push(self.launch_one(s, forest));
                 }
                 break;
             }
@@ -395,11 +403,11 @@ impl Runtime {
                 // remainder of the batch.
                 while !items.is_empty() && self.tracing.pending_or_active() {
                     let s = items.pop_front().unwrap();
-                    ids.push(self.launch(s.name, s.node, s.reqs, s.duration_ns, s.body));
+                    ids.push(self.launch_one(s, forest));
                 }
                 continue;
             }
-            ids.extend(self.run_batch_sharded(&mut items));
+            ids.extend(self.run_batch_sharded(&mut items, forest));
         }
         ids
     }
@@ -409,22 +417,20 @@ impl Runtime {
     /// promotes a repeat, leaving the rest for the caller to re-dispatch.
     fn run_batch_sharded(
         &mut self,
-        items: &mut std::collections::VecDeque<LaunchSpec>,
+        items: &mut VecDeque<LaunchSpec>,
+        forest: &RegionForest,
     ) -> Vec<TaskId> {
         let base = self.launches.len() as u32;
         let mut batch: Vec<TaskLaunch> = Vec::with_capacity(items.len());
         let mut batch_bodies: Vec<Option<TaskBody>> = Vec::with_capacity(items.len());
         let mut groups: Vec<Vec<(crate::analysis::ShardKey, Vec<u32>)>> =
             Vec::with_capacity(items.len());
-        // Phase A (driver thread): validate, assign ids, feed the
-        // auto-trace detector, first-touch the shard map, and let the
-        // engine create missing shard state. The grouping depends only on
-        // the region forest, so the whole segment can be prepared before
-        // any scan runs.
+        // Phase A (driver thread): assign ids, feed the auto-trace
+        // detector, first-touch the shard map, and let the engine create
+        // missing shard state. The grouping depends only on the region
+        // forest, so the whole segment can be prepared before any scan
+        // runs.
         while let Some(spec) = items.pop_front() {
-            if self.validate_launches {
-                self.validate_reqs(&spec.reqs);
-            }
             let launch = TaskLaunch {
                 id: TaskId(base + batch.len() as u32),
                 name: spec.name,
@@ -448,7 +454,7 @@ impl Runtime {
             groups.push(self.engine.prepare(
                 &launch,
                 &crate::engine::ShardCtx {
-                    forest: &self.forest,
+                    forest,
                     shards: &self.shards,
                 },
             ));
@@ -466,7 +472,6 @@ impl Runtime {
         // retire closure replays charges and grows the bookkeeping.
         {
             let engine: &dyn CoherenceEngine = &*self.engine;
-            let forest = &self.forest;
             let shards = &self.shards;
             let machine = &mut self.machine;
             let results = &mut self.results;
@@ -516,112 +521,8 @@ impl Runtime {
         (0..count as u32).map(|k| TaskId(base + k)).collect()
     }
 
-    /// Begin a trace (dynamic tracing, \[15\]): the launches up to the
-    /// matching [`Runtime::end_trace`] form one instance of a repetitive
-    /// sequence. The first instance warms the analysis up, the second is
-    /// recorded, and identical contiguous instances from the third onward
-    /// are *replayed* without running the visibility engine.
-    pub fn begin_trace(&mut self, id: u32) {
-        self.tracing.begin(TraceId(id), self.launches.len() as u32);
-    }
-
-    /// End the current trace instance. A replay that ran short of the
-    /// recorded instance is reported (and the trace recaptures); it is not
-    /// an abort.
-    pub fn end_trace(&mut self, id: u32) -> Option<TraceViolation> {
-        self.tracing.end(TraceId(id), self.launches.len() as u32)
-    }
-
-    /// Is the runtime currently replaying a recorded trace?
-    pub fn is_replaying(&self) -> bool {
-        self.tracing.is_replaying()
-    }
-
-    /// Inside a trace (manual or auto, any phase: warming, capturing, or
-    /// replaying)?
-    pub fn in_trace(&self) -> bool {
-        self.tracing.in_trace()
-    }
-
-    /// Launches whose analysis was synthesized from a trace template.
-    pub fn replayed_launches(&self) -> u64 {
-        self.tracing.replayed_launches
-    }
-
-    /// The address of the shared template result backing task `t`, if `t`
-    /// was captured into or replayed from a trace (`None` for ordinary
-    /// analyzed launches). Benchmarks use pointer identity to prove the
-    /// replay path shares one allocation per template entry instead of
-    /// deep-cloning the `AnalysisResult`.
-    pub fn shared_result_addr(&self, t: TaskId) -> Option<usize> {
-        match &self.results[t.index()] {
-            StoredResult::Shared { result, .. } => Some(Arc::as_ptr(result) as usize),
-            StoredResult::Owned(_) => None,
-        }
-    }
-
-    /// Repeats promoted by the auto-tracer so far.
-    pub fn auto_traces_detected(&self) -> u64 {
-        self.tracing.auto_promotions
-    }
-
-    /// Auto traces demoted back to normal analysis (failed speculation).
-    pub fn auto_traces_demoted(&self) -> u64 {
-        self.tracing.auto_demotions
-    }
-
-    /// Every trace violation observed, in program order. Violations demote
-    /// the offending trace; execution continues with normal analysis.
-    pub fn trace_violations(&self) -> &[TraceViolation] {
-        self.tracing.violations()
-    }
-
-    /// Current size of the trace rebase interval map (stays O(active
-    /// templates) — see `trace.rs`).
-    pub fn trace_rebase_ranges(&self) -> usize {
-        self.tracing.rebase_ranges()
-    }
-
-    /// §4: two region arguments of one task must have disjoint domains
-    /// unless both are read-only or both reduce with the same operator.
-    fn validate_reqs(&self, reqs: &[RegionRequirement]) {
-        for (i, a) in reqs.iter().enumerate() {
-            for b in &reqs[i + 1..] {
-                if a.field != b.field
-                    || self.forest.root_of(a.region) != self.forest.root_of(b.region)
-                {
-                    continue;
-                }
-                let compatible = matches!(
-                    (a.privilege, b.privilege),
-                    (Privilege::Read, Privilege::Read)
-                ) || matches!(
-                    (a.privilege, b.privilege),
-                    (Privilege::Reduce(f), Privilege::Reduce(g)) if f == g
-                );
-                if !compatible
-                    && self
-                        .forest
-                        .domain(a.region)
-                        .overlaps(self.forest.domain(b.region))
-                {
-                    panic!(
-                        "task region arguments {:?} and {:?} alias with interfering \
-                         privileges {:?}/{:?} (intra-task coherence is out of scope, §4)",
-                        a.region, b.region, a.privilege, b.privilege
-                    );
-                }
-            }
-        }
-    }
-
-    /// An execution fence: a no-op task ordered after *every* task launched
-    /// so far (and, transitively, before everything launched later that
-    /// depends on it — callers typically route post-fence work through the
-    /// returned id). Legion uses fences to delimit phases that the
-    /// dependence analysis should not reorder across; trace replay also
-    /// relies on the same all-predecessor construction.
-    pub fn fence(&mut self) -> TaskId {
+    /// The fence construction (see [`Runtime::fence`]).
+    fn fence(&mut self) -> TaskId {
         // Fences are not analyzed launches: they interrupt any in-flight
         // trace instance and break detected periodicity.
         self.tracing.barrier();
@@ -645,19 +546,451 @@ impl Runtime {
         self.bodies.push(None);
         id
     }
+}
+
+/// Validate one submission against the forest: every region and field must
+/// exist, and §4 requires region arguments of one task to have disjoint
+/// domains unless both are read-only or both reduce with the same
+/// operator.
+fn validate_spec(forest: &RegionForest, reqs: &[RegionRequirement]) -> Result<(), RuntimeError> {
+    for r in reqs {
+        if r.region.0 as usize >= forest.num_regions() {
+            return Err(RuntimeError::UnknownRegion { region: r.region });
+        }
+        if !forest.fields_of(r.region).contains(&r.field) {
+            return Err(RuntimeError::UnknownField {
+                region: r.region,
+                field: r.field,
+            });
+        }
+    }
+    for (i, a) in reqs.iter().enumerate() {
+        for b in &reqs[i + 1..] {
+            if a.field != b.field || forest.root_of(a.region) != forest.root_of(b.region) {
+                continue;
+            }
+            let compatible = matches!(
+                (a.privilege, b.privilege),
+                (Privilege::Read, Privilege::Read)
+            ) || matches!(
+                (a.privilege, b.privilege),
+                (Privilege::Reduce(f), Privilege::Reduce(g)) if f == g
+            );
+            if !compatible && forest.domain(a.region).overlaps(forest.domain(b.region)) {
+                return Err(RuntimeError::InterferingRequirements {
+                    a: a.region,
+                    b: b.region,
+                    privilege_a: a.privilege,
+                    privilege_b: b.privilege,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A Legion-style runtime: submissions are analyzed eagerly (the dynamic
+/// dependence/coherence analysis is the subject of the paper) — either
+/// inline on the calling thread, or concurrently on a pipeline driver
+/// thread when [`RuntimeConfig::pipeline`] is set; execution is deferred
+/// to [`Runtime::execute_values`] (real values, worker threads) or
+/// [`Runtime::timed_schedule`] (simulated time at machine scale).
+///
+/// # Drain points
+///
+/// In pipelined mode, operations that must observe (or mutate) committed
+/// analysis state first wait for the submission queue to drain:
+/// [`Runtime::fence`], [`Runtime::try_begin_trace`] /
+/// [`Runtime::try_end_trace`], [`Runtime::forest_mut`],
+/// [`Runtime::execute_values`], [`Runtime::timed_schedule`],
+/// [`Runtime::flush`], [`Runtime::resolve`], and every introspection
+/// accessor ([`Runtime::dag`], [`Runtime::launches`],
+/// [`Runtime::results`], [`Runtime::machine`], trace statistics, ...).
+/// Submissions themselves ([`Runtime::submit`], [`Runtime::submit_batch`],
+/// [`Runtime::inline_read`], [`LaunchBuilder::submit`]) never drain —
+/// they only block on queue backpressure. Dropping a `Runtime` drains
+/// too: queued launches are never lost.
+pub struct Runtime {
+    forest: Arc<RwLock<RegionForest>>,
+    redops: RedOpRegistry,
+    initial: FxHashMap<(RegionId, FieldId), InitFn>,
+    core: Arc<RwLock<Core>>,
+    pipeline: Option<Pipeline>,
+    validate_launches: bool,
+    nodes: usize,
+    /// Task ids handed out so far (submissions + fences). Program order ==
+    /// id order, which is what makes [`TaskHandle::id`] exact.
+    submitted: u32,
+}
+
+impl Runtime {
+    pub fn new(config: RuntimeConfig) -> Self {
+        let forest = Arc::new(RwLock::new(RegionForest::new()));
+        let core = Arc::new(RwLock::new(Core {
+            engine: config.engine.build(),
+            machine: Machine::with_cost(config.nodes, config.cost),
+            shards: ShardMap::new(config.nodes, config.dcr),
+            launches: Vec::new(),
+            bodies: Vec::new(),
+            results: Vec::new(),
+            analysis_done: Vec::new(),
+            dag: TaskDag::new(),
+            tracing: Tracing::new(
+                config
+                    .auto_trace
+                    .enabled
+                    .then(|| AutoTracer::new(&config.auto_trace)),
+            ),
+            analysis_threads: config.analysis_threads,
+        }));
+        let pipeline = config.pipeline.then(|| {
+            Pipeline::spawn(
+                Arc::clone(&core),
+                Arc::clone(&forest),
+                config.pipeline_depth,
+            )
+        });
+        Runtime {
+            forest,
+            redops: RedOpRegistry::new(),
+            initial: FxHashMap::default(),
+            core,
+            pipeline,
+            validate_launches: config.validate_launches,
+            nodes: config.nodes,
+            submitted: 0,
+        }
+    }
+
+    /// Shorthand: single node, no DCR.
+    pub fn single_node(engine: EngineKind) -> Self {
+        Self::new(RuntimeConfig::new(engine))
+    }
+
+    /// A runtime with a custom engine instance (used by the ablation
+    /// benches for engine variants like `Warnock::without_memoization`).
+    pub fn with_engine(config: RuntimeConfig, engine: Box<dyn CoherenceEngine>) -> Self {
+        let rt = Self::new(config);
+        rt.core.write().unwrap().engine = engine;
+        rt
+    }
+
+    /// Wait until the submission queue has fully drained (no-op in
+    /// synchronous mode).
+    fn drain(&self) {
+        if let Some(p) = &self.pipeline {
+            p.drain();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Region model access
+    // ------------------------------------------------------------------
+
+    /// Read access to the region forest. Does *not* drain the pipeline:
+    /// the driver never mutates the forest, so reads (subregion lookups
+    /// while building the next wave) stay concurrent with analysis.
+    pub fn forest(&self) -> RwLockReadGuard<'_, RegionForest> {
+        self.forest.read().unwrap()
+    }
+
+    /// Region trees may be extended at any point between launches — the
+    /// analyses are fully dynamic. Drains the pipeline first so already
+    /// queued launches are analyzed against the forest they were
+    /// submitted under.
+    pub fn forest_mut(&mut self) -> RwLockWriteGuard<'_, RegionForest> {
+        self.drain();
+        self.forest.write().unwrap()
+    }
+
+    pub fn redops(&self) -> &RedOpRegistry {
+        &self.redops
+    }
+
+    pub fn redops_mut(&mut self) -> &mut RedOpRegistry {
+        &mut self.redops
+    }
+
+    /// Provide initial contents for a root region's field (defaults to 0.0
+    /// everywhere). Corresponds to the `[⟨read-write, A⟩]` initial history
+    /// entry of §5.
+    pub fn try_set_initial(
+        &mut self,
+        root: RegionId,
+        field: FieldId,
+        f: impl Fn(Point) -> Value + Send + Sync + 'static,
+    ) -> Result<(), RuntimeError> {
+        {
+            let forest = self.forest.read().unwrap();
+            if root.0 as usize >= forest.num_regions() {
+                return Err(RuntimeError::UnknownRegion { region: root });
+            }
+            if !forest.fields_of(root).contains(&field) {
+                return Err(RuntimeError::UnknownField {
+                    region: root,
+                    field,
+                });
+            }
+        }
+        self.initial.insert((root, field), Arc::new(f));
+        Ok(())
+    }
+
+    #[deprecated(note = "use `try_set_initial` (returns `Result` instead of panicking)")]
+    pub fn set_initial(
+        &mut self,
+        root: RegionId,
+        field: FieldId,
+        f: impl Fn(Point) -> Value + Send + Sync + 'static,
+    ) {
+        self.try_set_initial(root, field, f)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    // ------------------------------------------------------------------
+    // Submission
+    // ------------------------------------------------------------------
+
+    /// Submit one launch: the single entry point every other submission
+    /// spelling ([`Runtime::launch`], [`Runtime::submit_batch`],
+    /// [`LaunchBuilder`], [`Runtime::inline_read`], index launches) is
+    /// sugar over. The spec is validated and snapshotted on the calling
+    /// thread; analysis runs inline (synchronous mode) or on the pipeline
+    /// driver. Never drains; blocks only on queue backpressure.
+    pub fn submit(&mut self, spec: LaunchSpec) -> Result<TaskHandle, RuntimeError> {
+        if self.validate_launches {
+            validate_spec(&self.forest.read().unwrap(), &spec.reqs)?;
+        }
+        let seq = self.submitted;
+        self.submitted += 1;
+        match &self.pipeline {
+            Some(p) => p.enqueue(spec),
+            None => {
+                let forest = self.forest.read().unwrap();
+                let id = self.core.write().unwrap().launch_one(spec, &forest);
+                debug_assert_eq!(id.0, seq);
+            }
+        }
+        Ok(TaskHandle { seq })
+    }
+
+    /// Submit a batch. Validation is atomic: every spec is checked before
+    /// any is enqueued, so an `Err` leaves the runtime unchanged. With
+    /// `analysis_threads > 1` the batch's per-(root, field) visibility
+    /// scans run concurrently on the sharded driver — byte-identical to
+    /// submitting each spec in order.
+    pub fn submit_batch(
+        &mut self,
+        specs: Vec<LaunchSpec>,
+    ) -> Result<Vec<TaskHandle>, RuntimeError> {
+        if self.validate_launches {
+            let forest = self.forest.read().unwrap();
+            for s in &specs {
+                validate_spec(&forest, &s.reqs)?;
+            }
+        }
+        let base = self.submitted;
+        let n = specs.len() as u32;
+        self.submitted += n;
+        match &self.pipeline {
+            Some(p) => p.enqueue_all(specs),
+            None => {
+                let forest = self.forest.read().unwrap();
+                self.core.write().unwrap().run_specs(specs, &forest);
+            }
+        }
+        Ok((0..n).map(|k| TaskHandle { seq: base + k }).collect())
+    }
+
+    /// Start building a launch: `rt.task("flux").on(2).read(r, f).submit()`.
+    pub fn task(&mut self, name: impl Into<String>) -> LaunchBuilder<'_> {
+        LaunchBuilder {
+            rt: self,
+            spec: LaunchSpec::new(name, 0, Vec::new(), 0, None),
+        }
+    }
+
+    /// Resolve a handle at a sync point: blocks until the launch's
+    /// analysis has committed, then returns its [`TaskId`].
+    pub fn resolve(&self, handle: TaskHandle) -> TaskId {
+        if let Some(p) = &self.pipeline {
+            p.wait_committed(handle.seq as u64 + 1);
+        }
+        handle.id()
+    }
+
+    /// Drain the submission queue: on return, every launch submitted so
+    /// far has been analyzed and retired in program order. No-op in
+    /// synchronous mode. Propagates a driver panic, if any.
+    pub fn flush(&self) {
+        self.drain();
+    }
+
+    /// Metrics for the pipelined frontend (`None` in synchronous mode).
+    /// The handle stays valid after the runtime is dropped — tests use it
+    /// to assert the drop-flush contract.
+    pub fn pipeline_metrics(&self) -> Option<PipelineMetrics> {
+        self.pipeline.as_ref().map(|p| p.metrics())
+    }
+
+    /// Is the pipelined frontend active?
+    pub fn pipelined(&self) -> bool {
+        self.pipeline.is_some()
+    }
+
+    /// Launch a task: privileges + regions in, dependences + plan out.
+    #[deprecated(
+        note = "use `submit(LaunchSpec::new(..))` or the `task(name)` builder \
+                (returns `Result` instead of panicking)"
+    )]
+    pub fn launch(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+        reqs: Vec<RegionRequirement>,
+        duration_ns: u64,
+        body: Option<TaskBody>,
+    ) -> TaskId {
+        self.submit(LaunchSpec::new(name, node, reqs, duration_ns, body))
+            .unwrap_or_else(|e| panic!("{e}"))
+            .id()
+    }
+
+    /// Launch a *batch* of tasks through the sharded analysis driver.
+    #[deprecated(note = "use `submit_batch` (returns `Result` instead of panicking)")]
+    pub fn run_batch(&mut self, items: Vec<LaunchSpec>) -> Vec<TaskId> {
+        self.submit_batch(items)
+            .unwrap_or_else(|e| panic!("{e}"))
+            .into_iter()
+            .map(TaskHandle::id)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Tracing
+    // ------------------------------------------------------------------
+
+    /// Begin a trace (dynamic tracing, \[15\]): the launches up to the
+    /// matching [`Runtime::try_end_trace`] form one instance of a
+    /// repetitive sequence. The first instance warms the analysis up, the
+    /// second is recorded, and identical contiguous instances from the
+    /// third onward are *replayed* without running the visibility engine.
+    /// A drain point: queued launches commit before the marker is placed.
+    pub fn try_begin_trace(&mut self, id: u32) -> Result<(), RuntimeError> {
+        self.drain();
+        let mut core = self.core.write().unwrap();
+        let next = core.launches.len() as u32;
+        core.tracing.begin(TraceId(id), next)
+    }
+
+    /// End the current trace instance. A replay that ran short of the
+    /// recorded instance is reported (and the trace recaptures); it is
+    /// not an abort. Trace misnesting (no trace open, or a different id)
+    /// is a [`RuntimeError`]. A drain point.
+    pub fn try_end_trace(&mut self, id: u32) -> Result<Option<TraceViolation>, RuntimeError> {
+        self.drain();
+        let mut core = self.core.write().unwrap();
+        let next = core.launches.len() as u32;
+        core.tracing.end(TraceId(id), next)
+    }
+
+    #[deprecated(note = "use `try_begin_trace` (returns `Result` instead of panicking)")]
+    pub fn begin_trace(&mut self, id: u32) {
+        self.try_begin_trace(id).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    #[deprecated(note = "use `try_end_trace` (returns `Result` instead of panicking)")]
+    pub fn end_trace(&mut self, id: u32) -> Option<TraceViolation> {
+        self.try_end_trace(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Is the runtime currently replaying a recorded trace?
+    pub fn is_replaying(&self) -> bool {
+        self.drain();
+        self.core.read().unwrap().tracing.is_replaying()
+    }
+
+    /// Inside a trace (manual or auto, any phase: warming, capturing, or
+    /// replaying)?
+    pub fn in_trace(&self) -> bool {
+        self.drain();
+        self.core.read().unwrap().tracing.in_trace()
+    }
+
+    /// Launches whose analysis was synthesized from a trace template.
+    pub fn replayed_launches(&self) -> u64 {
+        self.drain();
+        self.core.read().unwrap().tracing.replayed_launches
+    }
+
+    /// The address of the shared template result backing task `t`, if `t`
+    /// was captured into or replayed from a trace (`None` for ordinary
+    /// analyzed launches). Benchmarks use pointer identity to prove the
+    /// replay path shares one allocation per template entry instead of
+    /// deep-cloning the `AnalysisResult`.
+    pub fn shared_result_addr(&self, t: TaskId) -> Option<usize> {
+        self.drain();
+        match &self.core.read().unwrap().results[t.index()] {
+            StoredResult::Shared { result, .. } => Some(Arc::as_ptr(result) as usize),
+            StoredResult::Owned(_) => None,
+        }
+    }
+
+    /// Repeats promoted by the auto-tracer so far.
+    pub fn auto_traces_detected(&self) -> u64 {
+        self.drain();
+        self.core.read().unwrap().tracing.auto_promotions
+    }
+
+    /// Auto traces demoted back to normal analysis (failed speculation).
+    pub fn auto_traces_demoted(&self) -> u64 {
+        self.drain();
+        self.core.read().unwrap().tracing.auto_demotions
+    }
+
+    /// Every trace violation observed, in program order. Violations demote
+    /// the offending trace; execution continues with normal analysis.
+    pub fn trace_violations(&self) -> CoreRead<'_, [TraceViolation]> {
+        self.drain();
+        CoreRead::new(&self.core, |c| c.tracing.violations())
+    }
+
+    /// Current size of the trace rebase interval map (stays O(active
+    /// templates) — see `trace.rs`).
+    pub fn trace_rebase_ranges(&self) -> usize {
+        self.drain();
+        self.core.read().unwrap().tracing.rebase_ranges()
+    }
+
+    /// An execution fence: a no-op task ordered after *every* task launched
+    /// so far (and, transitively, before everything launched later that
+    /// depends on it — callers typically route post-fence work through the
+    /// returned id). Legion uses fences to delimit phases that the
+    /// dependence analysis should not reorder across; trace replay also
+    /// relies on the same all-predecessor construction. A drain point.
+    pub fn fence(&mut self) -> TaskId {
+        self.drain();
+        let id = self.core.write().unwrap().fence();
+        debug_assert_eq!(id.0, self.submitted);
+        self.submitted += 1;
+        id
+    }
 
     /// An inline read of a region's current values: recorded as a read-only
     /// launch with no body; after [`Runtime::execute_values`], the
     /// materialized values are available from the store under the returned
-    /// id. (Legion calls these inline mappings.)
+    /// id. (Legion calls these inline mappings.) A submission, not a drain
+    /// point: it observes every earlier launch through FIFO order.
     pub fn inline_read(&mut self, region: RegionId, field: FieldId) -> TaskId {
-        self.launch(
+        self.submit(LaunchSpec::new(
             "inline-read",
             0,
             vec![RegionRequirement::read(region, field)],
             0,
             None,
-        )
+        ))
+        .unwrap_or_else(|e| panic!("{e}"))
+        .id()
     }
 
     // ------------------------------------------------------------------
@@ -666,82 +999,158 @@ impl Runtime {
 
     /// Execute all recorded launches with real values on worker threads,
     /// honoring the dependence DAG. Returns the store of every task's
-    /// committed outputs.
+    /// committed outputs. A drain point.
     pub fn execute_values(&self) -> ValueStore {
+        self.drain();
+        let forest = self.forest.read().unwrap();
+        let core = self.core.read().unwrap();
         crate::exec::execute_values(
-            &self.forest,
+            &forest,
             &self.redops,
-            &self.launches,
-            &self.bodies,
-            &self.results,
-            &self.dag,
+            &core.launches,
+            &core.bodies,
+            &core.results,
+            &core.dag,
             &self.initial,
         )
     }
 
     /// Replay the DAG on the simulated machine: GPU execution, inter-node
     /// copies, and the coupling of execution to analysis completion times.
+    /// A drain point.
     pub fn timed_schedule(&mut self) -> TimedReport {
+        self.drain();
+        let forest = self.forest.read().unwrap();
+        let core = &mut *self.core.write().unwrap();
         TimedSchedule::run(
-            &self.forest,
-            &self.launches,
-            &self.results,
-            &self.dag,
-            &self.analysis_done,
-            &mut self.machine,
+            &forest,
+            &core.launches,
+            &core.results,
+            &core.dag,
+            &core.analysis_done,
+            &mut core.machine,
         )
     }
 
     // ------------------------------------------------------------------
-    // Introspection
+    // Introspection (drain points: they observe committed analysis state)
     // ------------------------------------------------------------------
 
-    pub fn dag(&self) -> &TaskDag {
-        &self.dag
+    pub fn dag(&self) -> CoreRead<'_, TaskDag> {
+        self.drain();
+        CoreRead::new(&self.core, |c| &c.dag)
     }
 
-    pub fn launches(&self) -> &[TaskLaunch] {
-        &self.launches
+    pub fn launches(&self) -> CoreRead<'_, [TaskLaunch]> {
+        self.drain();
+        CoreRead::new(&self.core, |c| c.launches.as_slice())
     }
 
     /// Every launch's analysis result, fully materialized (replayed
     /// launches get their template result with the instance shift applied).
     pub fn results(&self) -> Vec<AnalysisResult> {
-        self.results.iter().map(StoredResult::resolve).collect()
+        self.drain();
+        let core = self.core.read().unwrap();
+        core.results.iter().map(StoredResult::resolve).collect()
     }
 
     /// One launch's analysis result, materialized.
     pub fn result(&self, t: TaskId) -> AnalysisResult {
-        self.results[t.index()].resolve()
+        self.drain();
+        self.core.read().unwrap().results[t.index()].resolve()
     }
 
-    pub fn machine(&self) -> &Machine {
-        &self.machine
+    pub fn machine(&self) -> CoreRead<'_, Machine> {
+        self.drain();
+        CoreRead::new(&self.core, |c| &c.machine)
     }
 
-    pub fn machine_mut(&mut self) -> &mut Machine {
-        &mut self.machine
+    pub fn machine_mut(&mut self) -> CoreWrite<'_, Machine> {
+        self.drain();
+        CoreWrite::new(&self.core, |c| &c.machine, |c| &mut c.machine)
     }
 
     pub fn engine_name(&self) -> &'static str {
-        self.engine.name()
+        self.core.read().unwrap().engine.name()
     }
 
     pub fn state_size(&self) -> StateSize {
-        self.engine.state_size()
+        self.drain();
+        self.core.read().unwrap().engine.state_size()
     }
 
+    /// Number of simulated machine nodes. Constant for the runtime's
+    /// lifetime, so this never drains — safe to call in submission loops.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Tasks submitted so far (including fences and inline reads). Counts
+    /// submissions, so it never drains.
     pub fn num_tasks(&self) -> usize {
-        self.launches.len()
+        self.submitted as usize
     }
 
     /// Simulated time at which the analysis of task `t` completed.
     pub fn analysis_done(&self, t: TaskId) -> SimTime {
-        self.analysis_done[t.index()]
+        self.drain();
+        self.core.read().unwrap().analysis_done[t.index()]
+    }
+}
+
+/// Builder sugar over [`Runtime::submit`]:
+/// `rt.task("stencil").on(1).write(piece, f).read(halo, f).submit()`.
+pub struct LaunchBuilder<'rt> {
+    rt: &'rt mut Runtime,
+    spec: LaunchSpec,
+}
+
+impl LaunchBuilder<'_> {
+    /// Target node (default 0; wrapped modulo the machine size).
+    pub fn on(mut self, node: NodeId) -> Self {
+        self.spec.node = node;
+        self
+    }
+
+    pub fn read(self, region: RegionId, field: FieldId) -> Self {
+        self.req(RegionRequirement::read(region, field))
+    }
+
+    pub fn write(self, region: RegionId, field: FieldId) -> Self {
+        self.req(RegionRequirement::read_write(region, field))
+    }
+
+    pub fn reduce(self, region: RegionId, field: FieldId, op: viz_region::ReductionOpId) -> Self {
+        self.req(RegionRequirement::reduce(region, field, op))
+    }
+
+    pub fn req(mut self, req: RegionRequirement) -> Self {
+        self.spec.reqs.push(req);
+        self
+    }
+
+    /// Simulated task duration (for [`Runtime::timed_schedule`]).
+    pub fn duration_ns(mut self, ns: u64) -> Self {
+        self.spec.duration_ns = ns;
+        self
+    }
+
+    /// The task body (for [`Runtime::execute_values`]).
+    pub fn body(
+        mut self,
+        f: impl Fn(&mut [crate::PhysicalRegion]) + Send + Sync + 'static,
+    ) -> Self {
+        self.spec.body = Some(Arc::new(f));
+        self
+    }
+
+    pub fn submit(self) -> Result<TaskHandle, RuntimeError> {
+        self.rt.submit(self.spec)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // deprecated-wrapper allowlist (PR 4): migrate in PR 5
 mod tests {
     use super::*;
 
@@ -813,5 +1222,72 @@ mod tests {
             0,
             None,
         );
+    }
+
+    #[test]
+    fn submit_rejects_unknown_region_and_field() {
+        let mut rt = Runtime::single_node(EngineKind::PaintNaive);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        let bogus_region = RegionId(999);
+        let err = rt
+            .submit(LaunchSpec::new(
+                "bad",
+                0,
+                vec![RegionRequirement::read(bogus_region, f)],
+                0,
+                None,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownRegion { .. }));
+        let bogus_field = FieldId(999);
+        let err = rt
+            .submit(LaunchSpec::new(
+                "bad",
+                0,
+                vec![RegionRequirement::read(root, bogus_field)],
+                0,
+                None,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownField { .. }));
+        // Failed submissions consume no task id.
+        assert_eq!(rt.num_tasks(), 0);
+    }
+
+    #[test]
+    fn builder_matches_explicit_spec() {
+        let mut rt = Runtime::single_node(EngineKind::RayCast);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        let h0 = rt
+            .task("w")
+            .write(root, f)
+            .duration_ns(100)
+            .submit()
+            .unwrap();
+        let h1 = rt.task("r").read(root, f).submit().unwrap();
+        assert_eq!(rt.resolve(h1), TaskId(1));
+        assert_eq!(rt.dag().preds(h1.id()), &[h0.id()]);
+    }
+
+    #[test]
+    fn trace_misnesting_is_reported_not_panicked() {
+        let mut rt = Runtime::single_node(EngineKind::RayCast);
+        assert!(matches!(
+            rt.try_end_trace(3),
+            Err(RuntimeError::EndWithoutBegin { .. })
+        ));
+        rt.try_begin_trace(1).unwrap();
+        assert!(matches!(
+            rt.try_begin_trace(2),
+            Err(RuntimeError::NestedTrace { .. })
+        ));
+        assert!(matches!(
+            rt.try_end_trace(2),
+            Err(RuntimeError::MismatchedTraceEnd { .. })
+        ));
+        // The failed end left trace 1 open and consistent.
+        assert!(rt.try_end_trace(1).unwrap().is_none());
     }
 }

@@ -46,6 +46,7 @@
 //! the prediction diverges.
 
 use crate::autotrace::{AutoSig, AutoTracer};
+use crate::error::RuntimeError;
 use crate::plan::{AnalysisResult, Source, StoredResult, TaskShift};
 use crate::task::{RegionRequirement, TaskId};
 use std::sync::Arc;
@@ -343,12 +344,14 @@ impl Tracing {
         }
     }
 
-    pub fn begin(&mut self, id: TraceId, next_task: u32) {
+    pub fn begin(&mut self, id: TraceId, next_task: u32) -> Result<(), RuntimeError> {
         if let Some(active) = &self.active {
-            assert!(
-                active.is_auto(),
-                "nested or overlapping traces are not supported"
-            );
+            if !active.is_auto() {
+                return Err(RuntimeError::NestedTrace {
+                    active: active.id,
+                    requested: id,
+                });
+            }
             // An explicit annotation takes precedence over a speculated
             // auto trace.
             self.demote_auto();
@@ -384,6 +387,7 @@ impl Tracing {
             shift,
             demoted: false,
         });
+        Ok(())
     }
 
     /// Decide how to handle a launch. For replays, validates the signature
@@ -688,10 +692,25 @@ impl Tracing {
     }
 
     /// Close an annotated trace instance. A replay that ran short is a
-    /// structured violation (the trace recaptures), not an abort.
-    pub fn end(&mut self, id: TraceId, next_task: u32) -> Option<TraceViolation> {
-        let active = self.active.take().expect("end_trace without begin_trace");
-        assert_eq!(active.id, id, "mismatched begin/end trace ids");
+    /// structured violation (the trace recaptures), not an abort; naming
+    /// the wrong trace (or none being open) is a [`RuntimeError`] and
+    /// leaves the tracing state untouched.
+    pub fn end(
+        &mut self,
+        id: TraceId,
+        next_task: u32,
+    ) -> Result<Option<TraceViolation>, RuntimeError> {
+        let Some(active) = self.active.take() else {
+            return Err(RuntimeError::EndWithoutBegin { requested: id });
+        };
+        if active.id != id {
+            let err = RuntimeError::MismatchedTraceEnd {
+                active: active.id,
+                requested: id,
+            };
+            self.active = Some(active);
+            return Err(err);
+        }
         let st = self.states.get_mut(&id).unwrap();
         st.last_end = next_task;
         match active.mode {
@@ -711,7 +730,7 @@ impl Tracing {
                     st.template = None;
                     st.instances = 0;
                     self.violations.push(v.clone());
-                    return Some(v);
+                    return Ok(Some(v));
                 }
                 // Later engine-produced references into the *recorded*
                 // instance must point at the corresponding task of this
@@ -737,7 +756,7 @@ impl Tracing {
                 unreachable!("auto traces never reach end_trace")
             }
         }
-        None
+        Ok(None)
     }
 
     /// Rebase an engine result produced *after* replayed traces: stale

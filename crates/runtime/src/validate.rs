@@ -8,6 +8,7 @@
 
 use crate::dag::TaskDag;
 use crate::task::TaskLaunch;
+use std::ops::Deref;
 use viz_region::RegionForest;
 
 /// A violated ordering: tasks `earlier` and `later` interfere but the DAG
@@ -44,11 +45,18 @@ pub fn launches_interfere(forest: &RegionForest, a: &TaskLaunch, b: &TaskLaunch)
 /// Check that the DAG orders every interfering pair (transitively). Returns
 /// all violations (empty = the analysis is sound). Quadratic in the number
 /// of tasks; intended for tests.
+///
+/// Generic over how the arguments are held so both plain references and
+/// the lock guards returned by the runtime accessors
+/// (`check_sufficiency(rt.forest(), rt.launches(), rt.dag())`) work.
 pub fn check_sufficiency(
-    forest: &RegionForest,
-    launches: &[TaskLaunch],
-    dag: &TaskDag,
+    forest: impl Deref<Target = RegionForest>,
+    launches: impl AsRef<[TaskLaunch]>,
+    dag: impl Deref<Target = TaskDag>,
 ) -> Vec<Violation> {
+    let forest: &RegionForest = &forest;
+    let launches: &[TaskLaunch] = launches.as_ref();
+    let dag: &TaskDag = &dag;
     let mut violations = Vec::new();
     for j in 0..launches.len() {
         for i in 0..j {
@@ -71,7 +79,12 @@ pub fn check_sufficiency(
 /// Count the pairs of tasks that interfere directly — a measure of how much
 /// serialization the program inherently requires (used in tests to assert
 /// the engines do not *over*-serialize trivially parallel programs).
-pub fn count_interfering_pairs(forest: &RegionForest, launches: &[TaskLaunch]) -> usize {
+pub fn count_interfering_pairs(
+    forest: impl Deref<Target = RegionForest>,
+    launches: impl AsRef<[TaskLaunch]>,
+) -> usize {
+    let forest: &RegionForest = &forest;
+    let launches: &[TaskLaunch] = launches.as_ref();
     let mut count = 0;
     for j in 0..launches.len() {
         for i in 0..j {

@@ -3,6 +3,9 @@
 //! equivalence sets under the newly dominant subtree — without changing
 //! any analysis results.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::analysis::raycast::RayCast;
 use viz_runtime::validate::check_sufficiency;

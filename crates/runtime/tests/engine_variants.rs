@@ -1,6 +1,9 @@
 //! Tests for the ablation engine variants: they must be *functionally
 //! identical* to their parents — only the cost/message profile differs.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::analysis::{raycast::RayCast, warnock::Warnock};
 use viz_runtime::validate::check_sufficiency;

@@ -1,6 +1,9 @@
 //! Execution fences: everything before a fence precedes it; a fence joins
 //! all concurrency.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use viz_runtime::{EngineKind, RegionRequirement, Runtime, TaskId};
 
 #[test]

@@ -3,6 +3,9 @@
 //! and dependence graphs, while the simulated communication volume reflects
 //! the locality of the placement.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::mapper::{Blocked, Mapper, RoundRobin, Scattered, SingleNode};
 use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};

@@ -2,6 +2,9 @@
 //! threads, the analysis engines, and the simulated machine all record into
 //! per-thread rings, and one `take()` collects everything.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use std::sync::Arc;
 use viz_profile::{EventKind, Track};
 use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};

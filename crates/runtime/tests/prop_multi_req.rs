@@ -3,6 +3,9 @@
 //! reduction privilege on another (possibly on different fields), plus
 //! cross-field and cross-tree traffic.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Rect};

@@ -4,6 +4,9 @@
 //! histories, Warnock's refinement cascades, and ray casting's anchor
 //! selection through multi-level trees.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};

@@ -8,12 +8,17 @@
 //!
 //! Run: `cargo run --example quickstart`
 
-use std::sync::Arc;
 use visibility::prelude::*;
 
 fn main() {
-    // The ray-casting engine — the algorithm Legion adopted (§8).
-    let mut rt = Runtime::single_node(EngineKind::RayCast);
+    // The ray-casting engine — the algorithm Legion adopted (§8), with the
+    // pipelined frontend: submissions enqueue to an analysis driver thread
+    // and the dependence analysis overlaps the rest of `main`.
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(EngineKind::RayCast)
+            .nodes(1)
+            .pipeline(true),
+    );
 
     // A 1-D collection of 30 nodes with one field, like Fig 1's graph.
     let n = rt.forest_mut().create_root_1d("N", 30);
@@ -33,15 +38,13 @@ fn main() {
     // Phase 1: each piece writes its own elements (parallel).
     for i in 0..3 {
         let piece = rt.forest().subregion(p, i);
-        rt.launch(
-            "t1",
-            0,
-            vec![RegionRequirement::read_write(piece, f)],
-            0,
-            Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
+        rt.task("t1")
+            .write(piece, f)
+            .body(|rs: &mut [PhysicalRegion]| {
                 rs[0].update_all(|pt, _| pt.x as f64);
-            })),
-        );
+            })
+            .submit()
+            .expect("valid launch");
     }
     // Phase 2: each piece reduces +1 into its ghost elements (parallel
     // among themselves — same reduction operator — but ordered after the
@@ -49,18 +52,16 @@ fn main() {
     for _ in 0..3 {}
     for i in 0..3 {
         let ghost = rt.forest().subregion(g, i);
-        rt.launch(
-            "t2",
-            0,
-            vec![RegionRequirement::reduce(ghost, f, RedOpRegistry::SUM)],
-            0,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+        rt.task("t2")
+            .reduce(ghost, f, RedOpRegistry::SUM)
+            .body(|rs: &mut [PhysicalRegion]| {
                 let dom = rs[0].domain().clone();
                 for pt in dom.points() {
                     rs[0].reduce(pt, 1.0);
                 }
-            })),
-        );
+            })
+            .submit()
+            .expect("valid launch");
     }
 
     // Read everything back: the engine assembles values from the writers

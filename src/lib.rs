@@ -21,9 +21,10 @@
 //!
 //! ```
 //! use visibility::prelude::*;
-//! use std::sync::Arc;
 //!
 //! // A runtime with the ray-casting engine (the paper's winner, §8).
+//! // `.pipeline(true)` would overlap the dependence analysis with
+//! // submission on a driver thread — the results are identical.
 //! let mut rt = Runtime::single_node(EngineKind::RayCast);
 //!
 //! // A collection of 100 elements with one field, split into 4 pieces.
@@ -34,14 +35,13 @@
 //! // Four tasks write their (disjoint) pieces — these run in parallel.
 //! for i in 0..4 {
 //!     let piece = rt.forest().subregion(pieces, i);
-//!     rt.launch(
-//!         "fill", 0,
-//!         vec![RegionRequirement::read_write(piece, val)],
-//!         0,
-//!         Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
+//!     rt.task("fill")
+//!         .write(piece, val)
+//!         .body(|rs: &mut [PhysicalRegion]| {
 //!             rs[0].update_all(|p, _| p.x as f64 * 2.0);
-//!         })),
-//!     );
+//!         })
+//!         .submit()
+//!         .expect("valid launch");
 //! }
 //!
 //! // A read of the whole collection depends on all four writers; the
@@ -70,7 +70,8 @@ pub mod prelude {
     pub use viz_geometry::{IndexSpace, Point, Rect};
     pub use viz_region::{Privilege, RedOpRegistry, RegionForest};
     pub use viz_runtime::{
-        EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig, TaskId,
+        EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+        RuntimeError, TaskHandle, TaskId,
     };
     pub use viz_sim::{CostModel, Machine};
 }

@@ -2,6 +2,9 @@
 //! several machine shapes — verified bit-exactly against their serial
 //! references, with DAG soundness checked by brute force.
 
+// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
+// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
+#![allow(deprecated)]
 use visibility::apps::{
     Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload,
 };
