@@ -1,0 +1,426 @@
+//! An incrementally maintained bounding-volume hierarchy.
+//!
+//! The static [`crate::Bvh`] is rebuilt from scratch whenever its leaf set
+//! changes, which is fine for partition children (fixed at creation) but
+//! wrong for equivalence-set indexes: ray casting's dominating writes create
+//! and destroy sets continuously, and a full rebuild per refinement turns
+//! O(log n) maintenance into O(n log n). This tree instead:
+//!
+//! * **inserts** a leaf next to the sibling whose bounds grow least
+//!   (perimeter heuristic), then *refits* ancestor bounds on the way up;
+//! * **removes** a leaf by splicing its sibling into the parent's slot,
+//!   again refitting ancestors;
+//! * **rebuilds** from scratch (spatial-median splits, like the static BVH)
+//!   only when incremental maintenance has degraded the tree — a leaf path
+//!   observed to exceed `2·log2(n) + 8` — keeping queries logarithmic
+//!   without paying rebuild costs on every refinement.
+//!
+//! Refit and rebuild counts are exposed so the engines can export the
+//! refit-vs-rebuild ratio through viz-profile.
+
+use crate::hash::FxHashMap;
+use crate::rect::Rect;
+
+const NONE: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    bbox: Rect,
+    parent: u32,
+    /// `NONE` for leaves.
+    left: u32,
+    right: u32,
+    /// Item id (leaves only).
+    id: u64,
+}
+
+impl Node {
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == NONE
+    }
+}
+
+/// Dynamic BVH over `(id, rect)` items with incremental maintenance.
+///
+/// Ids are caller-managed and must be unique among live items (re-inserting
+/// a live id is a logic error and panics in debug builds).
+#[derive(Clone, Debug, Default)]
+pub struct DynamicBvh {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    leaf_of: FxHashMap<u64, u32>,
+    refits: u64,
+    rebuilds: u64,
+}
+
+impl DynamicBvh {
+    pub fn new() -> Self {
+        DynamicBvh {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NONE,
+            leaf_of: FxHashMap::default(),
+            refits: 0,
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of live items.
+    pub fn len(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.leaf_of.is_empty()
+    }
+
+    /// Ancestor-refit passes performed by incremental maintenance.
+    pub fn refits(&self) -> u64 {
+        self.refits
+    }
+
+    /// Full rebuilds triggered by the degradation heuristic.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds
+    }
+
+    fn alloc(&mut self, node: Node) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            slot
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Cost of enlarging `bbox` to hold `add`: perimeter growth. Cheap,
+    /// overflow-free for the index ranges the runtime uses, and monotone
+    /// enough to keep sibling choices local.
+    #[inline]
+    fn growth(bbox: &Rect, add: &Rect) -> i64 {
+        let u = bbox.union_bbox(add);
+        let per = |r: &Rect| (r.hi.x - r.lo.x) + (r.hi.y - r.lo.y);
+        per(&u) - per(bbox)
+    }
+
+    /// Insert an item. Empty rects are ignored (they overlap nothing).
+    pub fn insert(&mut self, id: u64, rect: Rect) {
+        if rect.is_empty() {
+            return;
+        }
+        debug_assert!(
+            !self.leaf_of.contains_key(&id),
+            "duplicate live id {id} inserted"
+        );
+        let leaf = self.alloc(Node {
+            bbox: rect,
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            id,
+        });
+        self.leaf_of.insert(id, leaf);
+        if self.root == NONE {
+            self.root = leaf;
+            return;
+        }
+        // Descend to the sibling whose bounds grow least.
+        let mut cur = self.root;
+        let mut depth = 0u32;
+        while !self.nodes[cur as usize].is_leaf() {
+            let (l, r) = (
+                self.nodes[cur as usize].left,
+                self.nodes[cur as usize].right,
+            );
+            let gl = Self::growth(&self.nodes[l as usize].bbox, &rect);
+            let gr = Self::growth(&self.nodes[r as usize].bbox, &rect);
+            cur = if gl <= gr { l } else { r };
+            depth += 1;
+        }
+        // Splice a new inner node in the sibling's place.
+        let sibling = cur;
+        let parent = self.nodes[sibling as usize].parent;
+        let inner = self.alloc(Node {
+            bbox: self.nodes[sibling as usize].bbox.union_bbox(&rect),
+            parent,
+            left: sibling,
+            right: leaf,
+            id: 0,
+        });
+        self.nodes[sibling as usize].parent = inner;
+        self.nodes[leaf as usize].parent = inner;
+        if parent == NONE {
+            self.root = inner;
+        } else {
+            let p = &mut self.nodes[parent as usize];
+            if p.left == sibling {
+                p.left = inner;
+            } else {
+                p.right = inner;
+            }
+            self.refit_from(parent);
+        }
+        if self.degraded(depth) {
+            self.rebuild();
+        }
+    }
+
+    /// Remove an item by id. Returns whether a live item was removed.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(leaf) = self.leaf_of.remove(&id) else {
+            return false;
+        };
+        let parent = self.nodes[leaf as usize].parent;
+        self.free.push(leaf);
+        if parent == NONE {
+            self.root = NONE;
+            return true;
+        }
+        // Splice the sibling into the parent's slot.
+        let p = &self.nodes[parent as usize];
+        let sibling = if p.left == leaf { p.right } else { p.left };
+        let grand = p.parent;
+        self.nodes[sibling as usize].parent = grand;
+        self.free.push(parent);
+        if grand == NONE {
+            self.root = sibling;
+        } else {
+            let g = &mut self.nodes[grand as usize];
+            if g.left == parent {
+                g.left = sibling;
+            } else {
+                g.right = sibling;
+            }
+            self.refit_from(grand);
+        }
+        true
+    }
+
+    /// Tighten ancestor bounds from `from` to the root (one refit pass).
+    fn refit_from(&mut self, from: u32) {
+        self.refits += 1;
+        let mut cur = from;
+        while cur != NONE {
+            let n = &self.nodes[cur as usize];
+            let merged = self.nodes[n.left as usize]
+                .bbox
+                .union_bbox(&self.nodes[n.right as usize].bbox);
+            let n = &mut self.nodes[cur as usize];
+            if n.bbox == merged {
+                // Ancestors are bounds of this bound: already tight.
+                break;
+            }
+            n.bbox = merged;
+            cur = n.parent;
+        }
+    }
+
+    /// Degradation heuristic: a leaf path longer than `2·log2(n) + 8` means
+    /// incremental updates have unbalanced the tree.
+    fn degraded(&self, depth: u32) -> bool {
+        let n = self.len().max(2) as u32;
+        depth > 2 * (u32::BITS - n.leading_zeros()) + 8
+    }
+
+    /// Rebuild from scratch with spatial-median splits.
+    fn rebuild(&mut self) {
+        let mut items: Vec<(u64, Rect)> = self.iter().collect();
+        self.nodes.clear();
+        self.free.clear();
+        self.leaf_of.clear();
+        self.root = NONE;
+        self.rebuilds += 1;
+        if items.is_empty() {
+            return;
+        }
+        let n = items.len();
+        self.root = self.build_range(&mut items, 0, n, NONE);
+    }
+
+    fn build_range(
+        &mut self,
+        items: &mut [(u64, Rect)],
+        start: usize,
+        end: usize,
+        parent: u32,
+    ) -> u32 {
+        let slice = &mut items[start..end];
+        if slice.len() == 1 {
+            let (id, rect) = slice[0];
+            let leaf = self.alloc(Node {
+                bbox: rect,
+                parent,
+                left: NONE,
+                right: NONE,
+                id,
+            });
+            self.leaf_of.insert(id, leaf);
+            return leaf;
+        }
+        let bbox = slice
+            .iter()
+            .fold(Rect::EMPTY, |acc, (_, r)| acc.union_bbox(r));
+        let centers: Rect = slice.iter().fold(Rect::EMPTY, |acc, (_, r)| {
+            acc.union_bbox(&Rect::point(r.center()))
+        });
+        if centers.hi.x - centers.lo.x >= centers.hi.y - centers.lo.y {
+            slice.sort_unstable_by_key(|(_, r)| r.center().x);
+        } else {
+            slice.sort_unstable_by_key(|(_, r)| r.center().y);
+        }
+        let inner = self.alloc(Node {
+            bbox,
+            parent,
+            left: NONE,
+            right: NONE,
+            id: 0,
+        });
+        let mid = start + (end - start) / 2;
+        let left = self.build_range(items, start, mid, inner);
+        let right = self.build_range(items, mid, end, inner);
+        let n = &mut self.nodes[inner as usize];
+        n.left = left;
+        n.right = right;
+        inner
+    }
+
+    /// Ids of all live items whose rect overlaps `query`.
+    pub fn query(&self, query: &Rect, out: &mut Vec<u64>) {
+        if self.root == NONE || query.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            let n = &self.nodes[cur as usize];
+            if !n.bbox.overlaps(query) {
+                continue;
+            }
+            if n.is_leaf() {
+                out.push(n.id);
+            } else {
+                stack.push(n.left);
+                stack.push(n.right);
+            }
+        }
+    }
+
+    /// Convenience wrapper returning a fresh vector.
+    pub fn query_vec(&self, query: &Rect) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.query(query, &mut out);
+        out
+    }
+
+    /// Iterate all live `(id, rect)` items.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Rect)> + '_ {
+        self.leaf_of
+            .values()
+            .map(|&slot| (self.nodes[slot as usize].id, self.nodes[slot as usize].bbox))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut t = DynamicBvh::new();
+        for i in 0..100i64 {
+            t.insert(i as u64, Rect::span(i * 10, i * 10 + 9));
+        }
+        assert_eq!(t.len(), 100);
+        let mut hits = t.query_vec(&Rect::span(95, 125));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![9, 10, 11, 12]);
+    }
+
+    #[test]
+    fn remove_splices_siblings() {
+        let mut t = DynamicBvh::new();
+        t.insert(1, Rect::span(0, 9));
+        t.insert(2, Rect::span(10, 19));
+        t.insert(3, Rect::span(20, 29));
+        assert!(t.remove(2));
+        assert!(!t.remove(2));
+        assert_eq!(t.len(), 2);
+        let mut hits = t.query_vec(&Rect::span(0, 29));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 3]);
+        assert!(t.remove(1));
+        assert!(t.remove(3));
+        assert!(t.is_empty());
+        assert!(t.query_vec(&Rect::span(0, 100)).is_empty());
+    }
+
+    #[test]
+    fn refits_dominate_rebuilds_under_churn() {
+        let mut t = DynamicBvh::new();
+        for i in 0..256i64 {
+            t.insert(i as u64, Rect::span(i * 4, i * 4 + 3));
+        }
+        for i in 0..128u64 {
+            assert!(t.remove(i * 2));
+        }
+        assert!(t.refits() > 0);
+        assert!(
+            t.refits() > 16 * t.rebuilds().max(1),
+            "refits {} rebuilds {}",
+            t.refits(),
+            t.rebuilds()
+        );
+    }
+
+    #[test]
+    fn adversarial_insertion_order_triggers_rebuild() {
+        // Strictly increasing spans make naive insertion a linked list; the
+        // degradation heuristic must kick in and restore balance.
+        let mut t = DynamicBvh::new();
+        for i in 0..4096i64 {
+            t.insert(i as u64, Rect::span(i, i));
+        }
+        assert!(t.rebuilds() > 0, "degenerate chain was never rebuilt");
+        let hits = t.query_vec(&Rect::span(100, 103));
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn matches_linear_scan_with_churn() {
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 500) as i64
+        };
+        let mut t = DynamicBvh::new();
+        let mut live: Vec<(u64, Rect)> = Vec::new();
+        for i in 0..300u64 {
+            let x = rnd();
+            let y = rnd();
+            let r = Rect::xy(x, x + rnd() % 30, y, y + rnd() % 30);
+            t.insert(i, r);
+            live.push((i, r));
+            if i % 3 == 0 && !live.is_empty() {
+                let victim = live.remove((rnd() as usize) % live.len());
+                assert!(t.remove(victim.0));
+            }
+        }
+        assert_eq!(t.len(), live.len());
+        for _ in 0..40 {
+            let x = rnd();
+            let y = rnd();
+            let q = Rect::xy(x, x + 60, y, y + 60);
+            let mut hits = t.query_vec(&q);
+            hits.sort_unstable();
+            let mut expect: Vec<u64> = live
+                .iter()
+                .filter(|(_, r)| r.overlaps(&q))
+                .map(|(id, _)| *id)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(hits, expect);
+        }
+    }
+}

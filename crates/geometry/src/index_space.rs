@@ -110,17 +110,25 @@ impl IndexSpace {
     }
 
     /// Restore sorted order and coalesce adjacent rectangles.
+    ///
+    /// Disjoint rectangles have pairwise-distinct `lo` points, so one sort
+    /// establishes a total row-major order, and both merge passes preserve
+    /// it: a merge keeps the surviving rectangle's `lo` and only grows its
+    /// `hi`. The loop therefore never needs to re-sort, and each pass is
+    /// linear — the vertical pass tracks the most recent rectangle per
+    /// column band (within a band, row-major order is ascending `lo.y`, so
+    /// only band-consecutive rectangles can be y-adjacent).
     fn normalize(&mut self) {
         if self.rects.len() <= 1 {
             return;
         }
+        self.rects.sort_unstable_by_key(|r| (r.lo, r.hi));
         loop {
-            self.rects.sort_unstable_by_key(|r| (r.lo, r.hi));
             let mut merged = false;
+            // Horizontal merge: same row band, x-adjacent.
             let mut out: Vec<Rect> = Vec::with_capacity(self.rects.len());
             for r in self.rects.drain(..) {
                 if let Some(last) = out.last_mut() {
-                    // Horizontal merge: same row band, x-adjacent.
                     if last.lo.y == r.lo.y && last.hi.y == r.hi.y && last.hi.x + 1 == r.lo.x {
                         last.hi.x = r.hi.x;
                         merged = true;
@@ -129,24 +137,22 @@ impl IndexSpace {
                 }
                 out.push(r);
             }
-            // Vertical merge: same column band, y-adjacent. Quadratic in the
-            // worst case but rect lists are short after horizontal merging.
-            let mut i = 0;
-            while i < out.len() {
-                let mut j = i + 1;
-                while j < out.len() {
-                    let (a, b) = (out[i], out[j]);
-                    if a.lo.x == b.lo.x && a.hi.x == b.hi.x && a.hi.y + 1 == b.lo.y {
-                        out[i].hi.y = b.hi.y;
-                        out.remove(j);
+            // Vertical merge: same column band, y-adjacent.
+            let mut col: crate::hash::FxHashMap<(i64, i64), usize> =
+                crate::hash::FxHashMap::default();
+            let mut vout: Vec<Rect> = Vec::with_capacity(out.len());
+            for r in out {
+                if let Some(&i) = col.get(&(r.lo.x, r.hi.x)) {
+                    if vout[i].hi.y + 1 == r.lo.y {
+                        vout[i].hi.y = r.hi.y;
                         merged = true;
-                    } else {
-                        j += 1;
+                        continue;
                     }
                 }
-                i += 1;
+                col.insert((r.lo.x, r.hi.x), vout.len());
+                vout.push(r);
             }
-            self.rects = out;
+            self.rects = vout;
             if !merged {
                 break;
             }
@@ -542,6 +548,105 @@ mod tests {
         let b = sp(100, 104);
         assert!(!a.overlaps(&b));
         assert!(a.overlaps(&sp(4, 8)));
+    }
+
+    /// The old `normalize` re-sorted on every fixpoint iteration and ran an
+    /// O(n²) pair scan for vertical merges. This is the reference
+    /// implementation; the rewritten single-sort + linear-merge pass must
+    /// produce bit-identical rectangle lists.
+    fn normalize_oracle(mut rects: Vec<Rect>) -> Vec<Rect> {
+        if rects.len() <= 1 {
+            return rects;
+        }
+        loop {
+            rects.sort_unstable_by_key(|r| (r.lo, r.hi));
+            let mut merged = false;
+            let mut out: Vec<Rect> = Vec::with_capacity(rects.len());
+            for r in rects.drain(..) {
+                if let Some(last) = out.last_mut() {
+                    if last.lo.y == r.lo.y && last.hi.y == r.hi.y && last.hi.x + 1 == r.lo.x {
+                        last.hi.x = r.hi.x;
+                        merged = true;
+                        continue;
+                    }
+                }
+                out.push(r);
+            }
+            let mut i = 0;
+            while i < out.len() {
+                let mut j = i + 1;
+                while j < out.len() {
+                    let (a, b) = (out[i], out[j]);
+                    if a.lo.x == b.lo.x && a.hi.x == b.hi.x && a.hi.y + 1 == b.lo.y {
+                        out[i].hi.y = b.hi.y;
+                        out.remove(j);
+                        merged = true;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i += 1;
+            }
+            rects = out;
+            if !merged {
+                break;
+            }
+        }
+        rects
+    }
+
+    #[test]
+    fn normalize_matches_quadratic_oracle() {
+        // Random tilings: build via the public API (new normalize), then
+        // re-normalize the raw disjoint rect list with the old algorithm.
+        let mut state = 0xfeed_beefu64;
+        let mut rnd = move |m: i64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as i64).rem_euclid(m)
+        };
+        for _ in 0..200 {
+            let mut raw = Vec::new();
+            for _ in 0..12 {
+                let x = rnd(40);
+                let y = rnd(40);
+                raw.push(Rect::xy(x, x + rnd(12), y, y + rnd(12)));
+            }
+            // Replay from_rects by hand so the oracle sees the same raw
+            // disjoint list the new normalize sees.
+            let mut s = IndexSpace::empty();
+            for r in &raw {
+                s.add_rect(*r);
+            }
+            let expect = normalize_oracle(s.rects.clone());
+            s.normalize();
+            assert_eq!(s.rects, expect, "normalize diverged from oracle on {raw:?}");
+            let direct = IndexSpace::from_points(raw.iter().flat_map(|r| r.points()));
+            assert_eq!(s.volume(), direct.volume());
+            assert!(s.same_points(&direct));
+        }
+    }
+
+    #[test]
+    fn normalize_worst_case_is_not_quadratic() {
+        // 100k isolated points in one row: nothing coalesces, so the old
+        // vertical pass compared ~5·10⁹ rect pairs (minutes in debug); the
+        // linear pass finishes instantly.
+        let n: i64 = 100_000;
+        let start = std::time::Instant::now();
+        let s = IndexSpace::from_points((0..n).map(|i| Point::p1(i * 2)));
+        assert_eq!(s.rect_count(), n as usize);
+        assert_eq!(s.volume(), n as u64);
+        // Sparse columns stacked with gaps: vertical merging still works.
+        let cols = IndexSpace::from_points(
+            (0..1000i64).flat_map(|c| [Point::new(c * 2, 0), Point::new(c * 2, 1)]),
+        );
+        assert_eq!(cols.rect_count(), 1000, "column pairs must merge: {cols:?}");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "normalize worst case regressed to quadratic"
+        );
     }
 
     #[test]

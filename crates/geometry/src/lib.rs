@@ -16,8 +16,14 @@
 //!   algorithms need: intersection, difference, union, covering tests.
 //! * [`Bvh`] — a static bounding-volume hierarchy used to find overlapping
 //!   partition children quickly.
+//! * [`DynamicBvh`] — an incrementally maintained BVH (leaf insert/remove
+//!   with ancestor refits, rebuild on degradation) for equivalence-set
+//!   indexes that churn under refinement.
 //! * [`KdTree`] — a dynamic K-d tree used by the ray-casting engine when no
 //!   disjoint-and-complete partition subtree exists (paper §7.1).
+//! * [`intern`] — hash-consed index spaces ([`SpaceId`]/[`SpaceInterner`])
+//!   and the memoized set algebra ([`SpaceAlgebra`]) the engines route
+//!   their hottest domain operations through.
 //! * [`hash`] — a fast, non-cryptographic hasher (`FxHashMap`/`FxHashSet`)
 //!   for the hot analysis paths.
 //!
@@ -27,15 +33,19 @@
 //! `viz-runtime` on top of these domain operations.
 
 pub mod bvh;
+pub mod dbvh;
 pub mod hash;
 pub mod index_space;
+pub mod intern;
 pub mod kdtree;
 pub mod point;
 pub mod rect;
 
 pub use bvh::Bvh;
+pub use dbvh::DynamicBvh;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index_space::IndexSpace;
+pub use intern::{AlgebraStats, InternConfig, SpaceAlgebra, SpaceId, SpaceInterner};
 pub use kdtree::KdTree;
 pub use point::Point;
 pub use rect::Rect;

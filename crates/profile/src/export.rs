@@ -94,6 +94,12 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::PipelineStall { waited_ns } => {
             let _ = write!(out, "{{\"waited_ns\":{waited_ns}}}");
         }
+        EventKind::AlgebraCache { hits, misses } => {
+            let _ = write!(out, "{{\"hits\":{hits},\"misses\":{misses}}}");
+        }
+        EventKind::BvhMaintain { refits, rebuilds } => {
+            let _ = write!(out, "{{\"refits\":{refits},\"rebuilds\":{rebuilds}}}");
+        }
     }
 }
 

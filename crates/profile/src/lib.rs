@@ -83,6 +83,12 @@ pub enum EventKind {
     /// A submission blocked `waited_ns` on a full pipeline queue
     /// (backpressure: the application ran a full queue ahead of analysis).
     PipelineStall { waited_ns: u64 },
+    /// Memoized set-algebra activity on one shard since the last report:
+    /// `hits` lookups answered from the cache, `misses` recomputed.
+    AlgebraCache { hits: u64, misses: u64 },
+    /// Incremental BVH maintenance on one shard since the last report:
+    /// `refits` ancestor-refit passes vs `rebuilds` full rebuilds.
+    BvhMaintain { refits: u64, rebuilds: u64 },
 }
 
 impl EventKind {
@@ -105,6 +111,8 @@ impl EventKind {
             EventKind::TraceReplay { .. } => "trace_replay",
             EventKind::PipelineDepth { .. } => "pipeline_depth",
             EventKind::PipelineStall { .. } => "pipeline_stall",
+            EventKind::AlgebraCache { .. } => "algebra_cache",
+            EventKind::BvhMaintain { .. } => "bvh_maintain",
         }
     }
 
@@ -128,6 +136,9 @@ impl EventKind {
             EventKind::TraceReplay { launches, .. } => launches,
             EventKind::PipelineDepth { depth } => depth,
             EventKind::PipelineStall { waited_ns } => waited_ns,
+            // A cache report counts lookups; maintenance counts operations.
+            EventKind::AlgebraCache { hits, misses } => hits + misses,
+            EventKind::BvhMaintain { refits, rebuilds } => refits + rebuilds,
         }
     }
 }

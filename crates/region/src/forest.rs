@@ -1,7 +1,7 @@
 //! Region trees: regions, partitions, fields (paper §2, Fig 2(c)).
 
 use std::fmt;
-use viz_geometry::{Bvh, IndexSpace, Rect};
+use viz_geometry::{Bvh, IndexSpace, InternConfig, Rect, SpaceAlgebra};
 
 /// A logical region: a named subset of a collection's index space.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -117,7 +117,10 @@ impl RegionForest {
     }
 
     /// Partition `parent` into the given subdomains. Disjointness and
-    /// completeness are computed from the geometry.
+    /// completeness are computed from the geometry: candidate overlap pairs
+    /// come from a bounding-box BVH (instead of testing all n² pairs) and
+    /// the exact checks run through an interned [`SpaceAlgebra`], so
+    /// repeated subdomain shapes are checked once.
     ///
     /// # Panics
     /// If any subdomain is not contained in the parent's domain.
@@ -127,18 +130,36 @@ impl RegionForest {
         name: impl Into<String>,
         subdomains: Vec<IndexSpace>,
     ) -> PartitionId {
-        let parent_domain = self.domain(parent).clone();
-        for (i, s) in subdomains.iter().enumerate() {
+        let mut alg = SpaceAlgebra::new(InternConfig::from_env());
+        let parent_id = alg.intern(self.domain(parent));
+        let ids: Vec<_> = subdomains.iter().map(|s| alg.intern(s)).collect();
+        for (i, s) in ids.iter().enumerate() {
             assert!(
-                parent_domain.contains(s),
+                alg.contains(parent_id, *s),
                 "subregion {i} of partition escapes its parent"
             );
         }
-        // Disjointness: no pair of children overlaps.
+        // Disjointness: no pair of children overlaps. The BVH narrows the
+        // pairs to those whose bounding boxes meet.
+        let bvh = Bvh::build(
+            subdomains
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i as u32, s.bbox()))
+                .collect(),
+        );
         let mut disjoint = true;
-        'outer: for (i, a) in subdomains.iter().enumerate() {
-            for b in &subdomains[i + 1..] {
-                if a.overlaps(b) {
+        let mut candidates = Vec::new();
+        'outer: for (i, s) in subdomains.iter().enumerate() {
+            candidates.clear();
+            for r in s.rects() {
+                bvh.query(r, &mut candidates);
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &c in &candidates {
+                let j = c as usize;
+                if j > i && alg.overlaps(ids[i], ids[j]) {
                     disjoint = false;
                     break 'outer;
                 }
@@ -146,13 +167,14 @@ impl RegionForest {
         }
         // Completeness: children cover the parent. When disjoint, volumes
         // suffice; otherwise compute the union.
+        let parent_volume = alg.space(parent_id).volume();
         let complete = if disjoint {
-            subdomains.iter().map(IndexSpace::volume).sum::<u64>() == parent_domain.volume()
+            subdomains.iter().map(IndexSpace::volume).sum::<u64>() == parent_volume
         } else {
-            let union = subdomains
+            let union = ids
                 .iter()
-                .fold(IndexSpace::empty(), |acc, s| acc.union(s));
-            union.volume() == parent_domain.volume()
+                .fold(viz_geometry::SpaceId::EMPTY, |acc, s| alg.union(acc, *s));
+            alg.space(union).volume() == parent_volume
         };
         self.create_partition_with_flags(parent, name, subdomains, disjoint, complete)
     }

@@ -30,11 +30,15 @@ pub fn group_reqs_by_shard(
     forest: &RegionForest,
 ) -> Vec<(ShardKey, Vec<u32>)> {
     let mut groups: Vec<(ShardKey, Vec<u32>)> = Vec::new();
+    let mut index: FxHashMap<ShardKey, usize> = FxHashMap::default();
     for (i, req) in launch.reqs.iter().enumerate() {
         let key = (forest.root_of(req.region), req.field);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, reqs)) => reqs.push(i as u32),
-            None => groups.push((key, vec![i as u32])),
+        match index.get(&key) {
+            Some(&g) => groups[g].1.push(i as u32),
+            None => {
+                index.insert(key, groups.len());
+                groups.push((key, vec![i as u32]));
+            }
         }
     }
     groups

@@ -38,7 +38,9 @@ use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::sharding::ShardMap;
 use crate::task::TaskLaunch;
 use std::sync::Arc;
-use viz_geometry::{FxHashMap, FxHashSet, IndexSpace, Rect};
+use viz_geometry::{
+    AlgebraStats, FxHashMap, FxHashSet, IndexSpace, InternConfig, Rect, SpaceAlgebra,
+};
 use viz_region::{privilege::PrivilegeSummary, PartitionId, RegionForest, RegionId};
 use viz_sim::{NodeId, Op};
 
@@ -131,9 +133,19 @@ struct PaintShard {
     entries_alive: usize,
     /// `(view id, node)` pairs already replicated.
     fetched: FxHashSet<(u64, NodeId)>,
+    /// Interned-algebra layer: the occlusion containment tests and the
+    /// write-domain union chains of view capture go through it.
+    alg: SpaceAlgebra,
+    last_stats: AlgebraStats,
 }
 
 impl PaintShard {
+    fn with_intern(intern: InternConfig) -> Self {
+        PaintShard {
+            alg: SpaceAlgebra::new(intern),
+            ..PaintShard::default()
+        }
+    }
     /// Aggregate the state of `region`'s subtree (visiting only touched
     /// nodes).
     fn subtree_agg(
@@ -222,7 +234,7 @@ impl PaintShard {
                         entries += 1;
                         bbox = bbox.union_bbox(&h.domain.bbox());
                         if h.privilege.is_write() {
-                            write_domain = write_domain.union(&h.domain);
+                            write_domain = self.alg.union_spaces(&write_domain, &h.domain);
                         }
                         summary.add(h.privilege);
                     }
@@ -230,7 +242,7 @@ impl PaintShard {
                         entries += v.entries;
                         views += v.views;
                         bbox = bbox.union_bbox(&v.bbox);
-                        write_domain = write_domain.union(&v.write_domain);
+                        write_domain = self.alg.union_spaces(&write_domain, &v.write_domain);
                         summary.merge(v.summary);
                     }
                 }
@@ -280,15 +292,16 @@ impl PaintShard {
         let is_task = matches!(&entry, PathEntry::Task(_));
         let mut dropped_entries = 0usize;
         let mut dropped_views = 0usize;
+        let alg = &mut self.alg;
         let ns = self.nodes.entry(region).or_default();
         if let Some(wd) = &write_domain {
             ns.hist.retain(|old| {
                 geom += 1;
                 let occluded = match old {
-                    PathEntry::Task(h) => wd.contains(&h.domain),
+                    PathEntry::Task(h) => alg.contains_spaces(wd, &h.domain),
                     // Conservative: prune a view only when the write
                     // covers its whole bounding box.
-                    PathEntry::View(v) => wd.contains(&IndexSpace::from_rect(v.bbox)),
+                    PathEntry::View(v) => alg.contains_spaces(wd, &IndexSpace::from_rect(v.bbox)),
                 };
                 if occluded {
                     match old {
@@ -347,14 +360,28 @@ impl PaintShard {
 }
 
 /// The optimized painter's algorithm ("Paint" in the figures).
-#[derive(Default)]
 pub struct Painter {
     shards: ShardedState<PaintShard>,
+    intern: InternConfig,
 }
 
 impl Painter {
     pub fn new() -> Self {
-        Self::default()
+        Self::with_intern(InternConfig::from_env())
+    }
+
+    /// Build with an explicit interning configuration.
+    pub fn with_intern(intern: InternConfig) -> Self {
+        Painter {
+            shards: ShardedState::new(),
+            intern,
+        }
+    }
+}
+
+impl Default for Painter {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -366,7 +393,9 @@ impl CoherenceEngine for Painter {
     fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
         let groups = group_reqs_by_shard(launch, ctx.forest);
         for (key, _) in &groups {
-            self.shards.get_or_insert_with(*key, PaintShard::default);
+            let intern = self.intern;
+            self.shards
+                .get_or_insert_with(*key, || PaintShard::with_intern(intern));
         }
         groups
     }
@@ -552,6 +581,14 @@ impl CoherenceEngine for Painter {
             out.commit_log.op(owner_r, Op::HistScan { entries: 1 });
             shard.mark_touched(ctx.forest, region);
         }
+        let delta = shard.alg.stats().delta_since(&shard.last_stats);
+        if delta.hits + delta.fast_hits + delta.misses > 0 {
+            viz_profile::instant(viz_profile::EventKind::AlgebraCache {
+                hits: delta.hits + delta.fast_hits,
+                misses: delta.misses,
+            });
+        }
+        shard.last_stats = shard.alg.stats();
         outcomes
     }
 
@@ -562,6 +599,11 @@ impl CoherenceEngine for Painter {
             size.composite_views += shard.views_alive;
             // Replicated-view bookkeeping is the painter's only cache.
             size.memo_entries += shard.fetched.len();
+            let a = shard.alg.stats();
+            size.interned_spaces += a.interned;
+            size.algebra_cache_entries += a.cache_entries;
+            size.algebra_hits += a.hits + a.fast_hits;
+            size.algebra_misses += a.misses;
         }
         size
     }

@@ -19,19 +19,35 @@ use crate::analysis::history::{HistEntry, VisScan};
 use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
 use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::task::TaskLaunch;
+use viz_geometry::{AlgebraStats, InternConfig, SpaceAlgebra};
 use viz_sim::Op;
+
+/// One shard's state: the global history plus the shard's interned-algebra
+/// layer (the occlusion-prune containment tests go through it).
+struct NaiveShard {
+    hist: Vec<HistEntry>,
+    alg: SpaceAlgebra,
+    last_stats: AlgebraStats,
+}
 
 /// One global history per (root region, field).
 pub struct PaintNaive {
-    shards: ShardedState<Vec<HistEntry>>,
+    shards: ShardedState<NaiveShard>,
     prune_occluded: bool,
+    intern: InternConfig,
 }
 
 impl PaintNaive {
     pub fn new() -> Self {
+        Self::with_intern(InternConfig::from_env())
+    }
+
+    /// Build with an explicit interning configuration.
+    pub fn with_intern(intern: InternConfig) -> Self {
         PaintNaive {
             shards: ShardedState::new(),
             prune_occluded: true,
+            intern,
         }
     }
 
@@ -39,8 +55,8 @@ impl PaintNaive {
     /// history only ever grows.
     pub fn without_pruning() -> Self {
         PaintNaive {
-            shards: ShardedState::new(),
             prune_occluded: false,
+            ..Self::new()
         }
     }
 }
@@ -59,7 +75,12 @@ impl CoherenceEngine for PaintNaive {
     fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
         let groups = group_reqs_by_shard(launch, ctx.forest);
         for (key, _) in &groups {
-            self.shards.get_or_insert_with(*key, Vec::new);
+            let intern = self.intern;
+            self.shards.get_or_insert_with(*key, || NaiveShard {
+                hist: Vec::new(),
+                alg: SpaceAlgebra::new(intern),
+                last_stats: AlgebraStats::default(),
+            });
         }
         groups
     }
@@ -72,7 +93,9 @@ impl CoherenceEngine for PaintNaive {
         ctx: &ShardCtx<'_>,
     ) -> Vec<ReqOutcome> {
         let origin = ctx.shards.origin(launch.node);
-        let mut hist = self.shards.lock(key);
+        let mut shard = self.shards.lock(key);
+        let shard = &mut *shard;
+        let hist = &mut shard.hist;
         let mut outcomes: Vec<ReqOutcome> = Vec::with_capacity(reqs.len());
         let mut new_entries: Vec<HistEntry> = Vec::with_capacity(reqs.len());
 
@@ -139,22 +162,37 @@ impl CoherenceEngine for PaintNaive {
                 // older entry wholly covered by this write can never be
                 // visible again.
                 let mut geom = 0;
+                let alg = &mut shard.alg;
                 hist.retain(|old| {
                     geom += 1;
-                    !entry.domain.contains(&old.domain)
+                    !alg.contains_spaces(&entry.domain, &old.domain)
                 });
                 out.commit_log.op(0, Op::GeomOp { rects: geom });
             }
             hist.push(entry);
         }
+        let delta = shard.alg.stats().delta_since(&shard.last_stats);
+        if delta.hits + delta.fast_hits + delta.misses > 0 {
+            viz_profile::instant(viz_profile::EventKind::AlgebraCache {
+                hits: delta.hits + delta.fast_hits,
+                misses: delta.misses,
+            });
+        }
+        shard.last_stats = shard.alg.stats();
         outcomes
     }
 
     fn state_size(&self) -> StateSize {
-        StateSize {
-            history_entries: self.shards.iter().map(|(_, h)| h.len()).sum(),
-            ..StateSize::default()
+        let mut sz = StateSize::default();
+        for (_, s) in self.shards.iter() {
+            sz.history_entries += s.hist.len();
+            let a = s.alg.stats();
+            sz.interned_spaces += a.interned;
+            sz.algebra_cache_entries += a.cache_entries;
+            sz.algebra_hits += a.hits + a.fast_hits;
+            sz.algebra_misses += a.misses;
         }
+        sz
     }
 }
 

@@ -27,13 +27,15 @@ use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, Shar
 use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::plan::MaterializePlan;
 use crate::task::TaskLaunch;
-use viz_geometry::{FxHashMap, IndexSpace, KdTree};
+use viz_geometry::{AlgebraStats, DynamicBvh, FxHashMap, InternConfig, SpaceAlgebra, SpaceId};
 use viz_region::{PartitionId, Privilege, RegionForest, RegionId};
 use viz_sim::{ChargeLog, NodeId, Op};
 
-/// A live equivalence set.
+/// A live equivalence set. The domain is a handle into the shard's
+/// [`SpaceAlgebra`] interner: sets refined from the same launch targets
+/// share storage, and the refine/overlap algebra is memoized per shard.
 struct RaySet {
-    domain: IndexSpace,
+    domain: SpaceId,
     hist: Vec<EqEntry>,
     owner: NodeId,
     live: bool,
@@ -50,8 +52,10 @@ enum SetIndex {
         /// Bounding boxes of the anchor children, for bucket placement.
         anchor_bboxes: Vec<viz_geometry::Rect>,
     },
-    /// Fallback when no such partition exists (§7.1).
-    Kd { tree: KdTree },
+    /// Fallback when no such partition exists (§7.1): an incrementally
+    /// maintained BVH — set churn is absorbed by leaf insert/remove with
+    /// ancestor refits, rebuilding only on degradation.
+    Kd { tree: DynamicBvh },
 }
 
 /// Per-(root, field) ray-casting state — one shard.
@@ -65,10 +69,15 @@ struct FieldState {
     /// heuristic of §7.1 that drives anchor shifting.
     usage: FxHashMap<PartitionId, u64>,
     shifts: u64,
+    /// Interned-space storage and memoized set algebra for this shard.
+    alg: SpaceAlgebra,
+    last_stats: AlgebraStats,
+    last_refits: u64,
+    last_rebuilds: u64,
 }
 
 impl FieldState {
-    fn new_set(&mut self, domain: IndexSpace, hist: Vec<EqEntry>, owner: NodeId) -> u32 {
+    fn new_set(&mut self, domain: SpaceId, hist: Vec<EqEntry>, owner: NodeId) -> u32 {
         let id = self.sets.len() as u32;
         self.sets.push(RaySet {
             domain,
@@ -93,14 +102,21 @@ pub struct RayCast {
     shards: ShardedState<FieldState>,
     force_kd: bool,
     use_anchor_memo: bool,
+    intern: InternConfig,
 }
 
 impl RayCast {
     pub fn new() -> Self {
+        Self::with_intern(InternConfig::from_env())
+    }
+
+    /// Build with an explicit interning configuration.
+    pub fn with_intern(intern: InternConfig) -> Self {
         RayCast {
             shards: ShardedState::new(),
             force_kd: false,
             use_anchor_memo: true,
+            intern,
         }
     }
 
@@ -127,8 +143,14 @@ impl RayCast {
     /// (the heuristic "based on which partitions tasks are using" — our
     /// benchmark programs create the primary partition first, which is the
     /// one their tasks write through), else the K-d tree fallback.
-    fn init_state(forest: &RegionForest, root: RegionId, force_kd: bool) -> FieldState {
-        let root_domain = forest.domain(root).clone();
+    fn init_state(
+        forest: &RegionForest,
+        root: RegionId,
+        force_kd: bool,
+        intern: InternConfig,
+    ) -> FieldState {
+        let mut alg = SpaceAlgebra::new(intern);
+        let root_domain = forest.domain(root);
         let dc = if force_kd {
             Vec::new()
         } else {
@@ -143,8 +165,8 @@ impl RayCast {
                 // Initial sets: one per anchor (they cover the root since
                 // the partition is complete).
                 for (i, c) in children.iter().enumerate() {
-                    let domain = forest.domain(*c).clone();
-                    anchor_bboxes.push(domain.bbox());
+                    let domain = alg.intern(forest.domain(*c));
+                    anchor_bboxes.push(alg.bbox(domain));
                     sets.push(RaySet {
                         domain,
                         hist: Vec::new(),
@@ -165,14 +187,19 @@ impl RayCast {
                     live,
                     usage: FxHashMap::default(),
                     shifts: 0,
+                    alg,
+                    last_stats: AlgebraStats::default(),
+                    last_refits: 0,
+                    last_rebuilds: 0,
                 }
             }
             None => {
-                let mut tree = KdTree::new();
+                let mut tree = DynamicBvh::new();
                 tree.insert(0, root_domain.bbox());
+                let domain = alg.intern(root_domain);
                 FieldState {
                     sets: vec![RaySet {
-                        domain: root_domain,
+                        domain,
                         hist: Vec::new(),
                         owner: 0,
                         live: true,
@@ -182,6 +209,10 @@ impl RayCast {
                     live: 1,
                     usage: FxHashMap::default(),
                     shifts: 0,
+                    alg,
+                    last_stats: AlgebraStats::default(),
+                    last_refits: 0,
+                    last_rebuilds: 0,
                 }
             }
         }
@@ -246,7 +277,7 @@ impl RayCast {
                 continue;
             }
             moved += 1;
-            let bb = set.domain.bbox();
+            let bb = state.alg.bbox(set.domain);
             for (i, abb) in anchor_bboxes.iter().enumerate() {
                 if abb.overlaps(&bb) {
                     buckets[i].push(id as u32);
@@ -307,8 +338,10 @@ impl CoherenceEngine for RayCast {
         let groups = group_reqs_by_shard(launch, ctx.forest);
         for (key, _) in &groups {
             let force_kd = self.force_kd;
-            self.shards
-                .get_or_insert_with(*key, || Self::init_state(ctx.forest, key.0, force_kd));
+            let intern = self.intern;
+            self.shards.get_or_insert_with(*key, || {
+                Self::init_state(ctx.forest, key.0, force_kd, intern)
+            });
         }
         groups
     }
@@ -336,6 +369,7 @@ impl CoherenceEngine for RayCast {
                 ..ReqOutcome::default()
             };
             let target = ctx.forest.domain(req.region).clone();
+            let target_id = state.alg.intern(&target);
             if !self.force_kd {
                 let home = Self::home_partition(ctx.forest, req.region);
                 Self::maybe_shift(state, ctx.forest, home, &mut out.scan_log, origin);
@@ -428,31 +462,34 @@ impl CoherenceEngine for RayCast {
                     continue;
                 }
                 tests += 1;
-                let overlap = state.sets[c as usize].domain.overlaps(&target);
-                if !overlap {
+                let dom = state.sets[c as usize].domain;
+                if !state.alg.overlaps(dom, target_id) {
                     continue;
                 }
-                if target.contains(&state.sets[c as usize].domain) {
+                if state.alg.contains(target_id, dom) {
                     relevant.push(c);
                     continue;
                 }
                 // Split c into inside/outside halves (the Warnock refine —
                 // ray casting still refines on partial overlaps).
-                let (inside, outside, hist, old_owner) = {
+                let inside = state.alg.intersect(dom, target_id);
+                let outside = state.alg.subtract(dom, target_id);
+                let (hist, old_owner) = {
                     let s = &state.sets[c as usize];
-                    (
-                        s.domain.intersect(&target),
-                        s.domain.subtract(&target),
-                        s.hist.clone(),
-                        s.owner,
-                    )
+                    (s.hist.clone(), s.owner)
                 };
                 state.kill(c);
                 killed.push(c);
                 // The inside half migrates to its first user's node.
                 let inside_id = state.new_set(inside, hist.clone(), launch.node);
                 let outside_id = state.new_set(outside, hist, old_owner);
-                Self::index_replace(&mut state.index, &state.sets, c, &[inside_id, outside_id]);
+                Self::index_replace(
+                    &mut state.index,
+                    &state.sets,
+                    &state.alg,
+                    c,
+                    &[inside_id, outside_id],
+                );
                 for op in [
                     Op::EqSetRefine,
                     Op::EqSetCreate,
@@ -492,7 +529,13 @@ impl CoherenceEngine for RayCast {
             let mut entries_scanned = 0usize;
             for n in &relevant {
                 let s = &state.sets[*n as usize];
-                scan_eq_history(&s.hist, &s.domain, req.privilege, &mut deps, &mut plan);
+                scan_eq_history(
+                    &s.hist,
+                    state.alg.space(s.domain),
+                    req.privilege,
+                    &mut deps,
+                    &mut plan,
+                );
                 entries_scanned += s.hist.len();
                 charges.add(s.owner, Op::SetTouch);
                 charges.add(
@@ -534,19 +577,21 @@ impl CoherenceEngine for RayCast {
                 // index aligned with the disjoint partition (a write within
                 // one anchor — the common case — creates exactly one set,
                 // as in Fig 11).
-                let pieces: Vec<IndexSpace> = match &state.index {
+                let pieces: Vec<SpaceId> = match &state.index {
                     SetIndex::Anchored { partition, .. } => {
-                        let kids = ctx.forest.children(*partition);
-                        req_anchors
-                            .iter()
-                            .map(|a| {
-                                let adom = ctx.forest.domain(kids[*a as usize]);
-                                target.intersect(adom)
-                            })
-                            .filter(|d| !d.is_empty())
-                            .collect()
+                        let kids = ctx.forest.children(*partition).to_vec();
+                        let alg = &mut state.alg;
+                        let mut out = Vec::with_capacity(req_anchors.len());
+                        for a in &req_anchors {
+                            let adom = alg.intern(ctx.forest.domain(kids[*a as usize]));
+                            let piece = alg.intersect(target_id, adom);
+                            if !alg.is_empty_space(piece) {
+                                out.push(piece);
+                            }
+                        }
+                        out
                     }
-                    SetIndex::Kd { .. } => vec![target.clone()],
+                    SetIndex::Kd { .. } => vec![target_id],
                 };
                 // The occluded constituent sets coalesce into the fresh
                 // dominating-write sets.
@@ -562,7 +607,13 @@ impl CoherenceEngine for RayCast {
                 viz_profile::instant(viz_profile::EventKind::EqSetCreated {
                     count: new_ids.len() as u64,
                 });
-                Self::index_replace(&mut state.index, &state.sets, u32::MAX, &new_ids);
+                Self::index_replace(
+                    &mut state.index,
+                    &state.sets,
+                    &state.alg,
+                    u32::MAX,
+                    &new_ids,
+                );
                 Self::index_remove_dead(&mut state.index, &state.sets, &relevant);
                 commits.push((new_ids, entry));
             } else {
@@ -596,34 +647,50 @@ impl CoherenceEngine for RayCast {
                 }
             }
         }
+        let delta = state.alg.stats().delta_since(&state.last_stats);
+        if delta.hits + delta.fast_hits + delta.misses > 0 {
+            viz_profile::instant(viz_profile::EventKind::AlgebraCache {
+                hits: delta.hits + delta.fast_hits,
+                misses: delta.misses,
+            });
+        }
+        state.last_stats = state.alg.stats();
+        if let SetIndex::Kd { tree } = &state.index {
+            let (refits, rebuilds) = (tree.refits(), tree.rebuilds());
+            let (dr, db) = (refits - state.last_refits, rebuilds - state.last_rebuilds);
+            if dr + db > 0 {
+                viz_profile::instant(viz_profile::EventKind::BvhMaintain {
+                    refits: dr,
+                    rebuilds: db,
+                });
+            }
+            state.last_refits = refits;
+            state.last_rebuilds = rebuilds;
+        }
         outcomes
     }
 
     fn state_size(&self) -> StateSize {
-        let mut sets = 0;
-        let mut entries = 0;
-        let mut index_nodes = 0;
-        let mut memo_entries = 0;
+        let mut size = StateSize::default();
         for (_, s) in self.shards.iter() {
-            sets += s.live;
-            index_nodes += match &s.index {
+            size.equivalence_sets += s.live;
+            size.index_nodes += match &s.index {
                 SetIndex::Anchored { buckets, .. } => buckets.len(),
                 SetIndex::Kd { tree } => tree.len(),
             };
-            memo_entries += s.anchor_memo.values().map(Vec::len).sum::<usize>();
+            size.memo_entries += s.anchor_memo.values().map(Vec::len).sum::<usize>();
             for set in &s.sets {
                 if set.live {
-                    entries += set.hist.len();
+                    size.history_entries += set.hist.len();
                 }
             }
+            let a = s.alg.stats();
+            size.interned_spaces += a.interned;
+            size.algebra_cache_entries += a.cache_entries;
+            size.algebra_hits += a.hits + a.fast_hits;
+            size.algebra_misses += a.misses;
         }
-        StateSize {
-            history_entries: entries,
-            equivalence_sets: sets,
-            composite_views: 0,
-            index_nodes,
-            memo_entries,
-        }
+        size
     }
 }
 
@@ -631,7 +698,13 @@ impl RayCast {
     /// Register new sets in the index: for the anchored index, each set is
     /// placed in every anchor bucket its bounding box overlaps (queries
     /// filter exactly and deduplicate).
-    fn index_replace(index: &mut SetIndex, sets: &[RaySet], _old: u32, new_ids: &[u32]) {
+    fn index_replace(
+        index: &mut SetIndex,
+        sets: &[RaySet],
+        alg: &SpaceAlgebra,
+        _old: u32,
+        new_ids: &[u32],
+    ) {
         match index {
             SetIndex::Anchored {
                 buckets,
@@ -639,7 +712,7 @@ impl RayCast {
                 ..
             } => {
                 for id in new_ids {
-                    let bb = sets[*id as usize].domain.bbox();
+                    let bb = alg.bbox(sets[*id as usize].domain);
                     for (bucket, abb) in buckets.iter_mut().zip(anchor_bboxes.iter()) {
                         if abb.overlaps(&bb) {
                             bucket.push(*id);
@@ -649,7 +722,7 @@ impl RayCast {
             }
             SetIndex::Kd { tree } => {
                 for id in new_ids {
-                    tree.insert(*id as u64, sets[*id as usize].domain.bbox());
+                    tree.insert(*id as u64, alg.bbox(sets[*id as usize].domain));
                 }
             }
         }
@@ -679,6 +752,7 @@ mod tests {
     use crate::sharding::ShardMap;
     use crate::task::{RegionRequirement, TaskId};
     use proptest::prelude::*;
+    use viz_geometry::IndexSpace;
     use viz_region::{FieldId, RedOpRegistry};
     use viz_sim::Machine;
 

@@ -31,7 +31,9 @@ use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, Shar
 use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::plan::{CopyRange, MaterializePlan, ReduceRange, Source};
 use crate::task::{TaskId, TaskLaunch};
-use viz_geometry::{FxHashMap, FxHashSet, IndexSpace};
+use viz_geometry::{
+    AlgebraStats, FxHashMap, FxHashSet, IndexSpace, InternConfig, SpaceAlgebra, SpaceId,
+};
 use viz_region::{Privilege, RegionId};
 use viz_sim::{NodeId, Op};
 
@@ -95,9 +97,12 @@ pub(crate) fn scan_eq_history(
 }
 
 /// A node in the refinement tree: an equivalence set that is either live
-/// (leaf, holds a history) or refined (inner, holds its two halves).
+/// (leaf, holds a history) or refined (inner, holds its two halves). The
+/// domain is an interned handle into the shard's [`SpaceAlgebra`] — sibling
+/// sets produced by the same partition share storage, and the overlap /
+/// containment tests the traversal runs against it are memoized.
 struct EqNode {
-    domain: IndexSpace,
+    domain: SpaceId,
     owner: NodeId,
     kind: EqKind,
 }
@@ -118,13 +123,24 @@ struct FieldTree {
     live_leaves: usize,
     /// Inner tree nodes already replicated at a given machine node.
     replicated: FxHashSet<(u32, NodeId)>,
+    /// Per-shard interner + memoized set algebra for every domain the tree
+    /// touches (set domains, refinement splits, traversal predicates).
+    alg: SpaceAlgebra,
+    /// Interned handle per named target region, so steady-state launches
+    /// skip re-hashing the region's domain.
+    target_ids: FxHashMap<RegionId, SpaceId>,
+    /// Algebra counters at the last profile report (deltas are emitted per
+    /// `analyze_shard`).
+    last_stats: AlgebraStats,
 }
 
 impl FieldTree {
-    fn new(domain: IndexSpace) -> Self {
+    fn new(domain: &IndexSpace, intern: InternConfig) -> Self {
+        let mut alg = SpaceAlgebra::new(intern);
+        let root_domain = alg.intern(domain);
         FieldTree {
             nodes: vec![EqNode {
-                domain,
+                domain: root_domain,
                 owner: 0,
                 kind: EqKind::Leaf { hist: Vec::new() },
             }],
@@ -132,6 +148,9 @@ impl FieldTree {
             memo: FxHashMap::default(),
             live_leaves: 1,
             replicated: FxHashSet::default(),
+            alg,
+            target_ids: FxHashMap::default(),
+            last_stats: AlgebraStats::default(),
         }
     }
 }
@@ -140,13 +159,20 @@ impl FieldTree {
 pub struct Warnock {
     shards: ShardedState<FieldTree>,
     memoize: bool,
+    intern: InternConfig,
 }
 
 impl Warnock {
     pub fn new() -> Self {
+        Self::with_intern(InternConfig::from_env())
+    }
+
+    /// As [`Warnock::new`] with an explicit interning configuration.
+    pub fn with_intern(intern: InternConfig) -> Self {
         Warnock {
             shards: ShardedState::new(),
             memoize: true,
+            intern,
         }
     }
 
@@ -174,8 +200,9 @@ impl CoherenceEngine for Warnock {
     fn prepare(&mut self, launch: &TaskLaunch, ctx: &ShardCtx<'_>) -> Vec<(ShardKey, Vec<u32>)> {
         let groups = group_reqs_by_shard(launch, ctx.forest);
         for (key, _) in &groups {
-            self.shards
-                .get_or_insert_with(*key, || FieldTree::new(ctx.forest.domain(key.0).clone()));
+            self.shards.get_or_insert_with(*key, || {
+                FieldTree::new(ctx.forest.domain(key.0), self.intern)
+            });
         }
         groups
     }
@@ -198,7 +225,14 @@ impl CoherenceEngine for Warnock {
                 req: ri,
                 ..ReqOutcome::default()
             };
-            let target = ctx.forest.domain(req.region).clone();
+            let target = match tree.target_ids.get(&req.region) {
+                Some(&id) => id,
+                None => {
+                    let id = tree.alg.intern(ctx.forest.domain(req.region));
+                    tree.target_ids.insert(req.region, id);
+                    id
+                }
+            };
 
             // ---- Discovery: find the starting nodes (memo hit) or
             // traverse from the tree root (memo miss).
@@ -218,10 +252,9 @@ impl CoherenceEngine for Warnock {
             let mut refine_charges = ChargeSet::new();
             while let Some(n) = stack.pop() {
                 traversal_tests += 1;
-                let (overlap, rects) = {
-                    let node = &tree.nodes[n as usize];
-                    (node.domain.overlaps(&target), node.domain.rect_count())
-                };
+                let dom = tree.nodes[n as usize].domain;
+                let rects = tree.alg.space(dom).rect_count();
+                let overlap = tree.alg.overlaps(dom, target);
                 // Each traversal step tests the target against this node's
                 // (possibly heavily fragmented) domain.
                 out.scan_log.op(
@@ -247,24 +280,21 @@ impl CoherenceEngine for Warnock {
                     continue;
                 }
                 // Leaf: contained or straddling?
-                let contained = target.contains(&tree.nodes[n as usize].domain);
+                let contained = tree.alg.contains(target, dom);
                 if contained {
                     relevant.push(n);
                     continue;
                 }
                 // Refine: split into ∩target and \target (both nonempty
                 // here since the leaf overlaps but is not contained).
-                let (inside, outside, hist, old_owner) = {
+                let inside = tree.alg.intersect(dom, target);
+                let outside = tree.alg.subtract(dom, target);
+                let (hist, old_owner) = {
                     let node = &tree.nodes[n as usize];
                     let EqKind::Leaf { hist } = &node.kind else {
                         unreachable!()
                     };
-                    (
-                        node.domain.intersect(&target),
-                        node.domain.subtract(&target),
-                        hist.clone(),
-                        node.owner,
-                    )
+                    (hist.clone(), node.owner)
                 };
                 let inside_idx = tree.nodes.len() as u32;
                 tree.nodes.push(EqNode {
@@ -346,7 +376,13 @@ impl CoherenceEngine for Warnock {
                 let EqKind::Leaf { hist } = &node.kind else {
                     unreachable!("relevant nodes are leaves")
                 };
-                scan_eq_history(hist, &node.domain, req.privilege, &mut deps, &mut plan);
+                scan_eq_history(
+                    hist,
+                    tree.alg.space(node.domain),
+                    req.privilege,
+                    &mut deps,
+                    &mut plan,
+                );
                 entries_scanned += hist.len();
                 charges.add(node.owner, Op::SetTouch);
                 charges.add(
@@ -405,31 +441,36 @@ impl CoherenceEngine for Warnock {
                 }
             }
         }
+        let stats = tree.alg.stats();
+        let delta = stats.delta_since(&tree.last_stats);
+        if delta.hits + delta.misses + delta.fast_hits > 0 {
+            viz_profile::instant(viz_profile::EventKind::AlgebraCache {
+                hits: delta.hits + delta.fast_hits,
+                misses: delta.misses,
+            });
+        }
+        tree.last_stats = stats;
         outcomes
     }
 
     fn state_size(&self) -> StateSize {
-        let mut sets = 0;
-        let mut entries = 0;
-        let mut index_nodes = 0;
-        let mut memo_entries = 0;
+        let mut size = StateSize::default();
         for (_, t) in self.shards.iter() {
-            sets += t.live_leaves;
-            index_nodes += t.nodes.len();
-            memo_entries += t.memo.values().map(Vec::len).sum::<usize>();
+            size.equivalence_sets += t.live_leaves;
+            size.index_nodes += t.nodes.len();
+            size.memo_entries += t.memo.values().map(Vec::len).sum::<usize>();
             for n in &t.nodes {
                 if let EqKind::Leaf { hist } = &n.kind {
-                    entries += hist.len();
+                    size.history_entries += hist.len();
                 }
             }
+            let s = t.alg.stats();
+            size.interned_spaces += s.interned;
+            size.algebra_cache_entries += s.cache_entries;
+            size.algebra_hits += s.hits + s.fast_hits;
+            size.algebra_misses += s.misses;
         }
-        StateSize {
-            history_entries: entries,
-            equivalence_sets: sets,
-            composite_views: 0,
-            index_nodes,
-            memo_entries,
-        }
+        size
     }
 }
 

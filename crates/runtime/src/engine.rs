@@ -137,6 +137,14 @@ pub struct StateSize {
     /// Entries across the engine's memoization tables (constituent-set and
     /// overlapping-anchor caches).
     pub memo_entries: usize,
+    /// Distinct index spaces interned across the engine's shards.
+    pub interned_spaces: usize,
+    /// Entries currently held in the shards' algebra caches.
+    pub algebra_cache_entries: usize,
+    /// Cumulative algebra-cache hits across the shards.
+    pub algebra_hits: u64,
+    /// Cumulative algebra-cache misses across the shards.
+    pub algebra_misses: u64,
 }
 
 /// The four engines of this reproduction. `Paint`, `Warnock` and `RayCast`
@@ -158,13 +166,21 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Instantiate the engine.
+    /// Instantiate the engine with the environment's interning
+    /// configuration (`VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP`).
     pub fn build(self) -> Box<dyn CoherenceEngine> {
+        self.build_with(viz_geometry::InternConfig::from_env())
+    }
+
+    /// Instantiate the engine with an explicit interning configuration
+    /// (used by the differential tests to compare the memoized and direct
+    /// algebra paths without touching the process environment).
+    pub fn build_with(self, intern: viz_geometry::InternConfig) -> Box<dyn CoherenceEngine> {
         match self {
-            EngineKind::PaintNaive => Box::new(paint_naive::PaintNaive::new()),
-            EngineKind::Paint => Box::new(paint::Painter::new()),
-            EngineKind::Warnock => Box::new(warnock::Warnock::new()),
-            EngineKind::RayCast => Box::new(raycast::RayCast::new()),
+            EngineKind::PaintNaive => Box::new(paint_naive::PaintNaive::with_intern(intern)),
+            EngineKind::Paint => Box::new(paint::Painter::with_intern(intern)),
+            EngineKind::Warnock => Box::new(warnock::Warnock::with_intern(intern)),
+            EngineKind::RayCast => Box::new(raycast::RayCast::with_intern(intern)),
         }
     }
 

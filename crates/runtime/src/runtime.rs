@@ -34,7 +34,7 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 ///
 /// # Environment variables
 ///
-/// Three knobs default from the environment so existing binaries and the
+/// Several knobs default from the environment so existing binaries and the
 /// differential CI jobs can flip execution strategies without code
 /// changes. Builder setters always win over the environment.
 ///
@@ -43,6 +43,8 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 /// | `VIZ_ANALYSIS_THREADS` | [`analysis_threads`](Self::analysis_threads) | worker threads for the sharded batch analysis (unset/`1` = serial) |
 /// | `VIZ_AUTO_TRACE` | [`auto_trace`](Self::auto_trace) | `1`/`true` enables online automatic trace detection |
 /// | `VIZ_PIPELINE` | [`pipeline`](Self::pipeline) | `1`/`true` runs the analysis on a dedicated driver thread, overlapped with submission |
+/// | `VIZ_INTERN` | — (engine construction) | `0`/`false`/`off` disables the interned-algebra fast paths and cache; every set operation runs the direct rectangle sweep (see [`viz_geometry::InternConfig`]) |
+/// | `VIZ_ALGEBRA_CACHE_CAP` | — (engine construction) | per-shard algebra-cache capacity in entries (default 4096; `0` disables caching only) |
 ///
 /// Marked `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and
 /// the builder setters.
@@ -78,6 +80,11 @@ pub struct RuntimeConfig {
     /// Capacity of the submission queue (backpressure bound): a full
     /// queue blocks [`Runtime::submit`] until the driver catches up.
     pub pipeline_depth: usize,
+    /// Interning/memoization configuration for the engine's set algebra.
+    /// `None` (the default) reads `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP`
+    /// from the environment; the differential tests pin it explicitly so
+    /// both modes can run in one process.
+    pub intern: Option<viz_geometry::InternConfig>,
 }
 
 /// The `VIZ_ANALYSIS_THREADS` default for
@@ -129,6 +136,7 @@ impl RuntimeConfig {
             },
             pipeline: default_pipeline(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            intern: None,
         }
     }
 
@@ -183,6 +191,13 @@ impl RuntimeConfig {
     /// Submission-queue capacity (backpressure bound, min 1).
     pub fn pipeline_depth(mut self, n: usize) -> Self {
         self.pipeline_depth = n.max(1);
+        self
+    }
+
+    /// Pin the engine's interning configuration instead of reading
+    /// `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP` from the environment.
+    pub fn intern(mut self, cfg: viz_geometry::InternConfig) -> Self {
+        self.intern = Some(cfg);
         self
     }
 
@@ -627,7 +642,10 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         let forest = Arc::new(RwLock::new(RegionForest::new()));
         let core = Arc::new(RwLock::new(Core {
-            engine: config.engine.build(),
+            engine: match config.intern {
+                Some(cfg) => config.engine.build_with(cfg),
+                None => config.engine.build(),
+            },
             machine: Machine::with_cost(config.nodes, config.cost),
             shards: ShardMap::new(config.nodes, config.dcr),
             launches: Vec::new(),
