@@ -351,9 +351,9 @@ impl Workload for Circuit {
         }
 
         if cfg.with_bodies {
-            run.probes.push(rt.inline_read(nodes_root, f_v));
-            run.probes.push(rt.inline_read(nodes_root, f_c));
-            run.probes.push(rt.inline_read(wires_root, f_i));
+            run.probes.push(rt.inline_read(nodes_root, f_v).unwrap());
+            run.probes.push(rt.inline_read(nodes_root, f_c).unwrap());
+            run.probes.push(rt.inline_read(wires_root, f_i).unwrap());
         }
         run
     }

@@ -450,11 +450,11 @@ impl Workload for Pennant {
         }
 
         if cfg.with_bodies {
-            run.probes.push(rt.inline_read(points_root, f_px));
-            run.probes.push(rt.inline_read(points_root, f_py));
-            run.probes.push(rt.inline_read(points_root, f_pu));
-            run.probes.push(rt.inline_read(zones_root, f_zp));
-            run.probes.push(rt.inline_read(ctrl_root, f_dt));
+            run.probes.push(rt.inline_read(points_root, f_px).unwrap());
+            run.probes.push(rt.inline_read(points_root, f_py).unwrap());
+            run.probes.push(rt.inline_read(points_root, f_pu).unwrap());
+            run.probes.push(rt.inline_read(zones_root, f_zp).unwrap());
+            run.probes.push(rt.inline_read(ctrl_root, f_dt).unwrap());
         }
         run
     }

@@ -306,8 +306,8 @@ impl Workload for Stencil {
 
         if cfg.with_bodies {
             for &(f_in, f_out) in &fields {
-                run.probes.push(rt.inline_read(grid, f_out));
-                run.probes.push(rt.inline_read(grid, f_in));
+                run.probes.push(rt.inline_read(grid, f_out).unwrap());
+                run.probes.push(rt.inline_read(grid, f_in).unwrap());
             }
         }
         run

@@ -29,13 +29,12 @@
 
 // Deprecated-wrapper allowlist (PR 4): this crate still uses the panicking
 // `launch`/`set_initial` spellings; migrate to `submit` in PR 5.
-#![allow(deprecated)]
 
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};
 use viz_region::{deppart, FieldId, PartitionId, RedOpRegistry, RegionId};
 use viz_runtime::exec::ValueStore;
-use viz_runtime::{PhysicalRegion, RegionRequirement, Runtime, TaskBody, TaskId};
+use viz_runtime::{LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, TaskBody, TaskId};
 
 /// A deferred scalar result (from a reduction).
 #[derive(Copy, Clone, Debug)]
@@ -103,7 +102,7 @@ impl DistArray {
         for i in 0..pieces {
             let piece = rt.forest().subregion(part, i);
             let f = f.clone();
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_init",
                 arr.node_of(rt, i),
                 vec![RegionRequirement::read_write(piece, field)],
@@ -111,7 +110,9 @@ impl DistArray {
                 Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|p, _| f(p.x));
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         arr
     }
@@ -145,7 +146,7 @@ impl DistArray {
             let src = rt.forest().subregion(self.part, i);
             let dst = rt.forest().subregion(out.part, i);
             let f = f.clone();
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_map",
                 self.node_of(rt, i),
                 vec![
@@ -157,7 +158,9 @@ impl DistArray {
                     let (w, r) = rs.split_at_mut(1);
                     w[0].update_all(|p, _| f(r[0].get(p)));
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         out
     }
@@ -171,7 +174,7 @@ impl DistArray {
         for i in 0..self.pieces {
             let piece = rt.forest().subregion(self.part, i);
             let f = f.clone();
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_map_inplace",
                 self.node_of(rt, i),
                 vec![RegionRequirement::read_write(piece, self.field)],
@@ -179,7 +182,9 @@ impl DistArray {
                 Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|_, v| f(v));
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
 
@@ -199,7 +204,7 @@ impl DistArray {
             let b = rt.forest().subregion(other.part, i);
             let dst = rt.forest().subregion(out.part, i);
             let f = f.clone();
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_zip",
                 self.node_of(rt, i),
                 vec![
@@ -212,7 +217,9 @@ impl DistArray {
                     let (w, r) = rs.split_at_mut(1);
                     w[0].update_all(|p, _| f(r[0].get(p), r[1].get(p)));
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         out
     }
@@ -252,7 +259,7 @@ impl DistArray {
         for i in 0..self.pieces {
             let piece = rt.forest().subregion(self.part, i);
             let h = rt.forest().subregion(halo, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_shift_add",
                 self.node_of(rt, i),
                 vec![
@@ -281,7 +288,9 @@ impl DistArray {
                         w[0].set(p, v);
                     }
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
 
@@ -307,7 +316,8 @@ impl DistArray {
             .forest_mut()
             .create_root_1d("partials", self.pieces as i64);
         let pf = rt.forest_mut().add_field(partials_root, "p");
-        rt.set_initial(partials_root, pf, move |_| identity);
+        rt.try_set_initial(partials_root, pf, move |_| identity)
+            .unwrap();
         let ppart = rt
             .forest_mut()
             .create_equal_partition_1d(partials_root, "pp", self.pieces);
@@ -316,7 +326,7 @@ impl DistArray {
             let slot_region = rt.forest().subregion(ppart, i);
             let slot = Point::p1(i as i64);
             let fold = fold.clone();
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "array_reduce_piece",
                 self.node_of(rt, i),
                 vec![
@@ -336,14 +346,16 @@ impl DistArray {
                         rs[1].reduce(slot, a);
                     }
                 }) as TaskBody),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         // Gather: fold the partials into a fresh scalar region.
         let out_root = rt.forest_mut().create_root_1d("scalar", 1);
         let of = rt.forest_mut().add_field(out_root, "v");
         let pieces = self.pieces as i64;
         let fold2 = fold.clone();
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "array_reduce_gather",
             0,
             vec![
@@ -358,8 +370,10 @@ impl DistArray {
                 }
                 rs[1].set(Point::p1(0), acc);
             }) as TaskBody),
-        );
-        let probe = rt.inline_read(out_root, of);
+        ))
+        .unwrap()
+        .id();
+        let probe = rt.inline_read(out_root, of).unwrap();
         Scalar { probe }
     }
 
@@ -381,7 +395,7 @@ impl DistArray {
             false,
         );
         let region = rt.forest().subregion(slice, 0);
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "array_fill_slice",
             0,
             vec![RegionRequirement::read_write(region, self.field)],
@@ -389,13 +403,15 @@ impl DistArray {
             Some(Arc::new(move |rs: &mut [PhysicalRegion]| {
                 rs[0].update_all(|_, _| value);
             }) as TaskBody),
-        );
+        ))
+        .unwrap()
+        .id();
     }
 
     /// Deferred snapshot of the whole array.
     pub fn probe(&self, rt: &mut Runtime) -> ArrayProbe {
         ArrayProbe {
-            probe: rt.inline_read(self.root, self.field),
+            probe: rt.inline_read(self.root, self.field).unwrap(),
             len: self.len,
         }
     }

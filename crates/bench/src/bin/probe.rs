@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> \
-//!       [--quick] [--profile] [--analysis-threads N] [--auto-trace] [--pipeline]
+//!       [--quick] [--profile] [--analysis-threads N] [--auto-trace] [--pipeline] \
+//!       [--oracle] [--record-history PATH]
 //! ```
 //!
 //! `--profile` records a structured trace of the run and appends the
@@ -15,6 +16,10 @@
 //! submissions through the deferred-execution frontend (bounded queue +
 //! analysis driver thread) and reports queue depth/stall statistics; the
 //! figures again stay bit-identical, only host overlap changes.
+//! `--oracle` records the run's history and judges it with the external
+//! saturation checker (viz-oracle) after scheduling; a violation is a
+//! nonzero exit. `--record-history PATH` writes the recorded history in
+//! the portable `VZH1` binary format for offline checking.
 
 use viz_bench::AppKind;
 use viz_runtime::{EngineKind, Runtime, RuntimeConfig};
@@ -50,6 +55,12 @@ fn main() {
                 .expect("thread count")
         })
         .unwrap_or_else(viz_runtime::default_analysis_threads);
+    let oracle = args.iter().any(|a| a == "--oracle");
+    let history_path = args
+        .iter()
+        .position(|a| a == "--record-history")
+        .map(|i| args.get(i + 1).expect("--record-history PATH").clone());
+    let record = oracle || history_path.is_some() || viz_runtime::default_record_history();
     if profile {
         viz_profile::enable();
     }
@@ -66,7 +77,8 @@ fn main() {
             .validate(false)
             .analysis_threads(analysis_threads)
             .auto_trace(auto_trace)
-            .pipeline(pipeline),
+            .pipeline(pipeline)
+            .record_history(record),
     );
     let host = std::time::Instant::now();
     let run = workload.execute(&mut rt);
@@ -153,6 +165,34 @@ fn main() {
         );
     }
     println!("counters: {:#?}", rt.machine().counters());
+    if oracle || history_path.is_some() {
+        let history = viz_oracle::capture(&rt).expect("history recording was enabled");
+        if let Some(path) = &history_path {
+            let bytes = history.encode();
+            std::fs::write(path, &bytes).expect("write history");
+            println!(
+                "history: {} launches -> {path} ({} bytes)",
+                history.launches.len(),
+                bytes.len()
+            );
+        }
+        if oracle {
+            let report = viz_oracle::check(&history);
+            println!(
+                "oracle: launches={} pairs={} edges={} violations={}",
+                report.launches,
+                report.pairs_checked,
+                report.edges_checked,
+                report.violations.len()
+            );
+            for v in &report.violations {
+                eprintln!("oracle violation: {v}");
+            }
+            if !report.ok() {
+                std::process::exit(1);
+            }
+        }
+    }
     if profile {
         let prof = viz_profile::take();
         println!(

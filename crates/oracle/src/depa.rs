@@ -1,0 +1,122 @@
+//! Order maintenance over the engine's claimed DAG.
+//!
+//! The checker needs many happens-before queries ("is `i` ordered before
+//! `j`?") against the dependence edges the engine emitted. Task ids are
+//! assigned in program order, so the claimed DAG's edges all point
+//! backward and program order is already a topological order — the closure
+//! can be built in one left-to-right pass.
+//!
+//! Two layers, DePa-style (compact per-task tags backed by an exact
+//! structure):
+//!
+//! * **Tags** — each task carries `(depth, min_anc)`: its longest-path
+//!   depth and the smallest ancestor id. Both are O(1) negative filters:
+//!   `i < min_anc(j)` or `depth(i) >= depth(j)` proves `i` cannot precede
+//!   `j` without touching the closure.
+//! * **Ancestor bitsets** — `anc(j) = ∪_{p ∈ deps(j)} anc(p) ∪ {p}`, one
+//!   bit per earlier task. Exact queries are one word lookup; building is
+//!   O(E · n/64), comfortably polynomial at fuzz scale.
+
+/// Transitive-closure index over a claimed dependence DAG.
+pub struct Precedence {
+    words: usize,
+    /// `n` rows of `words` u64s; bit `i` of row `j` ⇔ `i` precedes `j`.
+    anc: Vec<u64>,
+    depth: Vec<u32>,
+    min_anc: Vec<u32>,
+}
+
+impl Precedence {
+    /// Build from per-task predecessor lists (edges must point backward;
+    /// the checker validates that before calling).
+    pub fn build(deps: &[Vec<u32>]) -> Precedence {
+        let n = deps.len();
+        let words = n.div_ceil(64);
+        let mut anc = vec![0u64; n * words];
+        let mut depth = vec![0u32; n];
+        let mut min_anc = vec![u32::MAX; n];
+        for (j, preds) in deps.iter().enumerate() {
+            // Union each predecessor's row into ours, then set its bit.
+            for &p in preds {
+                let p = p as usize;
+                debug_assert!(p < j);
+                let (lo, hi) = (p * words, j * words);
+                // Split borrow: predecessor rows are strictly earlier.
+                let (head, tail) = anc.split_at_mut(hi);
+                let src = &head[lo..lo + words];
+                let dst = &mut tail[..words];
+                for (d, s) in dst.iter_mut().zip(src) {
+                    *d |= s;
+                }
+                dst[p / 64] |= 1 << (p % 64);
+                depth[j] = depth[j].max(depth[p] + 1);
+                min_anc[j] = min_anc[j].min(min_anc[p]).min(p as u32);
+            }
+        }
+        Precedence {
+            words,
+            anc,
+            depth,
+            min_anc,
+        }
+    }
+
+    /// Does task `i` happen before task `j` under the claimed edges?
+    #[inline]
+    pub fn precedes(&self, i: u32, j: u32) -> bool {
+        if i >= j {
+            return false;
+        }
+        // DePa tag pruning: both are exact negatives.
+        if i < self.min_anc[j as usize] || self.depth[i as usize] >= self.depth[j as usize] {
+            return false;
+        }
+        let (i, j) = (i as usize, j as usize);
+        self.anc[j * self.words + i / 64] >> (i % 64) & 1 != 0
+    }
+
+    /// Number of ancestors of `j` (reachable predecessors).
+    pub fn ancestor_count(&self, j: u32) -> usize {
+        let j = j as usize;
+        self.anc[j * self.words..(j + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closure_is_transitive_and_tags_prune() {
+        // 0 <- 1 <- 2, 3 independent, 4 <- {2, 3}
+        let deps = vec![vec![], vec![0], vec![1], vec![], vec![2, 3]];
+        let p = Precedence::build(&deps);
+        assert!(p.precedes(0, 1));
+        assert!(p.precedes(0, 2), "transitive through 1");
+        assert!(p.precedes(1, 4), "transitive through 2");
+        assert!(p.precedes(3, 4));
+        assert!(!p.precedes(0, 3));
+        assert!(!p.precedes(3, 2));
+        assert!(!p.precedes(2, 2));
+        assert!(!p.precedes(4, 1), "never forward");
+        assert_eq!(p.ancestor_count(4), 4);
+        assert_eq!(p.ancestor_count(3), 0);
+    }
+
+    #[test]
+    fn wide_graphs_cross_word_boundaries() {
+        // 130 tasks in a chain: bit indices span three u64 words.
+        let deps: Vec<Vec<u32>> = (0..130u32)
+            .map(|i| if i == 0 { vec![] } else { vec![i - 1] })
+            .collect();
+        let p = Precedence::build(&deps);
+        assert!(p.precedes(0, 129));
+        assert!(p.precedes(64, 129));
+        assert!(p.precedes(63, 64));
+        assert!(!p.precedes(129, 0));
+        assert_eq!(p.ancestor_count(129), 129);
+    }
+}

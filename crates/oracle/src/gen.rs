@@ -1,0 +1,458 @@
+//! The adversarial program generator and the driver that runs generated
+//! programs against the engines under every execution strategy.
+//!
+//! Programs are generated seed-deterministically as plain data
+//! ([`GenProgram`]), so one program can be driven through all four engines
+//! × serial/sharded analysis × synchronous/pipelined submission ×
+//! auto-trace on/off and the resulting histories judged independently.
+//! Generation is biased by [`Mode`] toward the runtime's historical soft
+//! spots: aliased (non-disjoint) partitions, deep region trees, reduction
+//! storms with mixed operators, near-repeating launch sequences with a
+//! single mutated instance (speculation stress for the auto-tracer), and
+//! mid-run repartitioning.
+//!
+//! The driver submits with validation on and *skips* launches the §4
+//! intra-task aliasing rule rejects. Rejection depends only on the spec
+//! and the forest — both identical across configurations — so every
+//! configuration sees the same effective program.
+
+use crate::history::History;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use viz_region::{Privilege, RedOpRegistry, RegionId};
+use viz_runtime::{EngineKind, LaunchSpec, RegionRequirement, Runtime, RuntimeConfig};
+
+/// What the generator stresses. `Mixed` draws from all of them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Partitions whose pieces overlap each other (aliased trees).
+    AliasedPartitions,
+    /// Partitions of partitions, several levels deep.
+    DeepTrees,
+    /// Many reductions with mixed operators, punctuated by readers.
+    ReductionStorms,
+    /// A block of launches repeated many times with one mutated instance
+    /// (near-repeat): auto-trace promotion, replay, and demotion stress.
+    TraceRepeats,
+    /// New partitions appear mid-stream and later launches use them.
+    Repartition,
+    Mixed,
+}
+
+pub const ALL_MODES: [Mode; 6] = [
+    Mode::AliasedPartitions,
+    Mode::DeepTrees,
+    Mode::ReductionStorms,
+    Mode::TraceRepeats,
+    Mode::Repartition,
+    Mode::Mixed,
+];
+
+impl Mode {
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::AliasedPartitions => "aliased",
+            Mode::DeepTrees => "deep-trees",
+            Mode::ReductionStorms => "reduction-storms",
+            Mode::TraceRepeats => "trace-repeats",
+            Mode::Repartition => "repartition",
+            Mode::Mixed => "mixed",
+        }
+    }
+}
+
+/// A region reference inside a generated program, resolved by the driver
+/// once the corresponding forest objects exist.
+#[derive(Copy, Clone, Debug)]
+pub enum GenRegion {
+    Root(usize),
+    /// Piece `k` of generated partition `p`.
+    Piece(usize, usize),
+}
+
+/// One generated partition: `parent` must already exist when the
+/// program's `Partition(idx)` op runs; pieces are 1-d spans of the
+/// parent's domain, possibly overlapping (aliased).
+#[derive(Clone, Debug)]
+pub struct GenPartition {
+    pub parent: GenRegion,
+    pub pieces: Vec<(i64, i64)>,
+}
+
+/// One requirement of a generated launch.
+#[derive(Copy, Clone, Debug)]
+pub struct GenReq {
+    pub region: GenRegion,
+    pub field: usize,
+    pub privilege: Privilege,
+}
+
+/// The linear op stream the driver replays.
+#[derive(Clone, Debug)]
+pub enum GenOp {
+    /// Create generated partition `idx` (mid-run repartitioning when this
+    /// appears after launches).
+    Partition(usize),
+    Launch {
+        node: usize,
+        reqs: Vec<GenReq>,
+    },
+    Fence,
+    BeginTrace(u32),
+    EndTrace(u32),
+}
+
+/// A complete generated program.
+#[derive(Clone, Debug)]
+pub struct GenProgram {
+    pub seed: u64,
+    pub mode: Mode,
+    pub nodes: usize,
+    /// Root sizes (1-d element counts); every root gets `fields` fields.
+    pub roots: Vec<i64>,
+    pub fields: usize,
+    pub partitions: Vec<GenPartition>,
+    pub ops: Vec<GenOp>,
+}
+
+/// Pick spans for a partition of `[0, n)`: `pieces` spans, aliased
+/// (overlapping) with probability ~1/2 when `alias` is set.
+fn gen_pieces(rng: &mut StdRng, n: i64, pieces: usize, alias: bool) -> Vec<(i64, i64)> {
+    let mut out = Vec::with_capacity(pieces);
+    let w = (n / pieces as i64).max(1);
+    for k in 0..pieces as i64 {
+        let (mut lo, mut hi) = (k * w, ((k + 1) * w).min(n));
+        if alias && rng.random_bool() {
+            // Stretch into the neighbors: aliasing the tree.
+            lo = (lo - rng.random_range(0..w.max(2))).max(0);
+            hi = (hi + rng.random_range(0..w.max(2))).min(n);
+        }
+        if lo < hi {
+            out.push((lo, hi));
+        }
+    }
+    if out.is_empty() {
+        out.push((0, n));
+    }
+    out
+}
+
+/// Generate one program. Deterministic in `(seed, mode, launches)`.
+pub fn generate(seed: u64, mode: Mode, launches: usize, nodes: usize) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut prog = GenProgram {
+        seed,
+        mode,
+        nodes,
+        roots: Vec::new(),
+        fields: 1 + rng.random_range(0..2usize),
+        partitions: Vec::new(),
+        ops: Vec::new(),
+    };
+    let nroots = match mode {
+        Mode::DeepTrees => 1,
+        _ => 1 + rng.random_range(0..2usize),
+    };
+    for _ in 0..nroots {
+        prog.roots.push(32 + rng.random_range(0..97i64));
+    }
+    // Region pool the launches draw from: roots plus partition pieces.
+    let mut pool: Vec<GenRegion> = (0..nroots).map(GenRegion::Root).collect();
+    // Spans for nesting decisions (index-parallel with the pool).
+    let mut spans: Vec<(usize, i64, i64)> = (0..nroots).map(|r| (r, 0, prog.roots[r])).collect();
+
+    let add_partition = |prog: &mut GenProgram,
+                         rng: &mut StdRng,
+                         pool: &mut Vec<GenRegion>,
+                         spans: &mut Vec<(usize, i64, i64)>,
+                         parent_idx: usize,
+                         alias: bool| {
+        let (root, lo, hi) = spans[parent_idx];
+        let n = hi - lo;
+        if n < 4 {
+            return;
+        }
+        let npieces = 2 + rng.random_range(0..4usize);
+        let pieces = gen_pieces(rng, n, npieces, alias)
+            .into_iter()
+            .map(|(a, b)| (lo + a, lo + b))
+            .collect::<Vec<_>>();
+        let pidx = prog.partitions.len();
+        prog.partitions.push(GenPartition {
+            parent: pool[parent_idx],
+            pieces: pieces.clone(),
+        });
+        prog.ops.push(GenOp::Partition(pidx));
+        for (k, (a, b)) in pieces.iter().enumerate() {
+            pool.push(GenRegion::Piece(pidx, k));
+            spans.push((root, *a, *b));
+        }
+    };
+
+    // Initial partitions.
+    let alias = matches!(mode, Mode::AliasedPartitions | Mode::Mixed);
+    let depth = if mode == Mode::DeepTrees {
+        3 + rng.random_range(0..3usize)
+    } else {
+        1
+    };
+    for _ in 0..depth {
+        let parent = rng.random_range(0..pool.len());
+        add_partition(&mut prog, &mut rng, &mut pool, &mut spans, parent, alias);
+    }
+
+    let gen_req = |rng: &mut StdRng, pool: &[GenRegion], fields: usize| -> GenReq {
+        let region = pool[rng.random_range(0..pool.len())];
+        let field = rng.random_range(0..fields);
+        let privilege = match rng.random_range(0..10u32) {
+            0..=3 => Privilege::Read,
+            4..=6 => Privilege::ReadWrite,
+            _ => Privilege::Reduce(match rng.random_range(0..4u32) {
+                0 => RedOpRegistry::SUM,
+                1 => RedOpRegistry::PROD,
+                2 => RedOpRegistry::MIN,
+                _ => RedOpRegistry::MAX,
+            }),
+        };
+        GenReq {
+            region,
+            field,
+            privilege,
+        }
+    };
+
+    match mode {
+        Mode::TraceRepeats => {
+            // A block repeated `m` times; one instance gets a mutation.
+            let block = 2 + rng.random_range(0..4usize);
+            let m = (launches / block).max(4);
+            let annotated = rng.random_bool();
+            let mutated_instance = 2 + rng.random_range(0..(m - 2).max(1));
+            let template: Vec<Vec<GenReq>> = (0..block)
+                .map(|_| {
+                    let nreqs = 1 + rng.random_range(0..2usize);
+                    (0..nreqs)
+                        .map(|_| gen_req(&mut rng, &pool, prog.fields))
+                        .collect()
+                })
+                .collect();
+            for inst in 0..m {
+                if annotated {
+                    prog.ops.push(GenOp::BeginTrace(7));
+                }
+                for (b, reqs) in template.iter().enumerate() {
+                    let mut reqs = reqs.clone();
+                    if inst == mutated_instance && b == 0 {
+                        // The near-repeat: one launch differs.
+                        reqs[0] = gen_req(&mut rng, &pool, prog.fields);
+                    }
+                    prog.ops.push(GenOp::Launch {
+                        node: rng.random_range(0..nodes),
+                        reqs,
+                    });
+                }
+                if annotated {
+                    prog.ops.push(GenOp::EndTrace(7));
+                }
+            }
+        }
+        _ => {
+            let mut emitted = 0usize;
+            while emitted < launches {
+                let roll = rng.random_range(0..100u32);
+                if mode == Mode::Repartition && roll < 6 {
+                    let parent = rng.random_range(0..pool.len());
+                    add_partition(&mut prog, &mut rng, &mut pool, &mut spans, parent, true);
+                    continue;
+                }
+                if roll < 4 && !matches!(mode, Mode::ReductionStorms) {
+                    prog.ops.push(GenOp::Fence);
+                    emitted += 1;
+                    continue;
+                }
+                let nreqs = 1 + rng.random_range(0..3usize);
+                let reqs: Vec<GenReq> = (0..nreqs)
+                    .map(|_| {
+                        let mut r = gen_req(&mut rng, &pool, prog.fields);
+                        if mode == Mode::ReductionStorms && rng.random_range(0..10u32) < 8 {
+                            r.privilege = Privilege::Reduce(match rng.random_range(0..3u32) {
+                                0 => RedOpRegistry::SUM,
+                                1 => RedOpRegistry::MIN,
+                                _ => RedOpRegistry::MAX,
+                            });
+                        }
+                        r
+                    })
+                    .collect();
+                prog.ops.push(GenOp::Launch {
+                    node: rng.random_range(0..nodes),
+                    reqs,
+                });
+                emitted += 1;
+            }
+        }
+    }
+    prog
+}
+
+/// One execution strategy a program is driven under.
+#[derive(Copy, Clone, Debug)]
+pub struct DriveConfig {
+    pub engine: EngineKind,
+    pub analysis_threads: usize,
+    pub pipeline: bool,
+    pub auto_trace: bool,
+}
+
+impl DriveConfig {
+    pub fn label(&self) -> String {
+        format!(
+            "{:?}/t{}{}{}",
+            self.engine,
+            self.analysis_threads,
+            if self.pipeline { "/pipe" } else { "" },
+            if self.auto_trace { "/auto" } else { "" },
+        )
+    }
+}
+
+/// The full matrix the fuzzer sweeps: 4 engines × serial/sharded ×
+/// {plain, pipeline, auto-trace, pipeline+auto-trace}.
+pub fn drive_matrix() -> Vec<DriveConfig> {
+    let mut out = Vec::new();
+    for engine in [
+        EngineKind::PaintNaive,
+        EngineKind::Paint,
+        EngineKind::Warnock,
+        EngineKind::RayCast,
+    ] {
+        for analysis_threads in [1, 4] {
+            for (pipeline, auto_trace) in
+                [(false, false), (true, false), (false, true), (true, true)]
+            {
+                out.push(DriveConfig {
+                    engine,
+                    analysis_threads,
+                    pipeline,
+                    auto_trace,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Run a generated program under one strategy and capture its history.
+pub fn run_program(prog: &GenProgram, cfg: DriveConfig) -> History {
+    let rc = RuntimeConfig::new(cfg.engine)
+        .nodes(prog.nodes)
+        .dcr(prog.nodes > 1)
+        .analysis_threads(cfg.analysis_threads)
+        .pipeline(cfg.pipeline)
+        .auto_trace(cfg.auto_trace)
+        .record_history(true)
+        .validate(true);
+    let mut rt = Runtime::new(rc);
+    let mut roots: Vec<RegionId> = Vec::with_capacity(prog.roots.len());
+    let mut fields = Vec::with_capacity(prog.roots.len());
+    for (ri, n) in prog.roots.iter().enumerate() {
+        let r = rt.forest_mut().create_root_1d(format!("R{ri}"), *n);
+        let fs: Vec<_> = (0..prog.fields)
+            .map(|fi| rt.forest_mut().add_field(r, format!("f{fi}")))
+            .collect();
+        roots.push(r);
+        fields.push(fs);
+    }
+    // Partition piece regions, filled in as Partition ops run.
+    let mut pieces: Vec<Vec<RegionId>> = vec![Vec::new(); prog.partitions.len()];
+    let resolve = |roots: &[RegionId], pieces: &[Vec<RegionId>], g: GenRegion| match g {
+        GenRegion::Root(r) => roots[r],
+        GenRegion::Piece(p, k) => pieces[p][k],
+    };
+    let root_index = |g: GenRegion, parts: &[GenPartition]| -> usize {
+        let mut g = g;
+        loop {
+            match g {
+                GenRegion::Root(r) => return r,
+                GenRegion::Piece(p, _) => g = parts[p].parent,
+            }
+        }
+    };
+    for op in &prog.ops {
+        match op {
+            GenOp::Partition(pidx) => {
+                let spec = &prog.partitions[*pidx];
+                let parent = resolve(&roots, &pieces, spec.parent);
+                // Generator spans are half-open; the geometry layer's
+                // bounds are inclusive.
+                let subdomains = spec
+                    .pieces
+                    .iter()
+                    .map(|(a, b)| viz_geometry::IndexSpace::span(*a, *b - 1))
+                    .collect();
+                let pid = rt
+                    .forest_mut()
+                    .create_partition(parent, format!("P{pidx}"), subdomains);
+                pieces[*pidx] = rt.forest().children(pid).to_vec();
+            }
+            GenOp::Launch { node, reqs } => {
+                let rr: Vec<RegionRequirement> = reqs
+                    .iter()
+                    .map(|q| RegionRequirement {
+                        region: resolve(&roots, &pieces, q.region),
+                        field: fields[root_index(q.region, &prog.partitions)][q.field],
+                        privilege: q.privilege,
+                    })
+                    .collect();
+                // §4 rejections are deterministic across configs: skip.
+                let _ = rt.submit(LaunchSpec::new("gen", *node, rr, 10, None));
+            }
+            GenOp::Fence => {
+                rt.fence();
+            }
+            GenOp::BeginTrace(id) => {
+                let _ = rt.try_begin_trace(*id);
+            }
+            GenOp::EndTrace(id) => {
+                let _ = rt.try_end_trace(*id);
+            }
+        }
+    }
+    crate::record::capture(&rt).expect("record_history was enabled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, Mode::Mixed, 30, 2);
+        let b = generate(42, Mode::Mixed, 30, 2);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = generate(43, Mode::Mixed, 30, 2);
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
+    }
+
+    #[test]
+    fn every_mode_runs_clean_on_one_engine() {
+        for (i, mode) in ALL_MODES.iter().enumerate() {
+            let prog = generate(1000 + i as u64, *mode, 24, 2);
+            let h = run_program(
+                &prog,
+                DriveConfig {
+                    engine: EngineKind::RayCast,
+                    analysis_threads: 1,
+                    pipeline: false,
+                    auto_trace: *mode == Mode::TraceRepeats,
+                },
+            );
+            let report = crate::checker::check(&h);
+            assert!(
+                report.ok(),
+                "mode {:?}: {:?}",
+                mode,
+                report.violations.first()
+            );
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! The portable history model the oracle judges, plus its binary codec.
+//!
+//! A [`History`] is self-contained: every requirement carries its root
+//! tree, field, privilege, and the region's *domain geometry* (the rect
+//! union), so the checker never needs the region forest or any runtime
+//! state — dbcop-style, the history is the complete court record.
+//!
+//! # Binary format (`VZH1`)
+//!
+//! The workspace deliberately avoids serde (DESIGN.md §8), so the codec is
+//! a hand-rolled byte stream: magic `VZH1`, then LEB128 varints for
+//! unsigned integers, zigzag+varint for signed coordinates, and
+//! length-prefixed UTF-8 for strings. Everything is little-endian-free
+//! (varints have no endianness), so files are portable across hosts.
+
+use viz_geometry::{IndexSpace, Point, Rect};
+
+/// Privilege, re-modeled locally so the judging path does not depend on
+/// engine-adjacent semantics. Interference is re-derived in the checker
+/// from sequential semantics: only read/read and same-op reduce/reduce
+/// commute.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum HPrivilege {
+    Read,
+    ReadWrite,
+    Reduce(u32),
+}
+
+impl HPrivilege {
+    /// §4 interference: may two accesses with these privileges be
+    /// reordered without changing sequential semantics?
+    pub fn interferes(self, other: HPrivilege) -> bool {
+        match (self, other) {
+            (HPrivilege::Read, HPrivilege::Read) => false,
+            (HPrivilege::Reduce(f), HPrivilege::Reduce(g)) => f != g,
+            _ => true,
+        }
+    }
+}
+
+/// One region requirement of a recorded launch, with the geometry
+/// resolved: `domain` is the region's rect union at record time.
+#[derive(Clone, Debug)]
+pub struct HRequirement {
+    /// Root region id of the tree this requirement lives in.
+    pub root: u32,
+    /// The concrete region named by the launch (for witnesses only).
+    pub region: u32,
+    pub field: u32,
+    pub privilege: HPrivilege,
+    pub domain: IndexSpace,
+}
+
+/// One committed launch as the engine claimed it.
+#[derive(Clone, Debug)]
+pub struct HLaunch {
+    pub id: u32,
+    pub name: String,
+    pub node: u32,
+    /// Canonical fingerprint of `(node, reqs)` (the auto-tracer's
+    /// signature); replay corruption shows up as signature drift between
+    /// instances of one template.
+    pub signature: u64,
+    pub reqs: Vec<HRequirement>,
+    /// Dependence edges the engine emitted (must all point backward).
+    pub deps: Vec<u32>,
+    /// Analysis synthesized from a trace template instead of the engine.
+    pub replayed: bool,
+    /// An execution fence: must be ordered after every earlier launch.
+    pub fence: bool,
+}
+
+/// A complete run: the launches in program order plus the retirement
+/// order the driver committed them in.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    pub engine: String,
+    pub launches: Vec<HLaunch>,
+    pub retirement: Vec<u32>,
+}
+
+impl History {
+    pub fn len(&self) -> usize {
+        self.launches.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.launches.is_empty()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Codec
+// ----------------------------------------------------------------------
+
+const MAGIC: &[u8; 4] = b"VZH1";
+
+fn put_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    // zigzag
+    put_u64(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decode-side errors: truncated input, bad magic, or malformed values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    BadMagic,
+    Truncated,
+    /// A varint ran past 10 bytes (not produced by this encoder).
+    Overlong,
+    BadUtf8,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a VZH1 history file"),
+            DecodeError::Truncated => write!(f, "truncated history file"),
+            DecodeError::Overlong => write!(f, "overlong varint"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let mut v = 0u64;
+        for shift in (0..).step_by(7) {
+            if shift >= 70 {
+                return Err(DecodeError::Overlong);
+            }
+            let byte = *self.buf.get(self.pos).ok_or(DecodeError::Truncated)?;
+            self.pos += 1;
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        unreachable!()
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(self.u64()? as u32)
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u64()? as usize;
+        let end = self.pos.checked_add(len).ok_or(DecodeError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(DecodeError::Truncated)?;
+        self.pos = end;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+fn put_space(out: &mut Vec<u8>, s: &IndexSpace) {
+    let rects = s.rects();
+    put_u64(out, rects.len() as u64);
+    for r in rects {
+        put_i64(out, r.lo.x);
+        put_i64(out, r.lo.y);
+        put_i64(out, r.hi.x);
+        put_i64(out, r.hi.y);
+    }
+}
+
+fn get_space(r: &mut Reader<'_>) -> Result<IndexSpace, DecodeError> {
+    let n = r.u64()? as usize;
+    let mut rects = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let lx = r.i64()?;
+        let ly = r.i64()?;
+        let hx = r.i64()?;
+        let hy = r.i64()?;
+        rects.push(Rect {
+            lo: Point { x: lx, y: ly },
+            hi: Point { x: hx, y: hy },
+        });
+    }
+    Ok(IndexSpace::from_rects(rects))
+}
+
+impl History {
+    /// Serialize to the `VZH1` byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.launches.len() * 32);
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, &self.engine);
+        put_u64(&mut out, self.launches.len() as u64);
+        for l in &self.launches {
+            put_u64(&mut out, l.id as u64);
+            put_str(&mut out, &l.name);
+            put_u64(&mut out, l.node as u64);
+            put_u64(&mut out, l.signature);
+            put_u64(&mut out, l.reqs.len() as u64);
+            for q in &l.reqs {
+                put_u64(&mut out, q.root as u64);
+                put_u64(&mut out, q.region as u64);
+                put_u64(&mut out, q.field as u64);
+                match q.privilege {
+                    HPrivilege::Read => put_u64(&mut out, 0),
+                    HPrivilege::ReadWrite => put_u64(&mut out, 1),
+                    HPrivilege::Reduce(op) => {
+                        put_u64(&mut out, 2);
+                        put_u64(&mut out, op as u64);
+                    }
+                }
+                put_space(&mut out, &q.domain);
+            }
+            put_u64(&mut out, l.deps.len() as u64);
+            for d in &l.deps {
+                put_u64(&mut out, *d as u64);
+            }
+            put_u64(&mut out, (l.replayed as u64) | ((l.fence as u64) << 1));
+        }
+        put_u64(&mut out, self.retirement.len() as u64);
+        for t in &self.retirement {
+            put_u64(&mut out, *t as u64);
+        }
+        out
+    }
+
+    /// Parse the `VZH1` byte format.
+    pub fn decode(buf: &[u8]) -> Result<History, DecodeError> {
+        if buf.len() < 4 || &buf[..4] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let mut r = Reader { buf, pos: 4 };
+        let engine = r.string()?;
+        let n = r.u64()? as usize;
+        let mut launches = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = r.u32()?;
+            let name = r.string()?;
+            let node = r.u32()?;
+            let signature = r.u64()?;
+            let nreqs = r.u64()? as usize;
+            let mut reqs = Vec::with_capacity(nreqs.min(1 << 16));
+            for _ in 0..nreqs {
+                let root = r.u32()?;
+                let region = r.u32()?;
+                let field = r.u32()?;
+                let privilege = match r.u64()? {
+                    0 => HPrivilege::Read,
+                    1 => HPrivilege::ReadWrite,
+                    _ => HPrivilege::Reduce(r.u32()?),
+                };
+                let domain = get_space(&mut r)?;
+                reqs.push(HRequirement {
+                    root,
+                    region,
+                    field,
+                    privilege,
+                    domain,
+                });
+            }
+            let ndeps = r.u64()? as usize;
+            let mut deps = Vec::with_capacity(ndeps.min(1 << 20));
+            for _ in 0..ndeps {
+                deps.push(r.u32()?);
+            }
+            let flags = r.u64()?;
+            launches.push(HLaunch {
+                id,
+                name,
+                node,
+                signature,
+                reqs,
+                deps,
+                replayed: flags & 1 != 0,
+                fence: flags & 2 != 0,
+            });
+        }
+        let nret = r.u64()? as usize;
+        let mut retirement = Vec::with_capacity(nret.min(1 << 20));
+        for _ in 0..nret {
+            retirement.push(r.u32()?);
+        }
+        Ok(History {
+            engine,
+            launches,
+            retirement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> History {
+        History {
+            engine: "raycast".into(),
+            launches: vec![
+                HLaunch {
+                    id: 0,
+                    name: "w".into(),
+                    node: 0,
+                    signature: 0xdead_beef_cafe_f00d,
+                    reqs: vec![HRequirement {
+                        root: 0,
+                        region: 0,
+                        field: 0,
+                        privilege: HPrivilege::ReadWrite,
+                        domain: IndexSpace::span(0, 100),
+                    }],
+                    deps: vec![],
+                    replayed: false,
+                    fence: false,
+                },
+                HLaunch {
+                    id: 1,
+                    name: "r".into(),
+                    node: 3,
+                    signature: 7,
+                    reqs: vec![HRequirement {
+                        root: 0,
+                        region: 2,
+                        field: 0,
+                        privilege: HPrivilege::Reduce(1),
+                        domain: IndexSpace::from_rects(vec![
+                            Rect::span(-5, 10),
+                            Rect {
+                                lo: Point { x: 20, y: 2 },
+                                hi: Point { x: 30, y: 9 },
+                            },
+                        ]),
+                    }],
+                    deps: vec![0],
+                    replayed: true,
+                    fence: false,
+                },
+                HLaunch {
+                    id: 2,
+                    name: "fence".into(),
+                    node: 0,
+                    signature: 0,
+                    reqs: vec![],
+                    deps: vec![0, 1],
+                    replayed: false,
+                    fence: true,
+                },
+            ],
+            retirement: vec![0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let h = sample();
+        let bytes = h.encode();
+        let back = History::decode(&bytes).unwrap();
+        assert_eq!(back.engine, h.engine);
+        assert_eq!(back.len(), h.len());
+        assert_eq!(back.retirement, h.retirement);
+        for (a, b) in h.launches.iter().zip(&back.launches) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.signature, b.signature);
+            assert_eq!(a.deps, b.deps);
+            assert_eq!(a.replayed, b.replayed);
+            assert_eq!(a.fence, b.fence);
+            assert_eq!(a.reqs.len(), b.reqs.len());
+            for (x, y) in a.reqs.iter().zip(&b.reqs) {
+                assert_eq!(x.root, y.root);
+                assert_eq!(x.region, y.region);
+                assert_eq!(x.field, y.field);
+                assert_eq!(x.privilege, y.privilege);
+                assert!(x.domain.same_points(&y.domain));
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(History::decode(b"nope").unwrap_err(), DecodeError::BadMagic);
+        let mut bytes = sample().encode();
+        bytes.truncate(bytes.len() - 3);
+        assert_eq!(History::decode(&bytes).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn interference_matches_sequential_semantics() {
+        use HPrivilege::*;
+        assert!(!Read.interferes(Read));
+        assert!(!Reduce(0).interferes(Reduce(0)));
+        assert!(Reduce(0).interferes(Reduce(1)));
+        assert!(Read.interferes(ReadWrite));
+        assert!(ReadWrite.interferes(Reduce(0)));
+        assert!(ReadWrite.interferes(ReadWrite));
+    }
+}

@@ -89,6 +89,12 @@ pub enum EventKind {
     /// Incremental BVH maintenance on one shard since the last report:
     /// `refits` ancestor-refit passes vs `rebuilds` full rebuilds.
     BvhMaintain { refits: u64, rebuilds: u64 },
+    /// A launch history snapshot of `launches` launches was exported for
+    /// the consistency oracle.
+    HistoryRecord { launches: u64 },
+    /// The oracle's saturation checker judged one history: `pairs`
+    /// interfering launch pairs verified against `edges` engine edges.
+    OracleCheck { pairs: u64, edges: u64 },
 }
 
 impl EventKind {
@@ -113,6 +119,8 @@ impl EventKind {
             EventKind::PipelineStall { .. } => "pipeline_stall",
             EventKind::AlgebraCache { .. } => "algebra_cache",
             EventKind::BvhMaintain { .. } => "bvh_maintain",
+            EventKind::HistoryRecord { .. } => "history_record",
+            EventKind::OracleCheck { .. } => "oracle_check",
         }
     }
 
@@ -139,6 +147,9 @@ impl EventKind {
             // A cache report counts lookups; maintenance counts operations.
             EventKind::AlgebraCache { hits, misses } => hits + misses,
             EventKind::BvhMaintain { refits, rebuilds } => refits + rebuilds,
+            EventKind::HistoryRecord { launches } => launches,
+            // A check report counts the precedence pairs it proved.
+            EventKind::OracleCheck { pairs, .. } => pairs,
         }
     }
 }

@@ -39,6 +39,13 @@ struct RaySet {
     hist: Vec<EqEntry>,
     owner: NodeId,
     live: bool,
+    /// When a *refinement split* kills this set, the two halves that
+    /// replaced it — so a commit deferred by an earlier requirement of the
+    /// same launch can chase the split instead of vanishing. Stays empty
+    /// for sets occluded by a dominating write (those are never the target
+    /// of a pending same-launch commit: interfering requirements of one
+    /// launch must be disjoint, commuting ones never occlude).
+    replaced_by: Vec<u32>,
 }
 
 /// Spatial index over the live sets.
@@ -84,6 +91,7 @@ impl FieldState {
             hist,
             owner,
             live: true,
+            replaced_by: Vec::new(),
         });
         self.live += 1;
         id
@@ -172,6 +180,7 @@ impl RayCast {
                         hist: Vec::new(),
                         owner: 0,
                         live: true,
+                        replaced_by: Vec::new(),
                     });
                     buckets.push(vec![i as u32]);
                 }
@@ -203,6 +212,7 @@ impl RayCast {
                         hist: Vec::new(),
                         owner: 0,
                         live: true,
+                        replaced_by: Vec::new(),
                     }],
                     index: SetIndex::Kd { tree },
                     anchor_memo: FxHashMap::default(),
@@ -483,6 +493,7 @@ impl CoherenceEngine for RayCast {
                 // The inside half migrates to its first user's node.
                 let inside_id = state.new_set(inside, hist.clone(), launch.node);
                 let outside_id = state.new_set(outside, hist, old_owner);
+                state.sets[c as usize].replaced_by = vec![inside_id, outside_id];
                 Self::index_replace(
                     &mut state.index,
                     &state.sets,
@@ -626,11 +637,16 @@ impl CoherenceEngine for RayCast {
         // ---- Commit: append to each requirement's target sets. The sets
         // live in the shard this analysis already holds; a requirement that
         // resolved to no sets (empty target) commits nothing — there is no
-        // state lookup left to fail.
+        // state lookup left to fail. A set another requirement of this SAME
+        // launch split after this one's scan forwards the commit to its
+        // replacement halves (dropping it would lose the access entirely);
+        // sets occluded by a dominating write stay dropped.
         for (out, (ids, entry)) in outcomes.iter_mut().zip(commits) {
-            for n in ids {
+            let mut stack = ids;
+            while let Some(n) = stack.pop() {
                 let s = &mut state.sets[n as usize];
                 if !s.live {
+                    stack.extend(s.replaced_by.iter().copied());
                     continue;
                 }
                 if entry.privilege.is_write() && !s.hist.is_empty() {

@@ -421,12 +421,21 @@ impl CoherenceEngine for Warnock {
         // clears the prior history, keeping histories precise. A
         // requirement whose scan found no sets (empty target) commits
         // nothing — the loop body simply never runs, there is no state
-        // lookup left to panic on.
+        // lookup left to panic on. A set another requirement of this SAME
+        // launch refined after this one's scan is now an inner node: the
+        // entry commits to its current leaves instead (their domains are
+        // subsets of the refined set, so the entry stays relevant to every
+        // point — dropping it would lose the access entirely).
         for (out, (relevant, entry)) in outcomes.iter_mut().zip(commits) {
-            for n in relevant {
+            let mut stack = relevant;
+            while let Some(n) = stack.pop() {
+                if let EqKind::Inner { children } = &tree.nodes[n as usize].kind {
+                    stack.extend(children.iter().copied());
+                    continue;
+                }
                 let node = &mut tree.nodes[n as usize];
                 let EqKind::Leaf { hist } = &mut node.kind else {
-                    continue;
+                    unreachable!("node is leaf or inner")
                 };
                 if entry.privilege.is_write() {
                     hist.clear();

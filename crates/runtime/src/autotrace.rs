@@ -72,7 +72,7 @@ const BASE: u64 = 0x9E37_79B9_7F4A_7C15 | 1;
 /// repeat (e.g. period 1) hides a longer true period.
 const CHAIN: usize = 8;
 
-fn sig_hash(node: NodeId, reqs: &[RegionRequirement]) -> u64 {
+pub(crate) fn sig_hash(node: NodeId, reqs: &[RegionRequirement]) -> u64 {
     let mut h = FxHasher::default();
     node.hash(&mut h);
     reqs.hash(&mut h);

@@ -4,9 +4,8 @@
 //! runtime. The submission redesign (PR 4) surfaces them as values instead:
 //! [`crate::Runtime::submit`], [`crate::Runtime::try_set_initial`],
 //! [`crate::Runtime::try_begin_trace`] and friends return
-//! `Result<_, RuntimeError>`, and the deprecated panicking wrappers simply
-//! `panic!("{err}")` — the `Display` strings below deliberately preserve the
-//! old panic messages so existing `should_panic` expectations keep matching.
+//! `Result<_, RuntimeError>`. The panicking wrappers that bridged the old
+//! API were removed once every caller migrated (PR 6).
 
 use crate::trace::TraceId;
 use viz_region::{FieldId, Privilege, RegionId};
@@ -37,6 +36,11 @@ pub enum RuntimeError {
     EndWithoutBegin { requested: TraceId },
     /// `end_trace` naming a different trace than the open one.
     MismatchedTraceEnd { active: TraceId, requested: TraceId },
+    /// Shared runtime state (the core or the region forest) was poisoned
+    /// by a panic on another thread — typically an engine bug surfaced on
+    /// the pipeline driver or a sharded-analysis worker. The submission is
+    /// rejected instead of re-raising the foreign panic on this thread.
+    Poisoned { what: &'static str },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -81,6 +85,13 @@ impl std::fmt::Display for RuntimeError {
                     "mismatched begin/end trace ids (trace {} is open, \
                      end_trace({}) requested)",
                     active.0, requested.0
+                )
+            }
+            RuntimeError::Poisoned { what } => {
+                write!(
+                    f,
+                    "runtime {what} poisoned by a panic on another thread \
+                     (engine or driver bug; see its panic message)"
                 )
             }
         }

@@ -84,12 +84,16 @@ pub(crate) fn scan_batch(
                     let outcomes = engine.analyze_shard(*key, &launches[i], reqs, &ctx);
                     drop(span);
                     pending.push((i, outcomes));
-                    if pending.len() >= CHUNK {
-                        tx.send(std::mem::take(&mut pending)).unwrap();
+                    if pending.len() >= CHUNK && tx.send(std::mem::take(&mut pending)).is_err() {
+                        // Receiver gone: the driver bailed (another worker
+                        // panicked). Stop scanning instead of panicking on
+                        // a closed channel — the scope join surfaces the
+                        // original panic.
+                        return;
                     }
                 }
                 if !pending.is_empty() {
-                    tx.send(pending).unwrap();
+                    let _ = tx.send(pending);
                 }
             });
         }
@@ -104,7 +108,13 @@ pub(crate) fn scan_batch(
             if next >= n {
                 break;
             }
-            let chunk = rx.recv().expect("shard scan worker died");
+            let Ok(chunk) = rx.recv() else {
+                // Every sender hung up with scans outstanding: a worker
+                // panicked. Break and let the scope join re-raise its
+                // panic (with the worker's own message) instead of
+                // masking it behind a RecvError unwrap here.
+                break;
+            };
             for (i, outcomes) in chunk {
                 buf[i].extend(outcomes);
                 remaining[i] -= 1;
@@ -402,11 +412,10 @@ impl TimedSchedule {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // deprecated-wrapper allowlist (PR 4): migrate in PR 5
 mod tests {
     use super::*;
     use crate::engine::EngineKind;
-    use crate::runtime::{Runtime, RuntimeConfig};
+    use crate::runtime::{LaunchSpec, Runtime, RuntimeConfig};
     use crate::task::RegionRequirement;
 
     /// write 1.0 everywhere, then read it back through the runtime.
@@ -415,7 +424,7 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 16);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "fill",
             0,
             vec![RegionRequirement::read_write(root, f)],
@@ -423,8 +432,9 @@ mod tests {
             Some(Arc::new(|regions: &mut [PhysicalRegion]| {
                 regions[0].update_all(|p, _| p.x as f64 * 2.0);
             })),
-        );
-        let probe = rt.inline_read(root, f);
+        ))
+        .unwrap();
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         let vals = store.inline(probe);
         assert_eq!(vals.get(Point::p1(0)), 0.0);
@@ -436,8 +446,8 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 8);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.set_initial(root, f, |p| 100.0 + p.x as f64);
-        let probe = rt.inline_read(root, f);
+        rt.try_set_initial(root, f, |p| 100.0 + p.x as f64).unwrap();
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         assert_eq!(store.inline(probe).get(Point::p1(3)), 103.0);
     }
@@ -447,10 +457,10 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 4);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.set_initial(root, f, |_| 10.0);
+        rt.try_set_initial(root, f, |_| 10.0).unwrap();
         for i in 0..3u32 {
             let c = (i + 1) as f64; // contribute 1, 2, 3
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("reduce{i}"),
                 0,
                 vec![RegionRequirement::reduce(root, f, RedOpRegistry::SUM)],
@@ -461,9 +471,10 @@ mod tests {
                         regions[0].reduce(p, c);
                     }
                 })),
-            );
+            ))
+            .unwrap();
         }
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         assert_eq!(store.inline(probe).get(Point::p1(0)), 16.0);
     }
@@ -477,7 +488,7 @@ mod tests {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
             let val = i as f64;
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "piece",
                 0,
                 vec![RegionRequirement::read_write(piece, f)],
@@ -485,9 +496,10 @@ mod tests {
                 Some(Arc::new(move |regions: &mut [PhysicalRegion]| {
                     regions[0].update_all(|_, _| val);
                 })),
-            );
+            ))
+            .unwrap();
         }
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         let vals = store.inline(probe);
         assert_eq!(vals.get(Point::p1(5)), 0.0);
@@ -504,22 +516,24 @@ mod tests {
         for iter in 0..3 {
             for i in 0..4usize {
                 let piece = rt.forest().subregion(p, i);
-                rt.launch(
+                rt.submit(LaunchSpec::new(
                     format!("it{iter}"),
                     i,
                     vec![RegionRequirement::read_write(piece, f)],
                     10_000,
                     None,
-                );
+                ))
+                .unwrap();
             }
             // A read of the whole region serializes between iterations.
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "sync",
                 0,
                 vec![RegionRequirement::read(root, f)],
                 5_000,
                 None,
-            );
+            ))
+            .unwrap();
         }
         let report = rt.timed_schedule();
         assert_eq!(report.completion.len(), 15);

@@ -148,7 +148,7 @@ mod tests {
         for t in &wave.tasks {
             assert!(rt.dag().preds(*t).is_empty());
         }
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         assert_eq!(store.inline(probe).get(Point::p1(17)), 17.0);
     }

@@ -26,7 +26,7 @@
 //! The [`spec`] module implements the paper's pseudocode *literally* at the
 //! value level (Figs 7, 9, 11) and serves as the executable test oracle.
 //!
-//! Execution is deferred, Legion-style: [`Runtime::launch`] performs the
+//! Execution is deferred, Legion-style: [`Runtime::submit`] performs the
 //! dynamic analysis immediately; [`Runtime::execute_values`] later runs task bodies
 //! in parallel (worker threads, honoring the dependence DAG), and
 //! [`exec::TimedSchedule`] replays the same DAG on the simulated machine for
@@ -43,6 +43,7 @@ pub mod instance;
 pub mod mapper;
 pub mod pipeline;
 pub mod plan;
+pub mod record;
 pub mod runtime;
 pub mod sharding;
 pub mod spec;
@@ -61,9 +62,10 @@ pub use pipeline::{CoreRead, CoreWrite, PipelineMetrics};
 pub use plan::{
     AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source, StoredResult, TaskShift,
 };
+pub use record::{LaunchRecord, RecordedHistory};
 pub use runtime::{
-    default_analysis_threads, default_auto_trace, default_pipeline, LaunchBuilder, LaunchSpec,
-    Runtime, RuntimeConfig, TaskHandle,
+    default_analysis_threads, default_auto_trace, default_pipeline, default_record_history,
+    LaunchBuilder, LaunchSpec, Runtime, RuntimeConfig, TaskHandle,
 };
 pub use sharding::ShardMap;
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};

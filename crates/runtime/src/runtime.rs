@@ -21,6 +21,7 @@ use crate::error::RuntimeError;
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
 use crate::pipeline::{CoreRead, CoreWrite, Pipeline, PipelineMetrics};
 use crate::plan::{AnalysisResult, StoredResult, TaskShift};
+use crate::record::{HistoryRecorder, RecordedHistory};
 use crate::sharding::ShardMap;
 use crate::task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
 use crate::trace::{TraceAction, TraceId, TraceViolation, Tracing};
@@ -45,6 +46,7 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 /// | `VIZ_PIPELINE` | [`pipeline`](Self::pipeline) | `1`/`true` runs the analysis on a dedicated driver thread, overlapped with submission |
 /// | `VIZ_INTERN` | — (engine construction) | `0`/`false`/`off` disables the interned-algebra fast paths and cache; every set operation runs the direct rectangle sweep (see [`viz_geometry::InternConfig`]) |
 /// | `VIZ_ALGEBRA_CACHE_CAP` | — (engine construction) | per-shard algebra-cache capacity in entries (default 4096; `0` disables caching only) |
+/// | `VIZ_ORACLE` | [`record_history`](Self::record_history) | `1`/`true` records every committed launch (requirements, signature, emitted dependence edges, retirement order) for the external consistency oracle (`viz-oracle`) |
 ///
 /// Marked `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and
 /// the builder setters.
@@ -85,6 +87,11 @@ pub struct RuntimeConfig {
     /// from the environment; the differential tests pin it explicitly so
     /// both modes can run in one process.
     pub intern: Option<viz_geometry::InternConfig>,
+    /// Record the launch history (submitted requirements + emitted
+    /// dependence edges + retirement order) for the external consistency
+    /// oracle. Defaults from `VIZ_ORACLE`. Export with
+    /// [`Runtime::recorded_history`].
+    pub record_history: bool,
 }
 
 /// The `VIZ_ANALYSIS_THREADS` default for
@@ -119,6 +126,12 @@ pub fn default_pipeline() -> bool {
     env_flag("VIZ_PIPELINE")
 }
 
+/// The `VIZ_ORACLE` default for [`RuntimeConfig::record_history`]
+/// (disabled when unset; "1"/"true" enable).
+pub fn default_record_history() -> bool {
+    env_flag("VIZ_ORACLE")
+}
+
 const DEFAULT_PIPELINE_DEPTH: usize = 256;
 
 impl RuntimeConfig {
@@ -137,6 +150,7 @@ impl RuntimeConfig {
             pipeline: default_pipeline(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             intern: None,
+            record_history: default_record_history(),
         }
     }
 
@@ -201,21 +215,9 @@ impl RuntimeConfig {
         self
     }
 
-    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
-    pub fn auto_trace_min_len(mut self, n: u32) -> Self {
-        self.auto_trace.min_len = n.max(1);
-        self
-    }
-
-    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
-    pub fn auto_trace_max_len(mut self, n: u32) -> Self {
-        self.auto_trace.max_len = n.max(1);
-        self
-    }
-
-    #[deprecated(note = "use `auto_trace_config(AutoTraceConfig { .. })`")]
-    pub fn auto_trace_confidence(mut self, n: u32) -> Self {
-        self.auto_trace.confidence = n.max(2);
+    /// Toggle launch-history recording for the consistency oracle.
+    pub fn record_history(mut self, on: bool) -> Self {
+        self.record_history = on;
         self
     }
 }
@@ -293,6 +295,9 @@ pub(crate) struct Core {
     pub(crate) dag: TaskDag,
     pub(crate) tracing: Tracing,
     pub(crate) analysis_threads: usize,
+    /// Launch-history recording for the consistency oracle (`None` when
+    /// [`RuntimeConfig::record_history`] is off — zero cost).
+    pub(crate) recorder: Option<HistoryRecorder>,
 }
 
 impl Core {
@@ -324,8 +329,19 @@ impl Core {
                 // instance's shift is applied lazily by readers.
                 self.machine.op(origin, viz_sim::Op::Memo);
                 self.analysis_done.push(self.machine.now(origin));
-                self.dag
-                    .push(result.deps.iter().map(|d| shift.apply(*d)).collect());
+                let deps: Vec<TaskId> = result.deps.iter().map(|d| shift.apply(*d)).collect();
+                if let Some(rec) = &mut self.recorder {
+                    rec.commit(
+                        id,
+                        &launch.name,
+                        launch.node,
+                        &launch.reqs,
+                        &deps,
+                        true,
+                        false,
+                    );
+                }
+                self.dag.push(deps);
                 StoredResult::Shared { result, shift }
             }
             TraceAction::Analyze { record } => {
@@ -361,6 +377,17 @@ impl Core {
                 // move onto its latest replay.
                 self.tracing.rebase_result(&mut result);
                 self.analysis_done.push(self.machine.now(origin));
+                if let Some(rec) = &mut self.recorder {
+                    rec.commit(
+                        id,
+                        &launch.name,
+                        launch.node,
+                        &launch.reqs,
+                        &result.deps,
+                        false,
+                        false,
+                    );
+                }
                 self.dag.push(result.deps.clone());
                 if record {
                     // Capturing: the template shares the result with the
@@ -493,6 +520,7 @@ impl Core {
             let analysis_done = &mut self.analysis_done;
             let dag = &mut self.dag;
             let tracing = &self.tracing;
+            let recorder = &mut self.recorder;
             let batch_ref = &batch;
             crate::exec::scan_batch(
                 engine,
@@ -526,6 +554,17 @@ impl Core {
                     }
                     tracing.rebase_result(&mut result);
                     analysis_done.push(machine.now(origin));
+                    if let Some(rec) = recorder.as_mut() {
+                        rec.commit(
+                            launch.id,
+                            &launch.name,
+                            launch.node,
+                            &launch.reqs,
+                            &result.deps,
+                            false,
+                            false,
+                        );
+                    }
                     dag.push(result.deps.clone());
                     results.push(StoredResult::Owned(result));
                 },
@@ -546,6 +585,9 @@ impl Core {
         let origin = self.shards.origin(0);
         self.machine.op(origin, viz_sim::Op::LaunchOverhead);
         self.analysis_done.push(self.machine.now(origin));
+        if let Some(rec) = &mut self.recorder {
+            rec.commit(id, "fence", 0, &[], &deps, false, true);
+        }
         self.dag.push(deps.clone());
         self.results.push(StoredResult::Owned(AnalysisResult {
             deps,
@@ -660,6 +702,7 @@ impl Runtime {
                     .then(|| AutoTracer::new(&config.auto_trace)),
             ),
             analysis_threads: config.analysis_threads,
+            recorder: config.record_history.then(HistoryRecorder::new),
         }));
         let pipeline = config.pipeline.then(|| {
             Pipeline::spawn(
@@ -701,6 +744,22 @@ impl Runtime {
         }
     }
 
+    /// Forest read access for the submit path: a poisoned lock (a panic on
+    /// the driver or a worker) becomes a typed error instead of a second
+    /// panic on the application thread.
+    fn forest_read(&self) -> Result<RwLockReadGuard<'_, RegionForest>, RuntimeError> {
+        self.forest.read().map_err(|_| RuntimeError::Poisoned {
+            what: "region forest",
+        })
+    }
+
+    /// Core write access for the commit path, same poisoning contract.
+    fn core_write(&self) -> Result<RwLockWriteGuard<'_, Core>, RuntimeError> {
+        self.core
+            .write()
+            .map_err(|_| RuntimeError::Poisoned { what: "core" })
+    }
+
     // ------------------------------------------------------------------
     // Region model access
     // ------------------------------------------------------------------
@@ -739,7 +798,7 @@ impl Runtime {
         f: impl Fn(Point) -> Value + Send + Sync + 'static,
     ) -> Result<(), RuntimeError> {
         {
-            let forest = self.forest.read().unwrap();
+            let forest = self.forest_read()?;
             if root.0 as usize >= forest.num_regions() {
                 return Err(RuntimeError::UnknownRegion { region: root });
             }
@@ -754,38 +813,28 @@ impl Runtime {
         Ok(())
     }
 
-    #[deprecated(note = "use `try_set_initial` (returns `Result` instead of panicking)")]
-    pub fn set_initial(
-        &mut self,
-        root: RegionId,
-        field: FieldId,
-        f: impl Fn(Point) -> Value + Send + Sync + 'static,
-    ) {
-        self.try_set_initial(root, field, f)
-            .unwrap_or_else(|e| panic!("{e}"));
-    }
-
     // ------------------------------------------------------------------
     // Submission
     // ------------------------------------------------------------------
 
     /// Submit one launch: the single entry point every other submission
-    /// spelling ([`Runtime::launch`], [`Runtime::submit_batch`],
-    /// [`LaunchBuilder`], [`Runtime::inline_read`], index launches) is
-    /// sugar over. The spec is validated and snapshotted on the calling
-    /// thread; analysis runs inline (synchronous mode) or on the pipeline
-    /// driver. Never drains; blocks only on queue backpressure.
+    /// spelling ([`Runtime::submit_batch`], [`LaunchBuilder`],
+    /// [`Runtime::inline_read`], index launches) is sugar over. The spec
+    /// is validated and snapshotted on the calling thread; analysis runs
+    /// inline (synchronous mode) or on the pipeline driver. Never drains;
+    /// blocks only on queue backpressure.
     pub fn submit(&mut self, spec: LaunchSpec) -> Result<TaskHandle, RuntimeError> {
         if self.validate_launches {
-            validate_spec(&self.forest.read().unwrap(), &spec.reqs)?;
+            let forest = self.forest_read()?;
+            validate_spec(&forest, &spec.reqs)?;
         }
         let seq = self.submitted;
         self.submitted += 1;
         match &self.pipeline {
             Some(p) => p.enqueue(spec),
             None => {
-                let forest = self.forest.read().unwrap();
-                let id = self.core.write().unwrap().launch_one(spec, &forest);
+                let forest = self.forest_read()?;
+                let id = self.core_write()?.launch_one(spec, &forest);
                 debug_assert_eq!(id.0, seq);
             }
         }
@@ -802,7 +851,7 @@ impl Runtime {
         specs: Vec<LaunchSpec>,
     ) -> Result<Vec<TaskHandle>, RuntimeError> {
         if self.validate_launches {
-            let forest = self.forest.read().unwrap();
+            let forest = self.forest_read()?;
             for s in &specs {
                 validate_spec(&forest, &s.reqs)?;
             }
@@ -813,8 +862,8 @@ impl Runtime {
         match &self.pipeline {
             Some(p) => p.enqueue_all(specs),
             None => {
-                let forest = self.forest.read().unwrap();
-                self.core.write().unwrap().run_specs(specs, &forest);
+                let forest = self.forest_read()?;
+                self.core_write()?.run_specs(specs, &forest);
             }
         }
         Ok((0..n).map(|k| TaskHandle { seq: base + k }).collect())
@@ -856,34 +905,6 @@ impl Runtime {
         self.pipeline.is_some()
     }
 
-    /// Launch a task: privileges + regions in, dependences + plan out.
-    #[deprecated(
-        note = "use `submit(LaunchSpec::new(..))` or the `task(name)` builder \
-                (returns `Result` instead of panicking)"
-    )]
-    pub fn launch(
-        &mut self,
-        name: impl Into<String>,
-        node: NodeId,
-        reqs: Vec<RegionRequirement>,
-        duration_ns: u64,
-        body: Option<TaskBody>,
-    ) -> TaskId {
-        self.submit(LaunchSpec::new(name, node, reqs, duration_ns, body))
-            .unwrap_or_else(|e| panic!("{e}"))
-            .id()
-    }
-
-    /// Launch a *batch* of tasks through the sharded analysis driver.
-    #[deprecated(note = "use `submit_batch` (returns `Result` instead of panicking)")]
-    pub fn run_batch(&mut self, items: Vec<LaunchSpec>) -> Vec<TaskId> {
-        self.submit_batch(items)
-            .unwrap_or_else(|e| panic!("{e}"))
-            .into_iter()
-            .map(TaskHandle::id)
-            .collect()
-    }
-
     // ------------------------------------------------------------------
     // Tracing
     // ------------------------------------------------------------------
@@ -907,19 +928,10 @@ impl Runtime {
     /// is a [`RuntimeError`]. A drain point.
     pub fn try_end_trace(&mut self, id: u32) -> Result<Option<TraceViolation>, RuntimeError> {
         self.drain();
+        let forest = self.forest.read().unwrap();
         let mut core = self.core.write().unwrap();
         let next = core.launches.len() as u32;
-        core.tracing.end(TraceId(id), next)
-    }
-
-    #[deprecated(note = "use `try_begin_trace` (returns `Result` instead of panicking)")]
-    pub fn begin_trace(&mut self, id: u32) {
-        self.try_begin_trace(id).unwrap_or_else(|e| panic!("{e}"));
-    }
-
-    #[deprecated(note = "use `try_end_trace` (returns `Result` instead of panicking)")]
-    pub fn end_trace(&mut self, id: u32) -> Option<TraceViolation> {
-        self.try_end_trace(id).unwrap_or_else(|e| panic!("{e}"))
+        core.tracing.end(TraceId(id), next, &forest)
     }
 
     /// Is the runtime currently replaying a recorded trace?
@@ -999,16 +1011,20 @@ impl Runtime {
     /// materialized values are available from the store under the returned
     /// id. (Legion calls these inline mappings.) A submission, not a drain
     /// point: it observes every earlier launch through FIFO order.
-    pub fn inline_read(&mut self, region: RegionId, field: FieldId) -> TaskId {
-        self.submit(LaunchSpec::new(
-            "inline-read",
-            0,
-            vec![RegionRequirement::read(region, field)],
-            0,
-            None,
-        ))
-        .unwrap_or_else(|e| panic!("{e}"))
-        .id()
+    pub fn inline_read(
+        &mut self,
+        region: RegionId,
+        field: FieldId,
+    ) -> Result<TaskId, RuntimeError> {
+        Ok(self
+            .submit(LaunchSpec::new(
+                "inline-read",
+                0,
+                vec![RegionRequirement::read(region, field)],
+                0,
+                None,
+            ))?
+            .id())
     }
 
     // ------------------------------------------------------------------
@@ -1114,6 +1130,17 @@ impl Runtime {
         self.drain();
         self.core.read().unwrap().analysis_done[t.index()]
     }
+
+    /// Snapshot the recorded launch history for the consistency oracle
+    /// (`None` unless [`RuntimeConfig::record_history`] / `VIZ_ORACLE` was
+    /// set). A drain point: the snapshot covers every launch submitted so
+    /// far, in commit order.
+    pub fn recorded_history(&self) -> Option<RecordedHistory> {
+        self.drain();
+        let core = self.core.read().unwrap();
+        let engine = core.engine.name();
+        core.recorder.as_ref().map(|r| r.snapshot(engine))
+    }
 }
 
 /// Builder sugar over [`Runtime::submit`]:
@@ -1168,7 +1195,6 @@ impl LaunchBuilder<'_> {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // deprecated-wrapper allowlist (PR 4): migrate in PR 5
 mod tests {
     use super::*;
 
@@ -1177,35 +1203,50 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 10);
         let f = rt.forest_mut().add_field(root, "v");
-        let t0 = rt.launch(
-            "w",
-            0,
-            vec![RegionRequirement::read_write(root, f)],
-            100,
-            None,
-        );
-        let t1 = rt.launch("r", 0, vec![RegionRequirement::read(root, f)], 100, None);
+        let t0 = rt
+            .submit(LaunchSpec::new(
+                "w",
+                0,
+                vec![RegionRequirement::read_write(root, f)],
+                100,
+                None,
+            ))
+            .unwrap()
+            .id();
+        let t1 = rt
+            .submit(LaunchSpec::new(
+                "r",
+                0,
+                vec![RegionRequirement::read(root, f)],
+                100,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert_eq!(rt.num_tasks(), 2);
         assert_eq!(rt.dag().preds(t1), &[t0]);
         assert!(rt.analysis_done(t1) >= rt.analysis_done(t0));
     }
 
     #[test]
-    #[should_panic(expected = "alias with interfering")]
-    fn aliasing_requirements_with_interference_panic() {
+    fn aliasing_requirements_with_interference_rejected() {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 10);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.launch(
-            "bad",
-            0,
-            vec![
-                RegionRequirement::read_write(root, f),
-                RegionRequirement::read(root, f),
-            ],
-            0,
-            None,
-        );
+        let err = rt
+            .submit(LaunchSpec::new(
+                "bad",
+                0,
+                vec![
+                    RegionRequirement::read_write(root, f),
+                    RegionRequirement::read(root, f),
+                ],
+                0,
+                None,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InterferingRequirements { .. }));
+        assert!(err.to_string().contains("alias with interfering"));
     }
 
     #[test]
@@ -1213,7 +1254,7 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 10);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "ok",
             0,
             vec![
@@ -1222,7 +1263,8 @@ mod tests {
             ],
             0,
             None,
-        );
+        ))
+        .unwrap();
     }
 
     #[test]
@@ -1230,7 +1272,7 @@ mod tests {
         let mut rt = Runtime::single_node(EngineKind::PaintNaive);
         let root = rt.forest_mut().create_root_1d("A", 10);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "ok",
             0,
             vec![
@@ -1239,7 +1281,29 @@ mod tests {
             ],
             0,
             None,
-        );
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn recorded_history_captures_reqs_deps_and_fences() {
+        let cfg = RuntimeConfig::new(EngineKind::PaintNaive).record_history(true);
+        let mut rt = Runtime::new(cfg);
+        let root = rt.forest_mut().create_root_1d("A", 10);
+        let f = rt.forest_mut().add_field(root, "v");
+        let t0 = rt.task("w").write(root, f).submit().unwrap().id();
+        let t1 = rt.task("r").read(root, f).submit().unwrap().id();
+        let fence = rt.fence();
+        let h = rt.recorded_history().expect("recording enabled");
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.retirement, vec![t0, t1, fence]);
+        assert_eq!(h.launches[1].deps, vec![t0]);
+        assert!(h.launches[2].fence);
+        assert_eq!(h.launches[2].deps, vec![t0, t1]);
+        assert!(!h.launches[1].replayed);
+        // Off by default: no recorder, no history.
+        let rt2 = Runtime::single_node(EngineKind::PaintNaive);
+        assert!(rt2.recorded_history().is_none());
     }
 
     #[test]

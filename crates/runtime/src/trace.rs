@@ -228,6 +228,16 @@ pub(crate) struct Tracing {
     /// `start..end` move by `shift` (the distance from the recorded
     /// instance to its last replayed one).
     rebases: Vec<(u32, u32, u32)>,
+    /// Replays cut short leave a soundness hazard the rebase map cannot
+    /// express: the engine's frozen state references the *unreplayed
+    /// suffix* of the recorded window, whose entries superseded the
+    /// replayed prefix's reads and writes. A later raw reference into
+    /// `suffix_lo..suffix_hi` (recorded ids, checked before rebasing)
+    /// orders the launch after the previous instance but not after the
+    /// aborted instance's prefix — so it must additionally depend on
+    /// `prefix_lo..prefix_hi` (the replayed tasks of that instance).
+    /// Entries: `(suffix_lo, suffix_hi, prefix_lo, prefix_hi)`.
+    hazards: Vec<(u32, u32, u32, u32)>,
     /// Every violation observed, in program order.
     violations: Vec<TraceViolation>,
     /// Launches synthesized from templates (statistics).
@@ -638,6 +648,12 @@ impl Tracing {
                 t.base + active.cursor,
                 active.base - t.base,
             );
+            self.hazards.push((
+                t.base + active.cursor,
+                t.base + t.len(),
+                active.base,
+                active.base + active.cursor,
+            ));
         }
         let st = self.states.get_mut(&active.id).unwrap();
         st.template = None;
@@ -664,6 +680,12 @@ impl Tracing {
                         analyzed + active.cursor,
                         active.base - analyzed,
                     );
+                    self.hazards.push((
+                        analyzed + active.cursor,
+                        analyzed + t.len(),
+                        active.base,
+                        active.base + active.cursor,
+                    ));
                 }
             }
         }
@@ -699,6 +721,7 @@ impl Tracing {
         &mut self,
         id: TraceId,
         next_task: u32,
+        forest: &RegionForest,
     ) -> Result<Option<TraceViolation>, RuntimeError> {
         let Some(active) = self.active.take() else {
             return Err(RuntimeError::EndWithoutBegin { requested: id });
@@ -727,6 +750,14 @@ impl Tracing {
                     // Only the replayed prefix moves onto this instance;
                     // the suffix keeps its previous mapping.
                     push_rebase(&mut self.rebases, t_base, t_base + active.cursor, shift);
+                    if active.cursor > 0 {
+                        self.hazards.push((
+                            t_base + active.cursor,
+                            t_base + len,
+                            active.base,
+                            active.base + active.cursor,
+                        ));
+                    }
                     st.template = None;
                     st.instances = 0;
                     self.violations.push(v.clone());
@@ -739,11 +770,25 @@ impl Tracing {
                 st.instances += 1;
             }
             Mode::Capture => {
-                st.template = Some(Template {
-                    base: active.base,
-                    entries: active.recording,
-                });
-                st.instances += 1;
+                if instance_is_self_superseding(&active.recording, forest) {
+                    st.template = Some(Template {
+                        base: active.base,
+                        entries: active.recording,
+                    });
+                    st.instances += 1;
+                } else {
+                    // Replay freezes the engine's state, which is only
+                    // sound when each instance fully supersedes its
+                    // predecessor (same condition auto promotion checks).
+                    // This instance leaves entries that accumulate across
+                    // iterations — reads of data the loop never overwrites,
+                    // unflushed reductions — and a later interfering task
+                    // would need a dependence on *every* instance's copy,
+                    // which the shift-rebase cannot synthesize. Decline the
+                    // template: the annotation is a hint, and analysis
+                    // keeps running (the next instance re-auditions).
+                    st.template = None;
+                }
             }
             Mode::Warmup => {
                 if active.demoted {
@@ -763,8 +808,18 @@ impl Tracing {
     /// references into a recorded instance move onto its last replay.
     /// Binary search over the sorted interval map.
     pub fn rebase_result(&self, result: &mut AnalysisResult) {
-        if self.rebases.is_empty() {
+        if self.rebases.is_empty() && self.hazards.is_empty() {
             return;
+        }
+        // Hazard expansion first: it keys on the *raw* recorded ids, which
+        // the rebase map is about to translate away.
+        let mut extra: Vec<TaskId> = Vec::new();
+        for d in &result.deps {
+            for &(slo, shi, plo, phi) in &self.hazards {
+                if d.0 >= slo && d.0 < shi {
+                    extra.extend((plo..phi).map(TaskId));
+                }
+            }
         }
         let shift = |t: &mut TaskId| {
             let idx = self.rebases.partition_point(|r| r.1 <= t.0);
@@ -785,6 +840,11 @@ impl Tracing {
             }
             for r in &mut plan.reductions {
                 shift(&mut r.task);
+            }
+        }
+        for e in extra {
+            if !result.deps.contains(&e) {
+                result.deps.push(e);
             }
         }
     }

@@ -3,14 +3,12 @@
 //! equivalence sets under the newly dominant subtree — without changing
 //! any analysis results.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::analysis::raycast::RayCast;
 use viz_runtime::validate::check_sufficiency;
 use viz_runtime::{
-    CoherenceEngine, EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+    CoherenceEngine, EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime,
+    RuntimeConfig,
 };
 
 /// Two different disjoint-and-complete tilings of the same region.
@@ -45,25 +43,29 @@ fn program(
     for round in 0..3 {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("p{round}"),
                 0,
                 vec![RegionRequirement::read_write(piece, f)],
                 0,
                 Some(body(1.0)),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
     for round in 0..10 {
         for i in 0..6 {
             let piece = rt.forest().subregion(q, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("q{round}"),
                 0,
                 vec![RegionRequirement::read_write(piece, f)],
                 0,
                 Some(body(10.0)),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
 }
@@ -74,7 +76,7 @@ fn shifting_preserves_results() {
     let mut rt_ref = Runtime::single_node(EngineKind::PaintNaive);
     let (root_r, f_r, p_r, q_r) = build(&mut rt_ref);
     program(&mut rt_ref, p_r, q_r, f_r);
-    let probe_r = rt_ref.inline_read(root_r, f_r);
+    let probe_r = rt_ref.inline_read(root_r, f_r).unwrap();
     let expect: Vec<f64> = rt_ref
         .execute_values()
         .inline(probe_r)
@@ -86,7 +88,7 @@ fn shifting_preserves_results() {
     let mut rt = Runtime::with_engine(RuntimeConfig::new(EngineKind::RayCast), engine);
     let (root, f, p, q) = build(&mut rt);
     program(&mut rt, p, q, f);
-    let probe = rt.inline_read(root, f);
+    let probe = rt.inline_read(root, f).unwrap();
     assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     let got: Vec<f64> = rt
         .execute_values()
@@ -154,26 +156,30 @@ fn no_shift_when_usage_is_mixed() {
     for round in 0..6 {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "p",
                 0,
                 vec![RegionRequirement::read_write(piece, f)],
                 0,
                 Some(body(1.0)),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         for i in 0..6 {
             let piece = rt.forest().subregion(q, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("q{round}"),
                 0,
                 vec![RegionRequirement::read_write(piece, f)],
                 0,
                 Some(body(2.0)),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
-    let probe = rt.inline_read(root, f);
+    let probe = rt.inline_read(root, f).unwrap();
     assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     let vals = rt.execute_values();
     let v = vals.inline(probe);

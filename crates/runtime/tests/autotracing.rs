@@ -8,9 +8,6 @@
 //! streams that look periodic to a hash but differ somewhere — must never
 //! be promoted.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point, Rect};
@@ -112,7 +109,8 @@ fn setup_regions(
         })
         .collect();
     let g = rt.forest_mut().create_partition(root, "G", ghosts);
-    rt.set_initial(root, field, |pt| (pt.x % 17) as f64);
+    rt.try_set_initial(root, field, |pt| (pt.x % 17) as f64)
+        .unwrap();
     let mut regions = Vec::new();
     for k in 0..PIECES {
         regions.push(rt.forest().subregion(p, k));
@@ -184,13 +182,21 @@ fn run_program(
         .map(|(i, l)| spec_of(l, i, &regions, field))
         .collect();
     if batched {
-        rt.run_batch(specs);
+        rt.submit_batch(specs).unwrap();
     } else {
         for s in specs {
-            rt.launch(s.name, s.node, s.reqs, s.duration_ns, s.body);
+            rt.submit(LaunchSpec::new(
+                s.name,
+                s.node,
+                s.reqs,
+                s.duration_ns,
+                s.body,
+            ))
+            .unwrap()
+            .id();
         }
     }
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
     assert!(
         violations.is_empty(),
@@ -350,13 +356,21 @@ fn fences_break_detected_periodicity() {
                 salt: 7,
             };
             let s = spec_of(&l, iter * PIECES + k, &regions, field);
-            rt.launch(s.name, s.node, s.reqs, s.duration_ns, s.body);
+            rt.submit(LaunchSpec::new(
+                s.name,
+                s.node,
+                s.reqs,
+                s.duration_ns,
+                s.body,
+            ))
+            .unwrap()
+            .id();
         }
         rt.fence();
     }
     assert_eq!(rt.auto_traces_detected(), 0, "fenced loop must not promote");
     assert_eq!(rt.replayed_launches(), 0);
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     let _ = rt.execute_values();
     let _ = probe;
@@ -372,7 +386,7 @@ fn manual_trace_supersedes_auto_trace() {
         let mut i = 0;
         for _ in 0..6 {
             if manual {
-                rt.begin_trace(9);
+                rt.try_begin_trace(9).unwrap();
             }
             for k in 0..PIECES {
                 let l = AbsLaunch {
@@ -381,14 +395,22 @@ fn manual_trace_supersedes_auto_trace() {
                     salt: 5,
                 };
                 let s = spec_of(&l, i, &regions, field);
-                rt.launch(s.name, s.node, s.reqs, s.duration_ns, s.body);
+                rt.submit(LaunchSpec::new(
+                    s.name,
+                    s.node,
+                    s.reqs,
+                    s.duration_ns,
+                    s.body,
+                ))
+                .unwrap()
+                .id();
                 i += 1;
             }
             if manual {
-                rt.end_trace(9);
+                rt.try_end_trace(9).unwrap();
             }
         }
-        let probe = rt.inline_read(root, field);
+        let probe = rt.inline_read(root, field).unwrap();
         assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
         let store = rt.execute_values();
         (0..N)

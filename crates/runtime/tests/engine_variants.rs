@@ -1,14 +1,12 @@
 //! Tests for the ablation engine variants: they must be *functionally
 //! identical* to their parents — only the cost/message profile differs.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::analysis::{raycast::RayCast, warnock::Warnock};
 use viz_runtime::validate::check_sufficiency;
 use viz_runtime::{
-    CoherenceEngine, EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+    CoherenceEngine, EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime,
+    RuntimeConfig,
 };
 
 /// Drive a ghost-exchange loop through a custom engine; return final values
@@ -30,11 +28,11 @@ fn run(engine: Box<dyn CoherenceEngine>, nodes: usize) -> (Vec<f64>, usize) {
             })
             .collect(),
     );
-    rt.set_initial(root, f, |p| p.x as f64);
+    rt.try_set_initial(root, f, |p| p.x as f64).unwrap();
     for iter in 0..3 {
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("w{iter}"),
                 i % nodes,
                 vec![RegionRequirement::read_write(piece, f)],
@@ -42,11 +40,13 @@ fn run(engine: Box<dyn CoherenceEngine>, nodes: usize) -> (Vec<f64>, usize) {
                 Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|_, v| v + 1.0);
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         for i in 0..4 {
             let ghost = rt.forest().subregion(g, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 format!("r{iter}"),
                 i % nodes,
                 vec![RegionRequirement::reduce(
@@ -61,10 +61,12 @@ fn run(engine: Box<dyn CoherenceEngine>, nodes: usize) -> (Vec<f64>, usize) {
                         rs[0].reduce(pt, 2.0);
                     }
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
-    let probe = rt.inline_read(root, f);
+    let probe = rt.inline_read(root, f).unwrap();
     assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     let edges = rt.dag().edge_count();
     let store = rt.execute_values();

@@ -1,10 +1,7 @@
 //! Execution fences: everything before a fence precedes it; a fence joins
 //! all concurrency.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
-use viz_runtime::{EngineKind, RegionRequirement, Runtime, TaskId};
+use viz_runtime::{EngineKind, LaunchSpec, RegionRequirement, Runtime, TaskId};
 
 #[test]
 fn fence_depends_on_everything_prior() {
@@ -14,13 +11,15 @@ fn fence_depends_on_everything_prior() {
     let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
     for i in 0..4 {
         let piece = rt.forest().subregion(p, i);
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "w",
             0,
             vec![RegionRequirement::read_write(piece, f)],
             10,
             None,
-        );
+        ))
+        .unwrap()
+        .id();
     }
     let fence = rt.fence();
     assert_eq!(rt.dag().preds(fence).len(), 4);

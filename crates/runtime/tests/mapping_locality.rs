@@ -3,12 +3,11 @@
 //! and dependence graphs, while the simulated communication volume reflects
 //! the locality of the placement.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use viz_runtime::mapper::{Blocked, Mapper, RoundRobin, Scattered, SingleNode};
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 fn run_with_mapper(mapper: &dyn Mapper, nodes: usize) -> (Vec<f64>, usize, u64, u64) {
     let pieces = 8usize;
@@ -33,12 +32,12 @@ fn run_with_mapper(mapper: &dyn Mapper, nodes: usize) -> (Vec<f64>, usize, u64, 
             })
             .collect(),
     );
-    rt.set_initial(root, f, |pt| pt.x as f64);
+    rt.try_set_initial(root, f, |pt| pt.x as f64).unwrap();
     for _iter in 0..3 {
         for i in 0..pieces {
             let piece = rt.forest().subregion(p, i);
             let halo = rt.forest().subregion(g, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "step",
                 mapper.place(i, pieces, nodes),
                 vec![
@@ -75,10 +74,12 @@ fn run_with_mapper(mapper: &dyn Mapper, nodes: usize) -> (Vec<f64>, usize, u64, 
                         w[0].set(pt, v + (left + right) * 0.25);
                     }
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
-    let probe = rt.inline_read(root, f);
+    let probe = rt.inline_read(root, f).unwrap();
     let edges = rt.dag().edge_count();
     let report = rt.timed_schedule();
     let makespan = report.makespan;

@@ -183,7 +183,7 @@ fn run_program(
             .expect("generated launches are valid");
         assert_eq!(h.id(), TaskId(i as u32), "handles are program-ordered");
     }
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
     assert!(
         violations.is_empty(),
@@ -302,7 +302,7 @@ fn inline_read_observes_queued_writes() {
         };
         rt.submit(spec_of(&l, i, &regions, field)).unwrap();
     }
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     let store = rt.execute_values();
     // Reference: the same program, synchronous.
     let mut rt2 = build_runtime(EngineKind::Warnock, false, 1, false);
@@ -315,7 +315,7 @@ fn inline_read_observes_queued_writes() {
         };
         rt2.submit(spec_of(&l, i, &regions2, field2)).unwrap();
     }
-    let probe2 = rt2.inline_read(root2, field2);
+    let probe2 = rt2.inline_read(root2, field2).unwrap();
     let store2 = rt2.execute_values();
     for x in 0..N {
         assert_eq!(
@@ -347,7 +347,7 @@ fn manual_traces_drain_and_replay_pipelined() {
             }
             rt.try_end_trace(7).expect("trace 7 is open");
         }
-        let probe = rt.inline_read(root, field);
+        let probe = rt.inline_read(root, field).unwrap();
         let replayed = rt.replayed_launches();
         let store = rt.execute_values();
         let values = (0..N)
@@ -545,7 +545,7 @@ fn handles_are_program_ordered_across_spellings() {
         .submit()
         .unwrap();
     let f = rt.fence();
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     assert_eq!(h0.id(), TaskId(0));
     assert_eq!(
         hs.iter().map(|h| h.id()).collect::<Vec<_>>(),

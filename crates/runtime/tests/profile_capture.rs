@@ -2,12 +2,11 @@
 //! threads, the analysis engines, and the simulated machine all record into
 //! per-thread rings, and one `take()` collects everything.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use viz_profile::{EventKind, Track};
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 /// One end-to-end run: analyze on 4 simulated nodes, execute values on the
 /// worker pool, replay the timed schedule. A single test (the recorder's
@@ -25,7 +24,7 @@ fn recorder_collects_across_executor_threads_and_sim_tracks() {
     for _iter in 0..4 {
         for i in 0..8usize {
             let piece = rt.forest().subregion(p, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "w",
                 i % 4,
                 vec![RegionRequirement::read_write(piece, f)],
@@ -33,16 +32,20 @@ fn recorder_collects_across_executor_threads_and_sim_tracks() {
                 Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|pt, old| old + pt.x as f64);
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
             launched += 1;
         }
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "sync",
             0,
             vec![RegionRequirement::read(root, f)],
             1_000,
             None,
-        );
+        ))
+        .unwrap()
+        .id();
         launched += 1;
     }
     let _store = rt.execute_values();

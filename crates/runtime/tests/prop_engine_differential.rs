@@ -10,15 +10,14 @@
 //! 2. the dependence DAG must order every interfering pair (transitively);
 //! 3. all engines must agree with each other.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point, Rect};
 use viz_region::{Privilege, RedOpRegistry};
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 const N: i64 = 48;
 const PIECES: usize = 4;
@@ -89,7 +88,8 @@ fn run_config(
         })
         .collect();
     let g = rt.forest_mut().create_partition(root, "G", ghosts);
-    rt.set_initial(root, field, |pt| (pt.x % 17) as f64);
+    rt.try_set_initial(root, field, |pt| (pt.x % 17) as f64)
+        .unwrap();
 
     for (i, l) in launches.iter().enumerate() {
         let region = match l.target {
@@ -139,16 +139,18 @@ fn run_config(
             ),
         };
         let node = i % nodes;
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             format!("t{i}"),
             node,
             vec![RegionRequirement::new(region, field, privilege)],
             100,
             Some(body),
-        );
+        ))
+        .unwrap()
+        .id();
     }
 
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     // Soundness: every interfering pair must be ordered.
     let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
     assert!(

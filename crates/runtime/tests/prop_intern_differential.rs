@@ -8,13 +8,14 @@
 //! The configurations are pinned through [`RuntimeConfig::intern`] rather
 //! than the environment so both modes run in one process.
 
-#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, InternConfig, Point, Rect};
 use viz_region::{Privilege, RedOpRegistry};
 use viz_runtime::plan::AnalysisResult;
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 const N: i64 = 48;
 const PIECES: usize = 4;
@@ -87,7 +88,8 @@ fn run_config(
         })
         .collect();
     let g = rt.forest_mut().create_partition(root, "G", ghosts);
-    rt.set_initial(root, field, |pt| (pt.x % 17) as f64);
+    rt.try_set_initial(root, field, |pt| (pt.x % 17) as f64)
+        .unwrap();
 
     for (i, l) in launches.iter().enumerate() {
         let region = match l.target {
@@ -134,16 +136,18 @@ fn run_config(
                 }),
             ),
         };
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             format!("t{i}"),
             i % 2,
             vec![RegionRequirement::new(region, field, privilege)],
             100,
             Some(body),
-        );
+        ))
+        .unwrap()
+        .id();
     }
 
-    let probe = rt.inline_read(root, field);
+    let probe = rt.inline_read(root, field).unwrap();
     let results = rt.results();
     let store = rt.execute_values();
     let vals: Vec<f64> = (0..N)

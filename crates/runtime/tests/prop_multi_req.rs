@@ -3,15 +3,14 @@
 //! reduction privilege on another (possibly on different fields), plus
 //! cross-field and cross-tree traffic.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Rect};
 use viz_region::RedOpRegistry;
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 const N: i64 = 36;
 const PIECES: usize = 3;
@@ -60,15 +59,16 @@ fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch
         })
         .collect();
     let g = rt.forest_mut().create_partition(root, "G", ghosts);
-    rt.set_initial(root, up, |pt| pt.x as f64);
-    rt.set_initial(root, down, |pt| (pt.x * 2) as f64);
+    rt.try_set_initial(root, up, |pt| pt.x as f64).unwrap();
+    rt.try_set_initial(root, down, |pt| (pt.x * 2) as f64)
+        .unwrap();
 
     for (i, l) in launches.iter().enumerate() {
         let piece = rt.forest().subregion(p, l.piece);
         let ghost = rt.forest().subregion(g, l.ghost);
         let (wf, rf) = if l.flip { (down, up) } else { (up, down) };
         let salt = l.salt as f64 + i as f64;
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             format!("t{i}"),
             i % nodes,
             vec![
@@ -83,10 +83,12 @@ fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch
                     rs[1].reduce(pt, ((salt as i64 + pt.x) % 11) as f64);
                 }
             })),
-        );
+        ))
+        .unwrap()
+        .id();
     }
-    let probe_up = rt.inline_read(root, up);
-    let probe_down = rt.inline_read(root, down);
+    let probe_up = rt.inline_read(root, up).unwrap();
+    let probe_down = rt.inline_read(root, down).unwrap();
     let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
     assert!(
         violations.is_empty(),

@@ -4,15 +4,14 @@
 //! histories, Warnock's refinement cascades, and ray casting's anchor
 //! selection through multi-level trees.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use proptest::prelude::*;
 use std::sync::Arc;
 use viz_geometry::{IndexSpace, Point};
 use viz_region::RegionId;
 use viz_runtime::validate::check_sufficiency;
-use viz_runtime::{EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig};
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+};
 
 const N: i64 = 64;
 
@@ -85,7 +84,8 @@ fn build(rt: &mut Runtime) -> Tree {
 fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch]) -> Vec<f64> {
     let mut rt = Runtime::new(RuntimeConfig::new(engine).nodes(nodes).dcr(dcr));
     let tree = build(&mut rt);
-    rt.set_initial(tree.root, tree.f, |pt| pt.x as f64);
+    rt.try_set_initial(tree.root, tree.f, |pt| pt.x as f64)
+        .unwrap();
     for (i, l) in launches.iter().enumerate() {
         let region = match l.target {
             Target::Root => tree.root,
@@ -112,9 +112,17 @@ fn run_config(engine: EngineKind, nodes: usize, dcr: bool, launches: &[AbsLaunch
                 }),
             )
         };
-        rt.launch(format!("t{i}"), i % nodes, vec![req], 10, Some(body));
+        rt.submit(LaunchSpec::new(
+            format!("t{i}"),
+            i % nodes,
+            vec![req],
+            10,
+            Some(body),
+        ))
+        .unwrap()
+        .id();
     }
-    let probe = rt.inline_read(tree.root, tree.f);
+    let probe = rt.inline_read(tree.root, tree.f).unwrap();
     let violations = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
     assert!(
         violations.is_empty(),

@@ -1,0 +1,94 @@
+//! Regression: a launch whose *later* requirement refines (splits) an
+//! equivalence set that an *earlier* requirement of the same launch already
+//! marked for commit must not lose the earlier access. Warnock and RayCast
+//! scan all requirements of a launch before committing any of them; the
+//! split kills the marked set, and a commit that skipped dead sets dropped
+//! the access from history entirely — a later interfering launch then saw
+//! no epoch to order against. Found by the viz-oracle fuzzer (deep-trees
+//! mode); the fix forwards deferred commits to a split set's replacements.
+
+use viz_geometry::IndexSpace;
+use viz_runtime::validate::check_sufficiency;
+use viz_runtime::{EngineKind, LaunchSpec, RegionRequirement, Runtime, RuntimeConfig};
+
+#[test]
+fn same_launch_refinement_keeps_earlier_commit() {
+    for engine in [
+        EngineKind::PaintNaive,
+        EngineKind::Paint,
+        EngineKind::Warnock,
+        EngineKind::RayCast,
+    ] {
+        let mut rt = Runtime::new(RuntimeConfig::new(engine));
+        let root = rt.forest_mut().create_root_1d("A", 107);
+        let f = rt.forest_mut().add_field(root, "v");
+        let p0 = rt.forest_mut().create_partition(
+            root,
+            "P0",
+            vec![IndexSpace::span(0, 52), IndexSpace::span(53, 105)],
+        );
+        let left = rt.forest().subregion(p0, 0);
+        let right = rt.forest().subregion(p0, 1);
+        let p2 = rt.forest_mut().create_partition(
+            left,
+            "P2",
+            vec![
+                IndexSpace::span(0, 16),
+                IndexSpace::span(17, 33),
+                IndexSpace::span(34, 50),
+            ],
+        );
+        let p3 = rt.forest_mut().create_partition(
+            right,
+            "P3",
+            vec![
+                IndexSpace::span(53, 69),
+                IndexSpace::span(70, 86),
+                IndexSpace::span(87, 103),
+            ],
+        );
+        let probe = rt.forest().subregion(p3, 1);
+        let target = rt.forest().subregion(p2, 2);
+
+        // Req 0 scans the root-level set; req 1 refines it down to `probe`,
+        // splitting (and killing) the set req 0 marked.
+        let reader = rt
+            .submit(LaunchSpec::new(
+                "read",
+                0,
+                vec![
+                    RegionRequirement::read(root, f),
+                    RegionRequirement::read(probe, f),
+                ],
+                1_000,
+                None,
+            ))
+            .unwrap()
+            .id();
+        // Interferes with the root-wide read on a branch the second req
+        // never touched: only the (nearly lost) req-0 commit orders it.
+        let reducer = rt
+            .submit(LaunchSpec::new(
+                "reduce",
+                1,
+                vec![RegionRequirement::reduce(
+                    target,
+                    f,
+                    viz_region::RedOpRegistry::MAX,
+                )],
+                1_000,
+                None,
+            ))
+            .unwrap()
+            .id();
+        rt.flush();
+        assert_eq!(
+            rt.dag().preds(reducer),
+            &[reader],
+            "{engine:?}: reduce over a sibling branch must order after the \
+             root-wide read"
+        );
+        let viols = check_sufficiency(rt.forest(), rt.launches(), rt.dag());
+        assert!(viols.is_empty(), "{engine:?}: {viols:?}");
+    }
+}

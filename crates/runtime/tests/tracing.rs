@@ -2,14 +2,12 @@
 //! identical to analyzed ones, engine work must actually disappear during
 //! replay, and trace violations must be caught.
 
-// Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
-// `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use viz_region::RedOpRegistry;
 use viz_runtime::validate::check_sufficiency;
 use viz_runtime::{
-    EngineKind, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig, TraceId, ViolationKind,
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig, TraceId,
+    ViolationKind,
 };
 
 struct Loop {
@@ -41,7 +39,7 @@ fn setup(engine: EngineKind) -> Loop {
             })
             .collect(),
     );
-    rt.set_initial(root, f, |pt| pt.x as f64);
+    rt.try_set_initial(root, f, |pt| pt.x as f64).unwrap();
     Loop { rt, p, g, f, root }
 }
 
@@ -49,7 +47,7 @@ fn setup(engine: EngineKind) -> Loop {
 fn iteration(l: &mut Loop) {
     for i in 0..4 {
         let piece = l.rt.forest().subregion(l.p, i);
-        l.rt.launch(
+        l.rt.submit(LaunchSpec::new(
             "w",
             0,
             vec![RegionRequirement::read_write(piece, l.f)],
@@ -57,11 +55,13 @@ fn iteration(l: &mut Loop) {
             Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                 rs[0].update_all(|_, v| v + 1.0);
             })),
-        );
+        ))
+        .unwrap()
+        .id();
     }
     for i in 0..4 {
         let ghost = l.rt.forest().subregion(l.g, i);
-        l.rt.launch(
+        l.rt.submit(LaunchSpec::new(
             "r",
             0,
             vec![RegionRequirement::reduce(ghost, l.f, RedOpRegistry::SUM)],
@@ -72,7 +72,9 @@ fn iteration(l: &mut Loop) {
                     rs[0].reduce(pt, 2.0);
                 }
             })),
-        );
+        ))
+        .unwrap()
+        .id();
     }
 }
 
@@ -80,14 +82,14 @@ fn run_loop(engine: EngineKind, iters: usize, traced: bool) -> (Vec<f64>, u64, u
     let mut l = setup(engine);
     for _ in 0..iters {
         if traced {
-            l.rt.begin_trace(1);
+            l.rt.try_begin_trace(1).unwrap();
         }
         iteration(&mut l);
         if traced {
-            l.rt.end_trace(1);
+            l.rt.try_end_trace(1).unwrap();
         }
     }
-    let probe = l.rt.inline_read(l.root, l.f);
+    let probe = l.rt.inline_read(l.root, l.f).unwrap();
     let violations = check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag());
     assert!(
         violations.is_empty(),
@@ -118,15 +120,15 @@ fn replay_skips_the_visibility_engine() {
     let mut l = setup(EngineKind::RayCast);
     // Warm-up + capture.
     for _ in 0..2 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     let before = l.rt.machine().counters().clone();
-    l.rt.begin_trace(1);
+    l.rt.try_begin_trace(1).unwrap();
     assert!(l.rt.is_replaying(), "third instance must replay");
     iteration(&mut l);
-    l.rt.end_trace(1);
+    l.rt.try_end_trace(1).unwrap();
     let after = l.rt.machine().counters().clone();
     assert_eq!(after.geom_ops, before.geom_ops, "no geometry during replay");
     assert_eq!(
@@ -141,15 +143,15 @@ fn replay_skips_the_visibility_engine() {
 fn interleaved_launches_invalidate_the_template() {
     let mut l = setup(EngineKind::RayCast);
     for _ in 0..3 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     assert_eq!(l.rt.replayed_launches(), 8);
     // An untraced launch between instances: the template must be dropped
     // and re-captured, not replayed over changed state.
     let root = l.rt.forest().roots()[0];
-    l.rt.launch(
+    l.rt.submit(LaunchSpec::new(
         "intruder",
         0,
         vec![RegionRequirement::read_write(root, l.f)],
@@ -157,16 +159,18 @@ fn interleaved_launches_invalidate_the_template() {
         Some(Arc::new(|rs: &mut [PhysicalRegion]| {
             rs[0].update_all(|_, v| v * 2.0);
         })),
-    );
+    ))
+    .unwrap()
+    .id();
     let replayed_before = l.rt.replayed_launches();
     for _ in 0..3 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     // Re-capture costs two instances; only the third replays.
     assert_eq!(l.rt.replayed_launches(), replayed_before + 8);
-    let probe = l.rt.inline_read(l.root, l.f);
+    let probe = l.rt.inline_read(l.root, l.f).unwrap();
     assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
     let store = l.rt.execute_values();
     // Cross-check against an untraced run of the same program.
@@ -175,19 +179,22 @@ fn interleaved_launches_invalidate_the_template() {
         iteration(&mut l2);
     }
     let root2 = l2.rt.forest().roots()[0];
-    l2.rt.launch(
-        "intruder",
-        0,
-        vec![RegionRequirement::read_write(root2, l2.f)],
-        0,
-        Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-            rs[0].update_all(|_, v| v * 2.0);
-        })),
-    );
+    l2.rt
+        .submit(LaunchSpec::new(
+            "intruder",
+            0,
+            vec![RegionRequirement::read_write(root2, l2.f)],
+            0,
+            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                rs[0].update_all(|_, v| v * 2.0);
+            })),
+        ))
+        .unwrap()
+        .id();
     for _ in 0..3 {
         iteration(&mut l2);
     }
-    let probe2 = l2.rt.inline_read(l2.root, l2.f);
+    let probe2 = l2.rt.inline_read(l2.root, l2.f).unwrap();
     let store2 = l2.rt.execute_values();
     let a: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
     let b: Vec<f64> = store2.inline(probe2).iter().map(|(_, v)| v).collect();
@@ -202,16 +209,18 @@ fn trace_violation_demotes_and_recaptures() {
     let divergent = |l: &mut Loop| {
         // First launch diverges: read instead of read-write on piece 0.
         let piece = l.rt.forest().subregion(l.p, 0);
-        l.rt.launch(
+        l.rt.submit(LaunchSpec::new(
             "w",
             0,
             vec![RegionRequirement::read(piece, l.f)],
             1_000,
             None,
-        );
+        ))
+        .unwrap()
+        .id();
         for i in 1..4 {
             let piece = l.rt.forest().subregion(l.p, i);
-            l.rt.launch(
+            l.rt.submit(LaunchSpec::new(
                 "w",
                 0,
                 vec![RegionRequirement::read_write(piece, l.f)],
@@ -219,11 +228,13 @@ fn trace_violation_demotes_and_recaptures() {
                 Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|_, v| v + 1.0);
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         for i in 0..4 {
             let ghost = l.rt.forest().subregion(l.g, i);
-            l.rt.launch(
+            l.rt.submit(LaunchSpec::new(
                 "r",
                 0,
                 vec![RegionRequirement::reduce(ghost, l.f, RedOpRegistry::SUM)],
@@ -234,20 +245,22 @@ fn trace_violation_demotes_and_recaptures() {
                         rs[0].reduce(pt, 2.0);
                     }
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     };
 
     let mut l = setup(EngineKind::RayCast);
     for _ in 0..2 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     // Third instance would replay, but diverges at its first launch.
-    l.rt.begin_trace(1);
+    l.rt.try_begin_trace(1).unwrap();
     divergent(&mut l);
-    l.rt.end_trace(1);
+    l.rt.try_end_trace(1).unwrap();
     {
         let violations = l.rt.trace_violations();
         assert_eq!(violations.len(), 1, "one structured violation recorded");
@@ -264,9 +277,9 @@ fn trace_violation_demotes_and_recaptures() {
 
     // The demoted trace recaptures: warm-up + capture + replay.
     for _ in 0..3 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     assert_eq!(
         l.rt.replayed_launches(),
@@ -274,7 +287,7 @@ fn trace_violation_demotes_and_recaptures() {
         "third clean instance after demotion replays again"
     );
     assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
-    let probe = l.rt.inline_read(l.root, l.f);
+    let probe = l.rt.inline_read(l.root, l.f).unwrap();
     let store = l.rt.execute_values();
 
     // Cross-check values against the identical untraced program.
@@ -286,7 +299,7 @@ fn trace_violation_demotes_and_recaptures() {
     for _ in 0..3 {
         iteration(&mut l2);
     }
-    let probe2 = l2.rt.inline_read(l2.root, l2.f);
+    let probe2 = l2.rt.inline_read(l2.root, l2.f).unwrap();
     let store2 = l2.rt.execute_values();
     let a: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
     let b: Vec<f64> = store2.inline(probe2).iter().map(|(_, v)| v).collect();
@@ -299,15 +312,15 @@ fn trace_violation_demotes_and_recaptures() {
 fn short_replay_instance_is_a_violation() {
     let mut l = setup(EngineKind::RayCast);
     for _ in 0..2 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     // Third instance replays but stops after the 4 writes (no reductions).
-    l.rt.begin_trace(1);
+    l.rt.try_begin_trace(1).unwrap();
     for i in 0..4 {
         let piece = l.rt.forest().subregion(l.p, i);
-        l.rt.launch(
+        l.rt.submit(LaunchSpec::new(
             "w",
             0,
             vec![RegionRequirement::read_write(piece, l.f)],
@@ -315,9 +328,14 @@ fn short_replay_instance_is_a_violation() {
             Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                 rs[0].update_all(|_, v| v + 1.0);
             })),
-        );
+        ))
+        .unwrap()
+        .id();
     }
-    let v = l.rt.end_trace(1).expect("short instance must be reported");
+    let v =
+        l.rt.try_end_trace(1)
+            .unwrap()
+            .expect("short instance must be reported");
     assert_eq!(v.cursor, 4);
     assert!(matches!(
         v.kind,
@@ -328,15 +346,80 @@ fn short_replay_instance_is_a_violation() {
     assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
 }
 
+/// A divergence *mid*-replay leaves the engine's frozen state pointing at
+/// the unreplayed suffix of the recorded instance — whose entries
+/// superseded the replayed prefix's writes. The post-demotion analysis
+/// must still order the divergent launch after the prefix, not just after
+/// the previous instance (found by the viz-oracle fuzzer).
+#[test]
+fn mid_replay_divergence_orders_after_replayed_prefix() {
+    let mut l = setup(EngineKind::RayCast);
+    let piece0 = l.rt.forest().subregion(l.p, 0);
+    let piece1 = l.rt.forest().subregion(l.p, 1);
+    let w = |l: &mut Loop, region| {
+        l.rt.submit(LaunchSpec::new(
+            "w",
+            0,
+            vec![RegionRequirement::read_write(region, l.f)],
+            1_000,
+            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                rs[0].update_all(|_, v| v + 1.0);
+            })),
+        ))
+        .unwrap()
+        .id()
+    };
+    // Template [RW p0, RW p0, RW p1]: warm-up (tasks 0-2), capture (3-5).
+    for _ in 0..2 {
+        l.rt.try_begin_trace(1).unwrap();
+        w(&mut l, piece0);
+        w(&mut l, piece0);
+        w(&mut l, piece1);
+        l.rt.try_end_trace(1).unwrap();
+    }
+    // Third instance: the first RW p0 replays (task 6), then a *read* of
+    // p0 diverges from the recorded RW at cursor 1.
+    l.rt.try_begin_trace(1).unwrap();
+    let prefix = w(&mut l, piece0);
+    let divergent =
+        l.rt.submit(LaunchSpec::new(
+            "probe",
+            0,
+            vec![RegionRequirement::read(piece0, l.f)],
+            1_000,
+            None,
+        ))
+        .unwrap()
+        .id();
+    l.rt.try_end_trace(1).unwrap();
+    let violations = l.rt.trace_violations();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(
+        violations[0].cursor, 1,
+        "diverged after one replayed launch"
+    );
+    // The frozen engine state's last writer of p0 is capture task 4, which
+    // superseded task 3 — the launch the prefix replayed as task 6. A dep
+    // on 4 alone would let the probe race the prefix's write.
+    let dag = l.rt.dag();
+    assert!(
+        dag.must_follow(divergent, prefix),
+        "divergent launch must order after the replayed prefix write: deps {:?}",
+        dag.preds(divergent)
+    );
+    drop(dag);
+    assert!(check_sufficiency(l.rt.forest(), l.rt.launches(), l.rt.dag()).is_empty());
+}
+
 /// The rebase interval map must stay O(active traces), not O(instances):
 /// each completed replay supersedes the previous instance's interval.
 #[test]
 fn rebase_map_stays_bounded_across_many_replays() {
     let mut l = setup(EngineKind::RayCast);
     for _ in 0..50 {
-        l.rt.begin_trace(1);
+        l.rt.try_begin_trace(1).unwrap();
         iteration(&mut l);
-        l.rt.end_trace(1);
+        l.rt.try_end_trace(1).unwrap();
     }
     assert_eq!(l.rt.replayed_launches(), 48 * 8);
     assert!(
@@ -353,11 +436,11 @@ fn replay_is_cheaper_in_simulated_time() {
         let mut l = setup(EngineKind::RayCast);
         for _ in 0..8 {
             if traced {
-                l.rt.begin_trace(1);
+                l.rt.try_begin_trace(1).unwrap();
             }
             iteration(&mut l);
             if traced {
-                l.rt.end_trace(1);
+                l.rt.try_end_trace(1).unwrap();
             }
         }
         let now = l.rt.machine().now(0);
@@ -369,4 +452,71 @@ fn replay_is_cheaper_in_simulated_time() {
         traced < plain,
         "tracing must reduce analysis time: {traced} vs {plain}"
     );
+}
+
+/// Regression: an annotated trace whose instance never *overwrites* what it
+/// reads is not self-superseding — each iteration leaves a live read epoch
+/// behind, and a later interfering launch needs a dependence on **every**
+/// instance's read, which the shift-rebase cannot synthesize (it can only
+/// point at the latest replay). The runtime must decline to replay such a
+/// trace and keep analyzing each instance. Found by the viz-oracle fuzzer
+/// (trace-repeats mode): a reduce after the loop ordered against the last
+/// instance's read only, leaving the captured instance's read unordered.
+#[test]
+fn read_only_trace_declines_replay_and_keeps_all_read_epochs() {
+    let mut rt = Runtime::new(RuntimeConfig::new(EngineKind::RayCast).auto_trace(false));
+    let root = rt.forest_mut().create_root_1d("A", 40);
+    let f = rt.forest_mut().add_field(root, "v");
+    let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
+    let watched = rt.forest().subregion(p, 1);
+    let other = rt.forest().subregion(p, 2);
+    let mut reads = Vec::new();
+    for _ in 0..4 {
+        rt.try_begin_trace(9).unwrap();
+        reads.push(
+            rt.submit(LaunchSpec::new(
+                "r",
+                0,
+                vec![RegionRequirement::read(watched, f)],
+                1_000,
+                None,
+            ))
+            .unwrap()
+            .id(),
+        );
+        rt.submit(LaunchSpec::new(
+            "acc",
+            0,
+            vec![RegionRequirement::reduce(other, f, RedOpRegistry::SUM)],
+            1_000,
+            None,
+        ))
+        .unwrap();
+        rt.try_end_trace(9).unwrap();
+    }
+    let reducer = rt
+        .submit(LaunchSpec::new(
+            "mix",
+            0,
+            vec![RegionRequirement::reduce(watched, f, RedOpRegistry::MAX)],
+            1_000,
+            None,
+        ))
+        .unwrap()
+        .id();
+    rt.flush();
+    assert_eq!(
+        rt.replayed_launches(),
+        0,
+        "a non-self-superseding instance must not be replayed"
+    );
+    let dag = rt.dag();
+    let deps = dag.preds(reducer);
+    for r in &reads {
+        assert!(
+            deps.contains(r),
+            "reduce must order after every instance's read: deps {deps:?}, missing {r:?}"
+        );
+    }
+    assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
 }

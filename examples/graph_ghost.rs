@@ -12,7 +12,6 @@
 
 // Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
 // `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use visibility::prelude::*;
 
@@ -53,7 +52,7 @@ fn run_engine(engine: EngineKind) {
         for i in 0..3 {
             let piece = rt.forest().subregion(p, i);
             let ghost = rt.forest().subregion(g, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "t1",
                 0,
                 vec![
@@ -69,13 +68,15 @@ fn run_engine(engine: EngineKind) {
                         rs[1].reduce(pt, 0.5);
                     }
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
         // t2: read-write P[i].down, reduce+ G[i].up
         for i in 0..3 {
             let piece = rt.forest().subregion(p, i);
             let ghost = rt.forest().subregion(g, i);
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "t2",
                 0,
                 vec![
@@ -90,11 +91,13 @@ fn run_engine(engine: EngineKind) {
                         rs[1].reduce(pt, 0.25);
                     }
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
         }
     }
-    let probe_up = rt.inline_read(n, up);
-    let probe_down = rt.inline_read(n, down);
+    let probe_up = rt.inline_read(n, up).unwrap();
+    let probe_down = rt.inline_read(n, down).unwrap();
 
     // §3.2: "t6 has a dependence on tasks t3, t4, and t5 … In turn t3 has
     // dependences on t0, t1, and t2" — check the up-field part of the

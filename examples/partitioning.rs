@@ -6,7 +6,6 @@
 
 // Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
 // `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use visibility::prelude::*;
 use visibility::region::deppart;
@@ -52,7 +51,7 @@ fn main() {
     assert!(!rt.forest().is_complete(g), "ghosts never cover everything");
 
     // Run two turns of the Fig 1 loop over the computed partitions.
-    rt.set_initial(nodes, up, |p| p.x as f64);
+    rt.try_set_initial(nodes, up, |p| p.x as f64).unwrap();
     for _ in 0..2 {
         rt.index_launch(
             "t1",
@@ -82,7 +81,7 @@ fn main() {
             },
         );
     }
-    let probe = rt.inline_read(nodes, up);
+    let probe = rt.inline_read(nodes, up).unwrap();
     println!(
         "\ntasks: {}, dependence edges: {}, waves: {:?}",
         rt.num_tasks(),

@@ -66,7 +66,7 @@ fn main() {
 
     // Read everything back: the engine assembles values from the writers
     // and folds the pending reductions, in sequential-semantics order.
-    let probe = rt.inline_read(n, f);
+    let probe = rt.inline_read(n, f).unwrap();
 
     println!("engine        : {}", rt.engine_name());
     println!("tasks         : {}", rt.num_tasks());

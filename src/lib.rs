@@ -46,7 +46,7 @@
 //!
 //! // A read of the whole collection depends on all four writers; the
 //! // engine assembles its value from their outputs.
-//! let probe = rt.inline_read(data, val);
+//! let probe = rt.inline_read(data, val).unwrap();
 //! assert_eq!(rt.dag().preds(probe).len(), 4);
 //!
 //! let store = rt.execute_values();

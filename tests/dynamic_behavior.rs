@@ -4,7 +4,6 @@
 
 // Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
 // `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use visibility::prelude::*;
 use visibility::runtime::validate::check_sufficiency;
@@ -18,7 +17,7 @@ fn partitions_created_mid_stream() {
         let root = rt.forest_mut().create_root_1d("A", 64);
         let f = rt.forest_mut().add_field(root, "v");
         // Write through the root first.
-        rt.launch(
+        rt.submit(LaunchSpec::new(
             "fill",
             0,
             vec![RegionRequirement::read_write(root, f)],
@@ -26,13 +25,24 @@ fn partitions_created_mid_stream() {
             Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                 rs[0].update_all(|p, _| p.x as f64);
             })),
-        );
+        ))
+        .unwrap()
+        .id();
         // Only now create a partition and read through it: the reads must
         // see the root write.
         let p = rt.forest_mut().create_equal_partition_1d(root, "P", 4);
         for i in 0..4 {
             let piece = rt.forest().subregion(p, i);
-            let r = rt.launch("read", 0, vec![RegionRequirement::read(piece, f)], 0, None);
+            let r = rt
+                .submit(LaunchSpec::new(
+                    "read",
+                    0,
+                    vec![RegionRequirement::read(piece, f)],
+                    0,
+                    None,
+                ))
+                .unwrap()
+                .id();
             assert_eq!(rt.dag().preds(r), &[TaskId(0)], "{engine:?}");
         }
         // And a second, *different* partition created even later.
@@ -42,15 +52,18 @@ fn partitions_created_mid_stream() {
             vec![IndexSpace::span(10, 40), IndexSpace::span(41, 50)],
         );
         let q0 = rt.forest().subregion(q, 0);
-        let w = rt.launch(
-            "rewrite",
-            0,
-            vec![RegionRequirement::read_write(q0, f)],
-            0,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                rs[0].update_all(|_, v| v + 1000.0);
-            })),
-        );
+        let w = rt
+            .submit(LaunchSpec::new(
+                "rewrite",
+                0,
+                vec![RegionRequirement::read_write(q0, f)],
+                0,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|_, v| v + 1000.0);
+                })),
+            ))
+            .unwrap()
+            .id();
         // The rewrite interferes with the root write and the overlapping
         // piece reads (write-after-read).
         let dag = rt.dag();
@@ -58,7 +71,7 @@ fn partitions_created_mid_stream() {
         assert!(deps.contains(&TaskId(0)), "{engine:?}");
         assert!(deps.len() >= 3, "{engine:?}: {deps:?}");
         drop(dag);
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
         let store = rt.execute_values();
         let vals = store.inline(probe);
@@ -76,12 +89,12 @@ fn data_dependent_control_flow() {
         let mut rt = Runtime::single_node(engine);
         let root = rt.forest_mut().create_root_1d("A", 8);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.set_initial(root, f, |_| 1.0);
+        rt.try_set_initial(root, f, |_| 1.0).unwrap();
         // Keep doubling until the (sequentially-semantic) value crosses a
         // threshold; the number of launches is decided by the data.
         let mut launches = 0;
         loop {
-            rt.launch(
+            rt.submit(LaunchSpec::new(
                 "double",
                 0,
                 vec![RegionRequirement::read_write(root, f)],
@@ -89,9 +102,11 @@ fn data_dependent_control_flow() {
                 Some(Arc::new(|rs: &mut [PhysicalRegion]| {
                     rs[0].update_all(|_, v| v * 2.0);
                 })),
-            );
+            ))
+            .unwrap()
+            .id();
             launches += 1;
-            let probe = rt.inline_read(root, f);
+            let probe = rt.inline_read(root, f).unwrap();
             let store = rt.execute_values();
             if store.inline(probe).get(Point::p1(0)) >= 16.0 {
                 break;
@@ -111,23 +126,43 @@ fn multiple_region_trees_are_independent() {
         let fa = rt.forest_mut().add_field(a, "v");
         let b = rt.forest_mut().create_root_1d("B", 16);
         let fb = rt.forest_mut().add_field(b, "v");
-        rt.launch("wa", 0, vec![RegionRequirement::read_write(a, fa)], 0, None);
-        let t = rt.launch("wb", 0, vec![RegionRequirement::read_write(b, fb)], 0, None);
+        rt.submit(LaunchSpec::new(
+            "wa",
+            0,
+            vec![RegionRequirement::read_write(a, fa)],
+            0,
+            None,
+        ))
+        .unwrap()
+        .id();
+        let t = rt
+            .submit(LaunchSpec::new(
+                "wb",
+                0,
+                vec![RegionRequirement::read_write(b, fb)],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert!(
             rt.dag().preds(t).is_empty(),
             "{engine:?}: different trees must not interfere"
         );
         // But a task spanning both trees orders against both writers.
-        let t2 = rt.launch(
-            "both",
-            0,
-            vec![
-                RegionRequirement::read(a, fa),
-                RegionRequirement::read(b, fb),
-            ],
-            0,
-            None,
-        );
+        let t2 = rt
+            .submit(LaunchSpec::new(
+                "both",
+                0,
+                vec![
+                    RegionRequirement::read(a, fa),
+                    RegionRequirement::read(b, fb),
+                ],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert_eq!(rt.dag().preds(t2).len(), 2, "{engine:?}");
     }
 }
@@ -145,33 +180,57 @@ fn nested_partition_interference() {
         let q = rt.forest_mut().create_equal_partition_1d(p0, "Q", 4);
         let q2 = rt.forest().subregion(q, 2); // elements [8, 11]
 
-        let w = rt.launch(
-            "deep",
-            0,
-            vec![RegionRequirement::read_write(q2, f)],
-            0,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                rs[0].update_all(|_, _| 7.0);
-            })),
-        );
+        let w = rt
+            .submit(LaunchSpec::new(
+                "deep",
+                0,
+                vec![RegionRequirement::read_write(q2, f)],
+                0,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|_, _| 7.0);
+                })),
+            ))
+            .unwrap()
+            .id();
         assert!(rt.dag().preds(w).is_empty());
         // Sibling grandchild: disjoint, parallel.
         let q3 = rt.forest().subregion(q, 3);
-        let s = rt.launch(
-            "sib",
-            0,
-            vec![RegionRequirement::read_write(q3, f)],
-            0,
-            None,
-        );
+        let s = rt
+            .submit(LaunchSpec::new(
+                "sib",
+                0,
+                vec![RegionRequirement::read_write(q3, f)],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert!(rt.dag().preds(s).is_empty(), "{engine:?}");
         // Reading the *root* depends on both grandchildren.
-        let r = rt.launch("top", 0, vec![RegionRequirement::read(root, f)], 0, None);
+        let r = rt
+            .submit(LaunchSpec::new(
+                "top",
+                0,
+                vec![RegionRequirement::read(root, f)],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert_eq!(rt.dag().preds(r), &[w, s], "{engine:?}");
         // And writing P[1] (disjoint from Q's subtree) stays parallel with
         // the grandchildren but orders after the root read.
         let p1 = rt.forest().subregion(p, 1);
-        let w2 = rt.launch("p1", 0, vec![RegionRequirement::read_write(p1, f)], 0, None);
+        let w2 = rt
+            .submit(LaunchSpec::new(
+                "p1",
+                0,
+                vec![RegionRequirement::read_write(p1, f)],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert_eq!(rt.dag().preds(w2), &[r], "{engine:?} (war on the read)");
         assert!(check_sufficiency(rt.forest(), rt.launches(), rt.dag()).is_empty());
     }
@@ -185,7 +244,7 @@ fn sparse_scattered_regions() {
         let mut rt = Runtime::single_node(engine);
         let root = rt.forest_mut().create_root_1d("A", 100);
         let f = rt.forest_mut().add_field(root, "v");
-        rt.set_initial(root, f, |p| p.x as f64);
+        rt.try_set_initial(root, f, |p| p.x as f64).unwrap();
         let evens = rt.forest_mut().create_partition_with_flags(
             root,
             "evens",
@@ -202,22 +261,34 @@ fn sparse_scattered_regions() {
         );
         let e = rt.forest().subregion(evens, 0);
         let t3 = rt.forest().subregion(threes, 0);
-        let w = rt.launch(
-            "evens+1",
-            0,
-            vec![RegionRequirement::read_write(e, f)],
-            0,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                rs[0].update_all(|_, v| v + 1.0);
-            })),
-        );
-        let r = rt.launch("read3", 0, vec![RegionRequirement::read(t3, f)], 0, None);
+        let w = rt
+            .submit(LaunchSpec::new(
+                "evens+1",
+                0,
+                vec![RegionRequirement::read_write(e, f)],
+                0,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|_, v| v + 1.0);
+                })),
+            ))
+            .unwrap()
+            .id();
+        let r = rt
+            .submit(LaunchSpec::new(
+                "read3",
+                0,
+                vec![RegionRequirement::read(t3, f)],
+                0,
+                None,
+            ))
+            .unwrap()
+            .id();
         assert_eq!(
             rt.dag().preds(r),
             &[w],
             "{engine:?}: multiples of 6 are shared"
         );
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         let vals = store.inline(probe);
         assert_eq!(vals.get(Point::p1(6)), 7.0);

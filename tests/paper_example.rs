@@ -4,7 +4,6 @@
 
 // Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
 // `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use std::sync::Arc;
 use visibility::prelude::*;
 use visibility::runtime::validate::{check_sufficiency, count_interfering_pairs};
@@ -40,42 +39,51 @@ fn build(engine: EngineKind, nodes: usize, dcr: bool) -> Example {
 fn launch_fig5(ex: &mut Example) {
     for i in 0..3 {
         let piece = ex.rt.forest().subregion(ex.p, i);
-        ex.rt.launch(
-            "t1",
-            i,
-            vec![RegionRequirement::read_write(piece, ex.up)],
-            1000,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                rs[0].update_all(|pt, v| v + pt.x as f64);
-            })),
-        );
+        ex.rt
+            .submit(LaunchSpec::new(
+                "t1",
+                i,
+                vec![RegionRequirement::read_write(piece, ex.up)],
+                1000,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|pt, v| v + pt.x as f64);
+                })),
+            ))
+            .unwrap()
+            .id();
     }
     for i in 0..3 {
         let ghost = ex.rt.forest().subregion(ex.g, i);
-        ex.rt.launch(
-            "t2",
-            i,
-            vec![RegionRequirement::reduce(ghost, ex.up, RedOpRegistry::SUM)],
-            1000,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                let dom = rs[0].domain().clone();
-                for pt in dom.points() {
-                    rs[0].reduce(pt, 100.0);
-                }
-            })),
-        );
+        ex.rt
+            .submit(LaunchSpec::new(
+                "t2",
+                i,
+                vec![RegionRequirement::reduce(ghost, ex.up, RedOpRegistry::SUM)],
+                1000,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    let dom = rs[0].domain().clone();
+                    for pt in dom.points() {
+                        rs[0].reduce(pt, 100.0);
+                    }
+                })),
+            ))
+            .unwrap()
+            .id();
     }
     for i in 0..3 {
         let piece = ex.rt.forest().subregion(ex.p, i);
-        ex.rt.launch(
-            "t1",
-            i,
-            vec![RegionRequirement::read_write(piece, ex.up)],
-            1000,
-            Some(Arc::new(|rs: &mut [PhysicalRegion]| {
-                rs[0].update_all(|_, v| v * 2.0);
-            })),
-        );
+        ex.rt
+            .submit(LaunchSpec::new(
+                "t1",
+                i,
+                vec![RegionRequirement::read_write(piece, ex.up)],
+                1000,
+                Some(Arc::new(|rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|_, v| v * 2.0);
+                })),
+            ))
+            .unwrap()
+            .id();
     }
 }
 
@@ -130,7 +138,7 @@ fn fig5_values_identical_across_engines_and_machines() {
         for (nodes, dcr) in [(1, false), (3, false), (3, true)] {
             let mut ex = build(engine, nodes, dcr);
             launch_fig5(&mut ex);
-            let probe = ex.rt.inline_read(ex.n, ex.up);
+            let probe = ex.rt.inline_read(ex.n, ex.up).unwrap();
             let store = ex.rt.execute_values();
             let vals: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
             match &reference {

@@ -4,7 +4,6 @@
 
 // Deprecated-wrapper allowlist (PR 4): still exercises `launch`/`run_batch`/
 // `set_initial`/`begin_trace`; migrate to `submit` and the `try_*` forms in PR 5.
-#![allow(deprecated)]
 use visibility::apps::{
     Circuit, CircuitConfig, Pennant, PennantConfig, Stencil, StencilConfig, Workload,
 };
@@ -255,7 +254,7 @@ mod random_programs {
         let mut rest = specs;
         while !rest.is_empty() {
             let tail = rest.split_off(rest.len().min(batch));
-            rt.run_batch(rest);
+            rt.submit_batch(rest).unwrap();
             rest = tail;
         }
 
@@ -280,7 +279,7 @@ mod random_programs {
             }
         }
 
-        let probe = rt.inline_read(root, f);
+        let probe = rt.inline_read(root, f).unwrap();
         let store = rt.execute_values();
         let values: Vec<f64> = store.inline(probe).iter().map(|(_, v)| v).collect();
         // Drop the probe task's row (its id differs per driver only if the
