@@ -23,9 +23,11 @@
 //!   serial). The figures are bit-identical either way; only host time
 //!   changes.
 //! * `--pipeline` — route every submission through the deferred-execution
-//!   frontend (bounded queue + analysis driver thread; default:
-//!   `VIZ_PIPELINE`). Figures are bit-identical; submission and analysis
-//!   overlap on the host.
+//!   frontend (per-context submission rings + combining dispatcher;
+//!   default: `VIZ_PIPELINE`). Figures are bit-identical; submission and
+//!   analysis overlap on the host.
+//! * `--submit-rings N` — size the submission plane's ring array (primary
+//!   facade plus N-1 tenant contexts; default: `VIZ_SUBMIT_RINGS`, else 8).
 
 use std::io::Write;
 use viz_bench::{
@@ -91,6 +93,15 @@ fn parse_args() -> Args {
                 std::env::set_var("VIZ_ANALYSIS_THREADS", n.to_string());
             }
             "--pipeline" => std::env::set_var("VIZ_PIPELINE", "1"),
+            "--submit-rings" => {
+                let n: usize = it
+                    .next()
+                    .expect("--submit-rings N")
+                    .parse()
+                    .expect("ring count");
+                assert!(n >= 2, "--submit-rings needs N >= 2 (primary + tenants)");
+                std::env::set_var("VIZ_SUBMIT_RINGS", n.to_string());
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);

@@ -4,7 +4,7 @@
 //! ```text
 //! probe <stencil|circuit|pennant> <raycast|warnock|paint|paintnaive> <dcr|nodcr> <nodes> \
 //!       [--quick] [--profile] [--analysis-threads N] [--auto-trace] [--pipeline] \
-//!       [--oracle] [--record-history PATH]
+//!       [--submit-rings N] [--oracle] [--record-history PATH]
 //! ```
 //!
 //! `--profile` records a structured trace of the run and appends the
@@ -16,6 +16,8 @@
 //! submissions through the deferred-execution frontend (bounded queue +
 //! analysis driver thread) and reports queue depth/stall statistics; the
 //! figures again stay bit-identical, only host overlap changes.
+//! `--submit-rings N` sizes the submission plane's ring array (primary
+//! facade plus N-1 tenant contexts; also settable via `VIZ_SUBMIT_RINGS`).
 //! `--oracle` records the run's history and judges it with the external
 //! saturation checker (viz-oracle) after scheduling; a violation is a
 //! nonzero exit. `--record-history PATH` writes the recorded history in
@@ -55,6 +57,16 @@ fn main() {
                 .expect("thread count")
         })
         .unwrap_or_else(viz_runtime::default_analysis_threads);
+    let submit_rings = args
+        .iter()
+        .position(|a| a == "--submit-rings")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--submit-rings N")
+                .parse::<usize>()
+                .expect("ring count")
+        })
+        .unwrap_or_else(viz_runtime::default_submit_rings);
     let oracle = args.iter().any(|a| a == "--oracle");
     let history_path = args
         .iter()
@@ -78,6 +90,7 @@ fn main() {
             .analysis_threads(analysis_threads)
             .auto_trace(auto_trace)
             .pipeline(pipeline)
+            .submit_rings(submit_rings)
             .record_history(record),
     );
     let host = std::time::Instant::now();
@@ -155,12 +168,17 @@ fn main() {
     if let Some(m) = rt.pipeline_metrics() {
         println!(
             "pipeline: submitted={} retired={} max_depth={} stalls={} stalled={:.3}s \
+             combines={} combined_specs={} max_combine={} multi_ring_combines={} \
              host_submit={host_submit:.2}s (analysis overlapped {:.2}s)",
             m.submitted(),
             m.retired(),
             m.max_depth(),
             m.stalls(),
             m.stalled_ns() as f64 * 1e-9,
+            m.combines(),
+            m.combined_specs(),
+            m.max_combine(),
+            m.multi_ring_combines(),
             host_analysis - host_submit
         );
     }

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! oracle_fuzz [--programs N] [--seed S] [--launches L] [--nodes M]
-//!             [--out PATH] [--matrix full|quick]
+//!             [--out PATH] [--matrix full|quick] [--producers P]
 //! ```
 //!
 //! Writes a TSV summary (default `results/oracle_fuzz.tsv`) with one row
@@ -20,6 +20,7 @@ struct Args {
     nodes: usize,
     out: String,
     quick: bool,
+    producers: usize,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +31,7 @@ fn parse_args() -> Args {
         nodes: 2,
         out: "results/oracle_fuzz.tsv".into(),
         quick: false,
+        producers: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -41,10 +43,11 @@ fn parse_args() -> Args {
             "--nodes" => args.nodes = val().parse().expect("--nodes M"),
             "--out" => args.out = val(),
             "--matrix" => args.quick = val() == "quick",
+            "--producers" => args.producers = val().parse::<usize>().expect("--producers P").max(1),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: oracle_fuzz [--programs N] [--seed S] [--launches L] \
-                     [--nodes M] [--out PATH] [--matrix full|quick]"
+                     [--nodes M] [--out PATH] [--matrix full|quick] [--producers P]"
                 );
                 std::process::exit(0);
             }
@@ -56,14 +59,17 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
-    let matrix = drive_matrix();
+    let mut matrix = drive_matrix();
+    for cfg in &mut matrix {
+        cfg.producers = args.producers;
+    }
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
         std::fs::create_dir_all(dir).expect("create results dir");
     }
     let mut tsv = std::fs::File::create(&args.out).expect("create summary");
     writeln!(
         tsv,
-        "seed\tmode\tengine\tthreads\tpipeline\tauto_trace\tlaunches\tpairs\tedges\tviolations"
+        "seed\tmode\tengine\tthreads\tpipeline\tauto_trace\tproducers\tlaunches\tpairs\tedges\tviolations"
     )
     .unwrap();
 
@@ -86,12 +92,13 @@ fn main() {
             total_violations += report.violations.len() as u64;
             writeln!(
                 tsv,
-                "{seed}\t{}\t{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                "{seed}\t{}\t{:?}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                 mode.name(),
                 cfg.engine,
                 cfg.analysis_threads,
                 cfg.pipeline,
                 cfg.auto_trace,
+                cfg.producers,
                 report.launches,
                 report.pairs_checked,
                 report.edges_checked,

@@ -19,7 +19,7 @@
 //! (root, field), and the intersection of the interfering domains.
 
 use crate::depa::Precedence;
-use crate::history::History;
+use crate::history::{History, CTX_GLOBAL};
 use viz_geometry::{FxHashMap, IndexSpace};
 
 /// One verdict against a history, with a minimal witness.
@@ -197,12 +197,19 @@ pub fn check(history: &History) -> CheckReport {
         }
     }
 
-    // -- Fences: ordered after everything launched earlier. -------------
+    // -- Fences: ordered after everything earlier in their scope. -------
+    // A global fence (ctx == CTX_GLOBAL) must follow every earlier launch;
+    // a scoped fence (PR 7 multi-producer contexts) only the earlier
+    // launches of its own context. Earlier scoped/global fences still
+    // bind a global fence, whatever context they carry.
     for l in &history.launches {
         if !l.fence {
             continue;
         }
         for i in 0..l.id {
+            if l.ctx != CTX_GLOBAL && history.launches[i as usize].ctx != l.ctx {
+                continue; // another producer's launch: out of fence scope
+            }
             report.pairs_checked += 1;
             if !prec.precedes(i, l.id) {
                 report.violations.push(Violation::MissingFenceOrder {
@@ -278,6 +285,7 @@ mod tests {
             id,
             name: format!("t{id}"),
             node: 0,
+            ctx: 0,
             signature: id as u64,
             reqs,
             deps,
@@ -377,6 +385,7 @@ mod tests {
     fn fence_must_follow_everything() {
         let mut f = launch(2, vec![], vec![1]); // missing edge to 0
         f.fence = true;
+        f.ctx = CTX_GLOBAL;
         let h = history(vec![
             launch(0, vec![], vec![]),
             launch(1, vec![], vec![]),
@@ -388,6 +397,45 @@ mod tests {
             vec![Violation::MissingFenceOrder {
                 earlier: 0,
                 fence: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn scoped_fence_binds_only_its_context() {
+        // Context 1 submitted launches 0 and 2; context 2 submitted
+        // launch 1. A ctx-1 fence must follow 0 and 2 but may float
+        // relative to 1.
+        let mut a = launch(0, vec![], vec![]);
+        a.ctx = 1;
+        let mut b = launch(1, vec![], vec![]);
+        b.ctx = 2;
+        let mut c = launch(2, vec![], vec![]);
+        c.ctx = 1;
+        let mut f = launch(3, vec![], vec![0, 2]); // no edge to 1: fine
+        f.fence = true;
+        f.ctx = 1;
+        let h = history(vec![a, b, c, f]);
+        let r = check(&h);
+        assert!(r.ok(), "{:?}", r.violations);
+
+        // Dropping the edge to its own launch 2 is a violation.
+        let mut a = launch(0, vec![], vec![]);
+        a.ctx = 1;
+        let mut b = launch(1, vec![], vec![]);
+        b.ctx = 2;
+        let mut c = launch(2, vec![], vec![]);
+        c.ctx = 1;
+        let mut f = launch(3, vec![], vec![0]);
+        f.fence = true;
+        f.ctx = 1;
+        let h = history(vec![a, b, c, f]);
+        let r = check(&h);
+        assert_eq!(
+            r.violations,
+            vec![Violation::MissingFenceOrder {
+                earlier: 2,
+                fence: 3
             }]
         );
     }

@@ -301,16 +301,27 @@ pub struct DriveConfig {
     pub analysis_threads: usize,
     pub pipeline: bool,
     pub auto_trace: bool,
+    /// Number of concurrent producer contexts the driver fans launches
+    /// across. `1` drives everything through the facade (the historical
+    /// single-producer path); `>1` splits each contiguous launch run
+    /// round-robin over that many [`viz_runtime::Context`]s submitting
+    /// from their own threads.
+    pub producers: usize,
 }
 
 impl DriveConfig {
     pub fn label(&self) -> String {
         format!(
-            "{:?}/t{}{}{}",
+            "{:?}/t{}{}{}{}",
             self.engine,
             self.analysis_threads,
             if self.pipeline { "/pipe" } else { "" },
             if self.auto_trace { "/auto" } else { "" },
+            if self.producers > 1 {
+                format!("/mp{}", self.producers)
+            } else {
+                String::new()
+            },
         )
     }
 }
@@ -334,6 +345,7 @@ pub fn drive_matrix() -> Vec<DriveConfig> {
                     analysis_threads,
                     pipeline,
                     auto_trace,
+                    producers: 1,
                 });
             }
         }
@@ -343,12 +355,14 @@ pub fn drive_matrix() -> Vec<DriveConfig> {
 
 /// Run a generated program under one strategy and capture its history.
 pub fn run_program(prog: &GenProgram, cfg: DriveConfig) -> History {
+    let producers = cfg.producers.max(1);
     let rc = RuntimeConfig::new(cfg.engine)
         .nodes(prog.nodes)
         .dcr(prog.nodes > 1)
         .analysis_threads(cfg.analysis_threads)
         .pipeline(cfg.pipeline)
         .auto_trace(cfg.auto_trace)
+        .submit_rings(producers + 1)
         .record_history(true)
         .validate(true);
     let mut rt = Runtime::new(rc);
@@ -377,8 +391,61 @@ pub fn run_program(prog: &GenProgram, cfg: DriveConfig) -> History {
             }
         }
     };
-    for op in &prog.ops {
-        match op {
+    // Explicit trace spans must keep their launches on the primary
+    // stream: a recording span expects the trace body verbatim.
+    let mut in_trace = false;
+    let mut i = 0usize;
+    while i < prog.ops.len() {
+        if producers > 1 && !in_trace && matches!(prog.ops[i], GenOp::Launch { .. }) {
+            // Fan a contiguous launch run out round-robin across
+            // `producers` tenant contexts, each submitting from its own
+            // thread. Interleaving is nondeterministic by design — the
+            // checker judges whatever history the engine committed.
+            let start = i;
+            while i < prog.ops.len() && matches!(prog.ops[i], GenOp::Launch { .. }) {
+                i += 1;
+            }
+            let mut lanes: Vec<Vec<LaunchSpec>> = (0..producers).map(|_| Vec::new()).collect();
+            for (k, op) in prog.ops[start..i].iter().enumerate() {
+                let GenOp::Launch { node, reqs } = op else {
+                    unreachable!()
+                };
+                let rr: Vec<RegionRequirement> = reqs
+                    .iter()
+                    .map(|q| RegionRequirement {
+                        region: resolve(&roots, &pieces, q.region),
+                        field: fields[root_index(q.region, &prog.partitions)][q.field],
+                        privilege: q.privilege,
+                    })
+                    .collect();
+                lanes[k % producers].push(LaunchSpec::new("gen", *node, rr, 10, None));
+            }
+            let mut ctxs = Vec::with_capacity(producers);
+            for _ in 0..producers {
+                ctxs.push(
+                    rt.new_context()
+                        .expect("submit_rings covers every producer"),
+                );
+            }
+            std::thread::scope(|s| {
+                for (j, (ctx, specs)) in ctxs.iter_mut().zip(lanes).enumerate() {
+                    s.spawn(move || {
+                        for spec in specs {
+                            // §4 rejections are skipped, as on the facade.
+                            let _ = ctx.submit(spec);
+                        }
+                        // Half the producers close their run with a scoped
+                        // fence, exercising per-context fence deps.
+                        if j % 2 == 0 {
+                            let _ = ctx.fence();
+                        }
+                    });
+                }
+            });
+            drop(ctxs);
+            continue;
+        }
+        match &prog.ops[i] {
             GenOp::Partition(pidx) => {
                 let spec = &prog.partitions[*pidx];
                 let parent = resolve(&roots, &pieces, spec.parent);
@@ -410,12 +477,14 @@ pub fn run_program(prog: &GenProgram, cfg: DriveConfig) -> History {
                 rt.fence();
             }
             GenOp::BeginTrace(id) => {
-                let _ = rt.try_begin_trace(*id);
+                in_trace = rt.try_begin_trace(*id).is_ok();
             }
             GenOp::EndTrace(id) => {
                 let _ = rt.try_end_trace(*id);
+                in_trace = false;
             }
         }
+        i += 1;
     }
     crate::record::capture(&rt).expect("record_history was enabled")
 }
@@ -444,6 +513,7 @@ mod tests {
                     analysis_threads: 1,
                     pipeline: false,
                     auto_trace: *mode == Mode::TraceRepeats,
+                    producers: 1,
                 },
             );
             let report = crate::checker::check(&h);
@@ -452,6 +522,36 @@ mod tests {
                 "mode {:?}: {:?}",
                 mode,
                 report.violations.first()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_producer_histories_pass_the_checker() {
+        for pipeline in [false, true] {
+            let prog = generate(77, Mode::Mixed, 24, 2);
+            let h = run_program(
+                &prog,
+                DriveConfig {
+                    engine: EngineKind::RayCast,
+                    analysis_threads: 2,
+                    pipeline,
+                    auto_trace: false,
+                    producers: 4,
+                },
+            );
+            let report = crate::checker::check(&h);
+            assert!(
+                report.ok(),
+                "pipeline {pipeline}: {:?}",
+                report.violations.first()
+            );
+            // The fan-out actually happened: tenant contexts appear.
+            assert!(
+                h.launches
+                    .iter()
+                    .any(|l| l.ctx != 0 && l.ctx != crate::history::CTX_GLOBAL),
+                "expected tenant-context launches in the history"
             );
         }
     }

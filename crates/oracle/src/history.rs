@@ -5,10 +5,11 @@
 //! union), so the checker never needs the region forest or any runtime
 //! state — dbcop-style, the history is the complete court record.
 //!
-//! # Binary format (`VZH1`)
+//! # Binary format (`VZH2`)
 //!
 //! The workspace deliberately avoids serde (DESIGN.md §8), so the codec is
-//! a hand-rolled byte stream: magic `VZH1`, then LEB128 varints for
+//! a hand-rolled byte stream: magic `VZH2` (`VZH1` plus a per-launch
+//! producer-context id, PR 7), then LEB128 varints for
 //! unsigned integers, zigzag+varint for signed coordinates, and
 //! length-prefixed UTF-8 for strings. Everything is little-endian-free
 //! (varints have no endianness), so files are portable across hosts.
@@ -57,6 +58,11 @@ pub struct HLaunch {
     pub id: u32,
     pub name: String,
     pub node: u32,
+    /// Producer context that submitted this launch. `u32::MAX`
+    /// ([`CTX_GLOBAL`]) marks a *global* fence, ordered after every
+    /// context; a fence carrying a real context id is scoped to that
+    /// context's own launches.
+    pub ctx: u32,
     /// Canonical fingerprint of `(node, reqs)` (the auto-tracer's
     /// signature); replay corruption shows up as signature drift between
     /// instances of one template.
@@ -93,7 +99,11 @@ impl History {
 // Codec
 // ----------------------------------------------------------------------
 
-const MAGIC: &[u8; 4] = b"VZH1";
+/// The pseudo context id of global fences (mirrors
+/// `viz_runtime::CTX_GLOBAL`).
+pub const CTX_GLOBAL: u32 = u32::MAX;
+
+const MAGIC: &[u8; 4] = b"VZH2";
 
 fn put_u64(out: &mut Vec<u8>, mut v: u64) {
     loop {
@@ -130,7 +140,7 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "not a VZH1 history file"),
+            DecodeError::BadMagic => write!(f, "not a VZH2 history file"),
             DecodeError::Truncated => write!(f, "truncated history file"),
             DecodeError::Overlong => write!(f, "overlong varint"),
             DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string"),
@@ -208,7 +218,7 @@ fn get_space(r: &mut Reader<'_>) -> Result<IndexSpace, DecodeError> {
 }
 
 impl History {
-    /// Serialize to the `VZH1` byte format.
+    /// Serialize to the `VZH2` byte format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.launches.len() * 32);
         out.extend_from_slice(MAGIC);
@@ -218,6 +228,7 @@ impl History {
             put_u64(&mut out, l.id as u64);
             put_str(&mut out, &l.name);
             put_u64(&mut out, l.node as u64);
+            put_u64(&mut out, l.ctx as u64);
             put_u64(&mut out, l.signature);
             put_u64(&mut out, l.reqs.len() as u64);
             for q in &l.reqs {
@@ -247,7 +258,7 @@ impl History {
         out
     }
 
-    /// Parse the `VZH1` byte format.
+    /// Parse the `VZH2` byte format.
     pub fn decode(buf: &[u8]) -> Result<History, DecodeError> {
         if buf.len() < 4 || &buf[..4] != MAGIC {
             return Err(DecodeError::BadMagic);
@@ -260,6 +271,7 @@ impl History {
             let id = r.u32()?;
             let name = r.string()?;
             let node = r.u32()?;
+            let ctx = r.u32()?;
             let signature = r.u64()?;
             let nreqs = r.u64()? as usize;
             let mut reqs = Vec::with_capacity(nreqs.min(1 << 16));
@@ -291,6 +303,7 @@ impl History {
                 id,
                 name,
                 node,
+                ctx,
                 signature,
                 reqs,
                 deps,
@@ -323,6 +336,7 @@ mod tests {
                     id: 0,
                     name: "w".into(),
                     node: 0,
+                    ctx: 0,
                     signature: 0xdead_beef_cafe_f00d,
                     reqs: vec![HRequirement {
                         root: 0,
@@ -339,6 +353,7 @@ mod tests {
                     id: 1,
                     name: "r".into(),
                     node: 3,
+                    ctx: 2,
                     signature: 7,
                     reqs: vec![HRequirement {
                         root: 0,
@@ -361,6 +376,7 @@ mod tests {
                     id: 2,
                     name: "fence".into(),
                     node: 0,
+                    ctx: CTX_GLOBAL,
                     signature: 0,
                     reqs: vec![],
                     deps: vec![0, 1],
@@ -384,6 +400,7 @@ mod tests {
             assert_eq!(a.id, b.id);
             assert_eq!(a.name, b.name);
             assert_eq!(a.node, b.node);
+            assert_eq!(a.ctx, b.ctx);
             assert_eq!(a.signature, b.signature);
             assert_eq!(a.deps, b.deps);
             assert_eq!(a.replayed, b.replayed);

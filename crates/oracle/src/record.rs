@@ -31,6 +31,7 @@ pub fn resolve(recorded: &RecordedHistory, forest: &RegionForest) -> History {
             id: l.id.0,
             name: l.name.clone(),
             node: l.node as u32,
+            ctx: l.ctx,
             signature: l.signature,
             reqs: l
                 .reqs

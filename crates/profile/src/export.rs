@@ -94,6 +94,9 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::PipelineStall { waited_ns } => {
             let _ = write!(out, "{{\"waited_ns\":{waited_ns}}}");
         }
+        EventKind::SubmitCombine { rings, specs } => {
+            let _ = write!(out, "{{\"rings\":{rings},\"specs\":{specs}}}");
+        }
         EventKind::AlgebraCache { hits, misses } => {
             let _ = write!(out, "{{\"hits\":{hits},\"misses\":{misses}}}");
         }

@@ -83,6 +83,9 @@ pub enum EventKind {
     /// A submission blocked `waited_ns` on a full pipeline queue
     /// (backpressure: the application ran a full queue ahead of analysis).
     PipelineStall { waited_ns: u64 },
+    /// The combining dispatcher committed `specs` launches drained from
+    /// `rings` submission rings under one core lock acquisition.
+    SubmitCombine { rings: u64, specs: u64 },
     /// Memoized set-algebra activity on one shard since the last report:
     /// `hits` lookups answered from the cache, `misses` recomputed.
     AlgebraCache { hits: u64, misses: u64 },
@@ -117,6 +120,7 @@ impl EventKind {
             EventKind::TraceReplay { .. } => "trace_replay",
             EventKind::PipelineDepth { .. } => "pipeline_depth",
             EventKind::PipelineStall { .. } => "pipeline_stall",
+            EventKind::SubmitCombine { .. } => "submit_combine",
             EventKind::AlgebraCache { .. } => "algebra_cache",
             EventKind::BvhMaintain { .. } => "bvh_maintain",
             EventKind::HistoryRecord { .. } => "history_record",
@@ -144,6 +148,8 @@ impl EventKind {
             EventKind::TraceReplay { launches, .. } => launches,
             EventKind::PipelineDepth { depth } => depth,
             EventKind::PipelineStall { waited_ns } => waited_ns,
+            // A combine report counts the specs it committed.
+            EventKind::SubmitCombine { specs, .. } => specs,
             // A cache report counts lookups; maintenance counts operations.
             EventKind::AlgebraCache { hits, misses } => hits + misses,
             EventKind::BvhMaintain { refits, rebuilds } => refits + rebuilds,

@@ -41,6 +41,19 @@ pub enum RuntimeError {
     /// the pipeline driver or a sharded-analysis worker. The submission is
     /// rejected instead of re-raising the foreign panic on this thread.
     Poisoned { what: &'static str },
+    /// The pipeline dispatcher thread panicked. `lost` counts launches
+    /// that were queued but will never be analyzed (dequeued-mid-batch or
+    /// still sitting in a submission ring). Dropping the runtime re-raises
+    /// the dispatcher's original panic payload.
+    DriverPanicked { lost: u64 },
+    /// A blocking resolve was attempted from inside a runtime worker (the
+    /// pipeline dispatcher or a value-executor callback). Waiting there
+    /// can never succeed — the waiter is the thread that would have to
+    /// make the progress — so the call fails instead of hanging.
+    WouldDeadlock,
+    /// Every submission ring is claimed by a live context; drop one (or
+    /// raise [`crate::RuntimeConfig::submit_rings`]) before creating more.
+    RingsExhausted { rings: usize },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -92,6 +105,27 @@ impl std::fmt::Display for RuntimeError {
                     f,
                     "runtime {what} poisoned by a panic on another thread \
                      (engine or driver bug; see its panic message)"
+                )
+            }
+            RuntimeError::DriverPanicked { lost } => {
+                write!(
+                    f,
+                    "pipeline driver panicked with {lost} queued launch(es) \
+                     unanalyzed (dropping the runtime re-raises the panic)"
+                )
+            }
+            RuntimeError::WouldDeadlock => {
+                write!(
+                    f,
+                    "blocking resolve from inside a runtime worker would \
+                     self-deadlock (the worker is the thread being waited on)"
+                )
+            }
+            RuntimeError::RingsExhausted { rings } => {
+                write!(
+                    f,
+                    "all {rings} submission rings are claimed by live contexts \
+                     (drop a context or raise RuntimeConfig::submit_rings)"
                 )
             }
         }

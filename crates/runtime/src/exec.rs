@@ -265,6 +265,11 @@ pub(crate) fn execute_values(
             let succs = &succs;
             let run_one = &run_one;
             scope.spawn(move || {
+                // Task bodies run on runtime workers: a blocking resolve
+                // from inside one can never be satisfied while the
+                // executor holds the core read lock, so mark the thread
+                // and let resolve fail fast with `WouldDeadlock`.
+                let _worker = crate::pipeline::enter_worker();
                 while let Ok(t) = rx.recv() {
                     if t == usize::MAX {
                         return;

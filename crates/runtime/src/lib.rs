@@ -44,6 +44,7 @@ pub mod mapper;
 pub mod pipeline;
 pub mod plan;
 pub mod record;
+pub(crate) mod ring;
 pub mod runtime;
 pub mod sharding;
 pub mod spec;
@@ -58,14 +59,15 @@ pub use error::RuntimeError;
 pub use index_launch::{IndexLaunchResult, Projection};
 pub use instance::PhysicalRegion;
 pub use mapper::Mapper;
-pub use pipeline::{CoreRead, CoreWrite, PipelineMetrics};
+pub use pipeline::{CoreRead, CoreWrite, PipelineMetrics, RingCounters};
 pub use plan::{
     AnalysisResult, CopyRange, MaterializePlan, ReduceRange, Source, StoredResult, TaskShift,
 };
 pub use record::{LaunchRecord, RecordedHistory};
 pub use runtime::{
     default_analysis_threads, default_auto_trace, default_pipeline, default_record_history,
-    LaunchBuilder, LaunchSpec, Runtime, RuntimeConfig, TaskHandle,
+    default_submit_rings, Context, CtxHandle, LaunchBuilder, LaunchSpec, Runtime, RuntimeConfig,
+    TaskHandle, CTX_GLOBAL, CTX_PRIMARY,
 };
 pub use sharding::ShardMap;
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};

@@ -26,6 +26,12 @@ pub struct LaunchRecord {
     pub id: TaskId,
     pub name: String,
     pub node: NodeId,
+    /// The producer context that submitted this launch (PR 7):
+    /// [`crate::CTX_PRIMARY`] for the `Runtime` facade, the context id for
+    /// tenant [`crate::Context`]s, [`crate::CTX_GLOBAL`] for global fences.
+    /// Scoped fences carry their context's id — the oracle only requires a
+    /// fence to follow launches in its own scope.
+    pub ctx: u32,
     /// The submitted requirements, exactly as analyzed.
     pub reqs: Vec<RegionRequirement>,
     /// The PR 3 fingerprint of `(node, reqs)` — the canonical signature
@@ -80,6 +86,7 @@ impl HistoryRecorder {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn commit(
         &mut self,
+        ctx: u32,
         id: TaskId,
         name: &str,
         node: NodeId,
@@ -92,6 +99,7 @@ impl HistoryRecorder {
             id,
             name: name.to_string(),
             node,
+            ctx,
             reqs: reqs.to_vec(),
             signature: crate::autotrace::sig_hash(node, reqs),
             deps: deps.to_vec(),
@@ -123,17 +131,19 @@ mod tests {
     fn commit_assigns_signatures_and_retirement_order() {
         let mut rec = HistoryRecorder::new();
         let reqs = vec![RegionRequirement::read_write(RegionId(0), FieldId(0))];
-        rec.commit(TaskId(0), "w", 0, &reqs, &[], false, false);
-        rec.commit(TaskId(1), "r", 1, &reqs, &[TaskId(0)], false, false);
+        rec.commit(0, TaskId(0), "w", 0, &reqs, &[], false, false);
+        rec.commit(2, TaskId(1), "r", 1, &reqs, &[TaskId(0)], false, false);
         let h = rec.snapshot("test");
         assert_eq!(h.len(), 2);
         assert_eq!(h.retirement, vec![TaskId(0), TaskId(1)]);
         assert_eq!(h.launches[1].deps, vec![TaskId(0)]);
+        assert_eq!(h.launches[0].ctx, 0, "submitting context is recorded");
+        assert_eq!(h.launches[1].ctx, 2);
         // Same (node, reqs) → same signature; different node → different.
         let sig0 = h.launches[0].signature;
         let mut rec2 = HistoryRecorder::new();
-        rec2.commit(TaskId(0), "other-name", 0, &reqs, &[], false, false);
-        rec2.commit(TaskId(1), "w", 1, &reqs, &[], false, false);
+        rec2.commit(0, TaskId(0), "other-name", 0, &reqs, &[], false, false);
+        rec2.commit(0, TaskId(1), "w", 1, &reqs, &[], false, false);
         let h2 = rec2.snapshot("test");
         assert_eq!(
             h2.launches[0].signature, sig0,

@@ -19,13 +19,15 @@ use crate::dag::TaskDag;
 use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
 use crate::error::RuntimeError;
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
-use crate::pipeline::{CoreRead, CoreWrite, Pipeline, PipelineMetrics};
+use crate::pipeline::{CoreRead, CoreWrite, CtxState, Pipeline, PipelineMetrics, SubmitPlane};
 use crate::plan::{AnalysisResult, StoredResult, TaskShift};
 use crate::record::{HistoryRecorder, RecordedHistory};
 use crate::sharding::ShardMap;
 use crate::task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
 use crate::trace::{TraceAction, TraceId, TraceViolation, Tracing};
 use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use viz_geometry::{FxHashMap, Point};
 use viz_region::{redop::Value, FieldId, Privilege, RedOpRegistry, RegionForest, RegionId};
@@ -44,6 +46,7 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 /// | `VIZ_ANALYSIS_THREADS` | [`analysis_threads`](Self::analysis_threads) | worker threads for the sharded batch analysis (unset/`1` = serial) |
 /// | `VIZ_AUTO_TRACE` | [`auto_trace`](Self::auto_trace) | `1`/`true` enables online automatic trace detection |
 /// | `VIZ_PIPELINE` | [`pipeline`](Self::pipeline) | `1`/`true` runs the analysis on a dedicated driver thread, overlapped with submission |
+/// | `VIZ_SUBMIT_RINGS` | [`submit_rings`](Self::submit_rings) | submission rings in the pipelined plane: ring 0 is the `Runtime` facade, the rest serve concurrent [`Context`]s (default 8, min 2) |
 /// | `VIZ_INTERN` | — (engine construction) | `0`/`false`/`off` disables the interned-algebra fast paths and cache; every set operation runs the direct rectangle sweep (see [`viz_geometry::InternConfig`]) |
 /// | `VIZ_ALGEBRA_CACHE_CAP` | — (engine construction) | per-shard algebra-cache capacity in entries (default 4096; `0` disables caching only) |
 /// | `VIZ_ORACLE` | [`record_history`](Self::record_history) | `1`/`true` records every committed launch (requirements, signature, emitted dependence edges, retirement order) for the external consistency oracle (`viz-oracle`) |
@@ -81,7 +84,15 @@ pub struct RuntimeConfig {
     pub pipeline: bool,
     /// Capacity of the submission queue (backpressure bound): a full
     /// queue blocks [`Runtime::submit`] until the driver catches up.
+    /// In pipelined mode every submission ring gets this depth.
     pub pipeline_depth: usize,
+    /// Number of per-context SPSC submission rings in the pipelined plane
+    /// (PR 7). Ring 0 is claimed by the [`Runtime`] facade itself, so up
+    /// to `submit_rings - 1` tenant [`Context`]s can be live at once
+    /// ([`Runtime::new_context`] returns
+    /// [`RuntimeError::RingsExhausted`] past that). Defaults from
+    /// `VIZ_SUBMIT_RINGS` (else 8); ignored in synchronous mode.
+    pub submit_rings: usize,
     /// Interning/memoization configuration for the engine's set algebra.
     /// `None` (the default) reads `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP`
     /// from the environment; the differential tests pin it explicitly so
@@ -133,6 +144,27 @@ pub fn default_record_history() -> bool {
 }
 
 const DEFAULT_PIPELINE_DEPTH: usize = 256;
+const DEFAULT_SUBMIT_RINGS: usize = 8;
+
+/// The `VIZ_SUBMIT_RINGS` default for [`RuntimeConfig::submit_rings`]
+/// (8 when unset or unparsable; clamped to at least 2 so one tenant
+/// context always fits next to the facade's ring).
+pub fn default_submit_rings() -> usize {
+    std::env::var("VIZ_SUBMIT_RINGS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_SUBMIT_RINGS)
+        .max(2)
+}
+
+/// The context id of the [`Runtime`] facade's own submission stream.
+pub const CTX_PRIMARY: u32 = 0;
+
+/// The pseudo context id recorded on *global* fences ([`Runtime::fence`]),
+/// which order after every context's launches. Scoped fences
+/// ([`Context::fence`]) carry their own context id instead. Real context
+/// ids are allocated from [`CTX_PRIMARY`] upward and never reach this.
+pub const CTX_GLOBAL: u32 = u32::MAX;
 
 impl RuntimeConfig {
     pub fn new(engine: EngineKind) -> Self {
@@ -149,6 +181,7 @@ impl RuntimeConfig {
             },
             pipeline: default_pipeline(),
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
+            submit_rings: default_submit_rings(),
             intern: None,
             record_history: default_record_history(),
         }
@@ -208,6 +241,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Submission rings in the pipelined plane (min 2: the facade's ring
+    /// plus at least one for tenant contexts).
+    pub fn submit_rings(mut self, n: usize) -> Self {
+        self.submit_rings = n.max(2);
+        self
+    }
+
     /// Pin the engine's interning configuration instead of reading
     /// `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP` from the environment.
     pub fn intern(mut self, cfg: viz_geometry::InternConfig) -> Self {
@@ -254,19 +294,25 @@ impl LaunchSpec {
 
 /// A lightweight receipt for a submitted launch.
 ///
-/// Task ids are assigned in program order and every id-consuming operation
-/// goes through the [`Runtime`] facade, so the handle's [`TaskId`] is
-/// fixed at submission time — [`TaskHandle::id`] is free and exact even
-/// while the launch is still queued. [`Runtime::resolve`] is the sync
-/// point: it additionally blocks until the launch's analysis has
-/// committed (dependences, plan, and simulated clocks are final).
+/// Task ids are assigned in program order, so while the [`Runtime`]
+/// facade is the *only* producer (no live [`Context`]s — the common case)
+/// the handle's [`TaskId`] is fixed at submission time and
+/// [`TaskHandle::id`] is free and exact even while the launch is still
+/// queued. Once tenant contexts submit concurrently, global ids reflect
+/// the dispatcher's commit interleaving: use [`Runtime::resolve`] /
+/// [`Runtime::try_resolve`], which block until the launch's analysis has
+/// committed (dependences, plan, and simulated clocks are final) and
+/// return the id actually assigned.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TaskHandle {
     seq: u32,
 }
 
 impl TaskHandle {
-    /// The task id this submission was (or will be) assigned.
+    /// The task id this submission was (or will be) assigned, assuming
+    /// the facade is the runtime's only producer (exact whenever no
+    /// [`Context`] has been created; otherwise prefer
+    /// [`Runtime::resolve`]).
     pub fn id(self) -> TaskId {
         TaskId(self.seq)
     }
@@ -303,7 +349,8 @@ pub(crate) struct Core {
 impl Core {
     /// Analyze one launch through the serial path (the operation the paper
     /// measures). Requirements are assumed validated by the facade.
-    fn launch_one(&mut self, spec: LaunchSpec, forest: &RegionForest) -> TaskId {
+    /// `ctx` is the submitting context, recorded for the oracle.
+    fn launch_one(&mut self, ctx: u32, spec: LaunchSpec, forest: &RegionForest) -> TaskId {
         let id = TaskId(self.launches.len() as u32);
         let launch = TaskLaunch {
             id,
@@ -332,6 +379,7 @@ impl Core {
                 let deps: Vec<TaskId> = result.deps.iter().map(|d| shift.apply(*d)).collect();
                 if let Some(rec) = &mut self.recorder {
                     rec.commit(
+                        ctx,
                         id,
                         &launch.name,
                         launch.node,
@@ -352,12 +400,12 @@ impl Core {
                 let engine_name = self.engine.name();
                 let host_span = viz_profile::span(engine_name);
                 let sim_start = self.machine.now(origin);
-                let mut ctx = AnalysisCtx {
+                let mut actx = AnalysisCtx {
                     forest,
                     machine: &mut self.machine,
                     shards: &self.shards,
                 };
-                let mut result = self.engine.analyze(&launch, &mut ctx);
+                let mut result = self.engine.analyze(&launch, &mut actx);
                 drop(host_span);
                 if viz_profile::enabled() {
                     let sim_end = self.machine.now(origin);
@@ -379,6 +427,7 @@ impl Core {
                 self.analysis_done.push(self.machine.now(origin));
                 if let Some(rec) = &mut self.recorder {
                     rec.commit(
+                        ctx,
                         id,
                         &launch.name,
                         launch.node,
@@ -425,6 +474,7 @@ impl Core {
     /// many specs the driver drains per wakeup) cannot affect results.
     pub(crate) fn run_specs(
         &mut self,
+        ctx: u32,
         items: Vec<LaunchSpec>,
         forest: &RegionForest,
     ) -> Vec<TaskId> {
@@ -433,7 +483,7 @@ impl Core {
         while !items.is_empty() {
             if self.analysis_threads <= 1 || items.len() == 1 {
                 for s in items.drain(..) {
-                    ids.push(self.launch_one(s, forest));
+                    ids.push(self.launch_one(ctx, s, forest));
                 }
                 break;
             }
@@ -445,11 +495,11 @@ impl Core {
                 // remainder of the batch.
                 while !items.is_empty() && self.tracing.pending_or_active() {
                     let s = items.pop_front().unwrap();
-                    ids.push(self.launch_one(s, forest));
+                    ids.push(self.launch_one(ctx, s, forest));
                 }
                 continue;
             }
-            ids.extend(self.run_batch_sharded(&mut items, forest));
+            ids.extend(self.run_batch_sharded(ctx, &mut items, forest));
         }
         ids
     }
@@ -459,6 +509,7 @@ impl Core {
     /// promotes a repeat, leaving the rest for the caller to re-dispatch.
     fn run_batch_sharded(
         &mut self,
+        ctx: u32,
         items: &mut VecDeque<LaunchSpec>,
         forest: &RegionForest,
     ) -> Vec<TaskId> {
@@ -556,6 +607,7 @@ impl Core {
                     analysis_done.push(machine.now(origin));
                     if let Some(rec) = recorder.as_mut() {
                         rec.commit(
+                            ctx,
                             launch.id,
                             &launch.name,
                             launch.node,
@@ -575,18 +627,27 @@ impl Core {
         (0..count as u32).map(|k| TaskId(base + k)).collect()
     }
 
-    /// The fence construction (see [`Runtime::fence`]).
+    /// The global fence construction (see [`Runtime::fence`]): ordered
+    /// after every launch committed so far, from every context.
     fn fence(&mut self) -> TaskId {
-        // Fences are not analyzed launches: they interrupt any in-flight
-        // trace instance and break detected periodicity.
-        self.tracing.barrier();
         let deps: Vec<TaskId> = (0..self.launches.len() as u32).map(TaskId).collect();
+        self.fence_scoped(CTX_GLOBAL, deps)
+    }
+
+    /// A fence ordered after an explicit predecessor set — the scoped
+    /// variant [`Context::fence`] uses with its own committed launches.
+    /// `deps` must be sorted ascending (ids in commit order are).
+    pub(crate) fn fence_scoped(&mut self, ctx: u32, deps: Vec<TaskId>) -> TaskId {
+        // Fences are not analyzed launches: they interrupt any in-flight
+        // trace instance and break detected periodicity. Scoped fences do
+        // this too — conservative, but it keeps trace capture linear.
+        self.tracing.barrier();
         let id = TaskId(self.launches.len() as u32);
         let origin = self.shards.origin(0);
         self.machine.op(origin, viz_sim::Op::LaunchOverhead);
         self.analysis_done.push(self.machine.now(origin));
         if let Some(rec) = &mut self.recorder {
-            rec.commit(id, "fence", 0, &[], &deps, false, true);
+            rec.commit(ctx, id, "fence", 0, &[], &deps, false, true);
         }
         self.dag.push(deps.clone());
         self.results.push(StoredResult::Owned(AnalysisResult {
@@ -675,9 +736,17 @@ pub struct Runtime {
     pipeline: Option<Pipeline>,
     validate_launches: bool,
     nodes: usize,
-    /// Task ids handed out so far (submissions + fences). Program order ==
-    /// id order, which is what makes [`TaskHandle::id`] exact.
+    /// Task ids handed out by this facade so far (submissions + fences).
+    /// While the facade is the only producer, program order == id order,
+    /// which is what makes [`TaskHandle::id`] exact.
     submitted: u32,
+    /// The facade's own context bookkeeping (ring 0 of the submission
+    /// plane in pipelined mode; inline commits in synchronous mode).
+    primary: Arc<CtxState>,
+    /// Next tenant context id ([`CTX_PRIMARY`] + 1 and up). Stays at its
+    /// initial value iff no [`Context`] was ever created — the condition
+    /// under which facade handles resolve to their submission sequence.
+    next_ctx: AtomicU32,
 }
 
 impl Runtime {
@@ -709,8 +778,13 @@ impl Runtime {
                 Arc::clone(&core),
                 Arc::clone(&forest),
                 config.pipeline_depth,
+                config.submit_rings.max(2),
             )
         });
+        let primary = pipeline
+            .as_ref()
+            .map(|p| Arc::clone(p.primary()))
+            .unwrap_or_else(|| CtxState::new(CTX_PRIMARY));
         Runtime {
             forest,
             redops: RedOpRegistry::new(),
@@ -720,6 +794,8 @@ impl Runtime {
             validate_launches: config.validate_launches,
             nodes: config.nodes,
             submitted: 0,
+            primary,
+            next_ctx: AtomicU32::new(CTX_PRIMARY + 1),
         }
     }
 
@@ -736,12 +812,23 @@ impl Runtime {
         rt
     }
 
-    /// Wait until the submission queue has fully drained (no-op in
-    /// synchronous mode).
+    /// Wait until every submission ring has fully drained (no-op in
+    /// synchronous mode). Panics if the dispatcher died — accessors that
+    /// need committed state cannot return it; use the fallible submission
+    /// API ([`Runtime::submit`] returns
+    /// [`RuntimeError::DriverPanicked`]) to observe the failure as a value.
     fn drain(&self) {
         if let Some(p) = &self.pipeline {
-            p.drain();
+            if let Err(e) = p.drain() {
+                panic!("{e}");
+            }
         }
+    }
+
+    /// Has any [`Context`] ever been created? (If not, facade handles map
+    /// to their submission sequence and `debug_assert`s pin that.)
+    fn multi_producer(&self) -> bool {
+        self.next_ctx.load(Ordering::Acquire) != CTX_PRIMARY + 1
     }
 
     /// Forest read access for the submit path: a poisoned lock (a panic on
@@ -829,15 +916,16 @@ impl Runtime {
             validate_spec(&forest, &spec.reqs)?;
         }
         let seq = self.submitted;
-        self.submitted += 1;
         match &self.pipeline {
-            Some(p) => p.enqueue(spec),
+            Some(p) => p.enqueue(spec)?,
             None => {
                 let forest = self.forest_read()?;
-                let id = self.core_write()?.launch_one(spec, &forest);
-                debug_assert_eq!(id.0, seq);
+                let id = self.core_write()?.launch_one(CTX_PRIMARY, spec, &forest);
+                self.primary.record_inline(id);
+                debug_assert!(self.multi_producer() || id.0 == seq);
             }
         }
+        self.submitted = seq + 1;
         Ok(TaskHandle { seq })
     }
 
@@ -858,14 +946,17 @@ impl Runtime {
         }
         let base = self.submitted;
         let n = specs.len() as u32;
-        self.submitted += n;
         match &self.pipeline {
-            Some(p) => p.enqueue_all(specs),
+            Some(p) => p.enqueue_all(specs)?,
             None => {
                 let forest = self.forest_read()?;
-                self.core_write()?.run_specs(specs, &forest);
+                let ids = self.core_write()?.run_specs(CTX_PRIMARY, specs, &forest);
+                for id in ids {
+                    self.primary.record_inline(id);
+                }
             }
         }
+        self.submitted = base + n;
         Ok((0..n).map(|k| TaskHandle { seq: base + k }).collect())
     }
 
@@ -878,12 +969,45 @@ impl Runtime {
     }
 
     /// Resolve a handle at a sync point: blocks until the launch's
-    /// analysis has committed, then returns its [`TaskId`].
+    /// analysis has committed, then returns the [`TaskId`] it was actually
+    /// assigned. Panics if the dispatcher died or the call would
+    /// self-deadlock — use [`Runtime::try_resolve`] for the fallible form.
     pub fn resolve(&self, handle: TaskHandle) -> TaskId {
-        if let Some(p) = &self.pipeline {
-            p.wait_committed(handle.seq as u64 + 1);
+        match self.try_resolve(handle) {
+            Ok(id) => id,
+            Err(e) => panic!("{e}"),
         }
-        handle.id()
+    }
+
+    /// Fallible [`Runtime::resolve`].
+    ///
+    /// Errors instead of blocking forever in two cases:
+    /// [`RuntimeError::DriverPanicked`] when the dispatcher has died with
+    /// the launch unanalyzed, and [`RuntimeError::WouldDeadlock`] when
+    /// called from *inside* a runtime worker (the pipeline dispatcher or a
+    /// value-executor task body) on a launch that has not committed yet —
+    /// such a wait can never be satisfied, because the waiter is the
+    /// thread that would have to make the progress (the executor holds the
+    /// core read lock the dispatcher needs for the rest of the run).
+    pub fn try_resolve(&self, handle: TaskHandle) -> Result<TaskId, RuntimeError> {
+        if let Some(id) = self.primary.try_id(handle.seq) {
+            return Ok(id);
+        }
+        if crate::pipeline::in_worker() {
+            return Err(RuntimeError::WouldDeadlock);
+        }
+        match &self.pipeline {
+            Some(p) => {
+                p.wait_committed(handle.seq as u64 + 1)?;
+                Ok(self
+                    .primary
+                    .try_id(handle.seq)
+                    .expect("committed launches have assigned ids"))
+            }
+            // Synchronous mode commits inline, so an unknown seq can only
+            // be a handle that was never issued by this runtime.
+            None => panic!("resolve of a handle this runtime never issued"),
+        }
     }
 
     /// Drain the submission queue: on return, every launch submitted so
@@ -1001,7 +1125,8 @@ impl Runtime {
     pub fn fence(&mut self) -> TaskId {
         self.drain();
         let id = self.core.write().unwrap().fence();
-        debug_assert_eq!(id.0, self.submitted);
+        self.primary.record_inline(id);
+        debug_assert!(self.multi_producer() || id.0 == self.submitted);
         self.submitted += 1;
         id
     }
@@ -1016,15 +1141,16 @@ impl Runtime {
         region: RegionId,
         field: FieldId,
     ) -> Result<TaskId, RuntimeError> {
-        Ok(self
-            .submit(LaunchSpec::new(
-                "inline-read",
-                0,
-                vec![RegionRequirement::read(region, field)],
-                0,
-                None,
-            ))?
-            .id())
+        let h = self.submit(LaunchSpec::new(
+            "inline-read",
+            0,
+            vec![RegionRequirement::read(region, field)],
+            0,
+            None,
+        ))?;
+        // Resolve rather than trust `TaskHandle::id`: with tenant contexts
+        // interleaving, the facade's sequence is not the global id.
+        self.try_resolve(h)
     }
 
     // ------------------------------------------------------------------
@@ -1119,10 +1245,12 @@ impl Runtime {
         self.nodes
     }
 
-    /// Tasks submitted so far (including fences and inline reads). Counts
-    /// submissions, so it never drains.
+    /// Tasks committed so far across every producer (facade submissions,
+    /// tenant-context submissions, fences, and inline reads). A drain
+    /// point: queued launches are counted once the plane quiesces.
     pub fn num_tasks(&self) -> usize {
-        self.submitted as usize
+        self.drain();
+        self.core.read().unwrap().launches.len()
     }
 
     /// Simulated time at which the analysis of task `t` completed.
@@ -1140,6 +1268,219 @@ impl Runtime {
         let core = self.core.read().unwrap();
         let engine = core.engine.name();
         core.recorder.as_ref().map(|r| r.snapshot(engine))
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-producer contexts (PR 7)
+    // ------------------------------------------------------------------
+
+    /// Open an independent producer context: its own program-order counter
+    /// and fence scope, sharing this runtime's engine, forest, and
+    /// machine. The context is `Send` (the point: move it into a worker
+    /// thread and submit concurrently with the facade and other contexts)
+    /// but borrows the runtime, so every context must be dropped before
+    /// the runtime can be moved or dropped.
+    ///
+    /// In pipelined mode the context claims a private SPSC submission
+    /// ring; with all [`RuntimeConfig::submit_rings`] rings claimed this
+    /// returns [`RuntimeError::RingsExhausted`] (rings are recycled when
+    /// contexts drop). In synchronous mode submissions take the core lock
+    /// inline, so contexts still work — just without submission overlap.
+    pub fn new_context(&self) -> Result<Context<'_>, RuntimeError> {
+        let ctx = self.next_ctx.fetch_add(1, Ordering::AcqRel);
+        assert!(ctx < CTX_GLOBAL, "context ids exhausted");
+        let state = CtxState::new(ctx);
+        let ring = match &self.pipeline {
+            Some(p) => {
+                let plane = Arc::clone(p.plane());
+                let index = plane.claim_ring(&state)?;
+                Some((plane, index))
+            }
+            None => None,
+        };
+        Ok(Context {
+            core: Arc::clone(&self.core),
+            forest: Arc::clone(&self.forest),
+            state,
+            ring,
+            validate: self.validate_launches,
+            submitted: 0,
+            _rt: PhantomData,
+        })
+    }
+}
+
+/// An independent producer stream over a shared [`Runtime`] (PR 7):
+/// tenant contexts submit concurrently from their own threads, each with
+/// its own program-order counter and fence scope. Created by
+/// [`Runtime::new_context`]; dropping a context quiesces its stream and
+/// recycles its submission ring.
+///
+/// Submissions return [`CtxHandle`]s, which resolve to the global
+/// [`TaskId`] the combining dispatcher assigned (ids interleave across
+/// contexts in commit order). [`Context::fence`] is a *scoped* fence:
+/// ordered after everything this context submitted, but not after other
+/// contexts' concurrent launches — use [`Runtime::fence`] for a global
+/// barrier.
+pub struct Context<'rt> {
+    core: Arc<RwLock<Core>>,
+    forest: Arc<RwLock<RegionForest>>,
+    state: Arc<CtxState>,
+    ring: Option<(Arc<SubmitPlane>, usize)>,
+    validate: bool,
+    /// Context-local sequence numbers handed out (submissions + fences).
+    submitted: u32,
+    /// Ties the context's lifetime to the runtime borrow without
+    /// requiring anything of the runtime's own auto traits.
+    _rt: PhantomData<&'rt ()>,
+}
+
+impl Context<'_> {
+    /// This context's id, as recorded in launch histories.
+    pub fn ctx_id(&self) -> u32 {
+        self.state.ctx
+    }
+
+    /// Submissions + fences issued through this context so far.
+    pub fn num_tasks(&self) -> usize {
+        self.submitted as usize
+    }
+
+    /// Submit one launch on this context's stream. Validated on the
+    /// calling thread; analyzed by the dispatcher (pipelined) or inline
+    /// under the core lock (synchronous). Blocks only on this context's
+    /// ring backpressure — never on other producers.
+    pub fn submit(&mut self, spec: LaunchSpec) -> Result<CtxHandle, RuntimeError> {
+        self.submit_batch(vec![spec]).map(|mut v| v.pop().unwrap())
+    }
+
+    /// Submit a batch in order on this context's stream. Validation is
+    /// atomic, as in [`Runtime::submit_batch`].
+    pub fn submit_batch(&mut self, specs: Vec<LaunchSpec>) -> Result<Vec<CtxHandle>, RuntimeError> {
+        if self.validate {
+            let forest = self.forest.read().map_err(|_| RuntimeError::Poisoned {
+                what: "region forest",
+            })?;
+            for s in &specs {
+                validate_spec(&forest, &s.reqs)?;
+            }
+        }
+        let base = self.submitted;
+        let n = specs.len() as u32;
+        match &self.ring {
+            Some((plane, index)) => plane.enqueue_all(*index, &self.state, specs)?,
+            None => {
+                let forest = self.forest.read().map_err(|_| RuntimeError::Poisoned {
+                    what: "region forest",
+                })?;
+                let ids = {
+                    let mut core = self
+                        .core
+                        .write()
+                        .map_err(|_| RuntimeError::Poisoned { what: "core" })?;
+                    core.run_specs(self.state.ctx, specs, &forest)
+                };
+                for id in ids {
+                    self.state.record_inline(id);
+                }
+            }
+        }
+        self.submitted = base + n;
+        Ok((0..n)
+            .map(|k| CtxHandle {
+                seq: base + k,
+                state: Arc::clone(&self.state),
+                plane: self.ring.as_ref().map(|(p, _)| Arc::clone(p)),
+            })
+            .collect())
+    }
+
+    /// A *scoped* execution fence: ordered after every launch this context
+    /// has submitted (quiescing the context's own stream first), but not
+    /// after other contexts' concurrent launches. Committed inline, so the
+    /// returned [`TaskId`] is final.
+    pub fn fence(&mut self) -> Result<TaskId, RuntimeError> {
+        self.flush()?;
+        let deps = self.state.assigned.lock().unwrap().clone();
+        let id = {
+            let mut core = self
+                .core
+                .write()
+                .map_err(|_| RuntimeError::Poisoned { what: "core" })?;
+            core.fence_scoped(self.state.ctx, deps)
+        };
+        self.state.record_inline(id);
+        self.submitted += 1;
+        Ok(id)
+    }
+
+    /// Wait until everything this context submitted has committed
+    /// (pipelined mode; synchronous commits are already inline).
+    pub fn flush(&self) -> Result<(), RuntimeError> {
+        if let Some((plane, _)) = &self.ring {
+            let want = self.state.pushed.load(Ordering::Acquire);
+            plane.wait_ctx_committed(&self.state, want)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Context<'_> {
+    fn drop(&mut self) {
+        if let Some((plane, index)) = self.ring.take() {
+            // Quiesces this context's stream (its queued launches are
+            // never lost), then frees the ring for the next context.
+            plane.release_ring(index);
+        }
+    }
+}
+
+/// Receipt for a launch submitted through a [`Context`]. Unlike
+/// [`TaskHandle`], the global [`TaskId`] is *not* known at submission
+/// time — ids interleave across concurrent producers in commit order —
+/// so the handle carries its context's bookkeeping and resolves through
+/// it. `Clone`able and `Send`; outlives its context.
+#[derive(Clone)]
+pub struct CtxHandle {
+    seq: u32,
+    state: Arc<CtxState>,
+    plane: Option<Arc<SubmitPlane>>,
+}
+
+impl CtxHandle {
+    /// Position in the owning context's program order.
+    pub fn seq(&self) -> u32 {
+        self.seq
+    }
+
+    /// The assigned [`TaskId`], if this launch's analysis has committed
+    /// (never blocks).
+    pub fn try_id(&self) -> Option<TaskId> {
+        self.state.try_id(self.seq)
+    }
+
+    /// Block until this launch's analysis commits and return its global
+    /// [`TaskId`]. Fails with [`RuntimeError::DriverPanicked`] if the
+    /// dispatcher died first, and with [`RuntimeError::WouldDeadlock`]
+    /// when called from inside a runtime worker on an uncommitted launch
+    /// (see [`Runtime::try_resolve`]).
+    pub fn resolve(&self) -> Result<TaskId, RuntimeError> {
+        if let Some(id) = self.state.try_id(self.seq) {
+            return Ok(id);
+        }
+        if crate::pipeline::in_worker() {
+            return Err(RuntimeError::WouldDeadlock);
+        }
+        match &self.plane {
+            Some(plane) => {
+                plane.wait_ctx_committed(&self.state, self.seq as u64 + 1)?;
+                Ok(self
+                    .state
+                    .try_id(self.seq)
+                    .expect("committed launches have assigned ids"))
+            }
+            None => panic!("synchronous contexts commit inline"),
+        }
     }
 }
 
@@ -1371,5 +1712,96 @@ mod tests {
         ));
         // The failed end left trace 1 open and consistent.
         assert!(rt.try_end_trace(1).unwrap().is_none());
+    }
+
+    /// Satellite 3 (PR 7): a blocking resolve from inside a runtime worker
+    /// (dispatcher or executor) on an uncommitted handle would wait on the
+    /// very thread that is supposed to commit it. Wedging the dispatcher by
+    /// holding the core write lock makes the race deterministic.
+    #[test]
+    fn reentrant_resolve_reports_would_deadlock() {
+        let mut rt = Runtime::new(RuntimeConfig::new(EngineKind::RayCast).pipeline(true));
+        let root = rt.forest_mut().create_root_1d("A", 16);
+        let f = rt.forest_mut().add_field(root, "v");
+        let core = Arc::clone(&rt.core);
+        let gate = core.write().unwrap();
+        let h = rt
+            .submit(LaunchSpec::new(
+                "w",
+                0,
+                vec![RegionRequirement::read_write(root, f)],
+                0,
+                None,
+            ))
+            .unwrap();
+        {
+            let _worker = crate::pipeline::enter_worker();
+            let err = rt.try_resolve(h).unwrap_err();
+            assert!(matches!(err, RuntimeError::WouldDeadlock));
+            assert!(err.to_string().contains("self-deadlock"));
+        }
+        drop(gate);
+        // Off the worker path the same resolve blocks and succeeds...
+        assert_eq!(rt.resolve(h), TaskId(0));
+        // ...and a *committed* handle resolves even inside a worker (the
+        // fast path never blocks).
+        let _worker = crate::pipeline::enter_worker();
+        assert_eq!(rt.try_resolve(h).unwrap(), TaskId(0));
+    }
+
+    /// With the dispatcher wedged, pushes from two rings pile up and the
+    /// release sweep must drain both under one core-lock acquisition.
+    #[test]
+    fn wedged_dispatcher_release_is_one_combined_sweep() {
+        let mut rt = Runtime::new(
+            RuntimeConfig::new(EngineKind::RayCast)
+                .pipeline(true)
+                .submit_rings(2),
+        );
+        let root_a = rt.forest_mut().create_root_1d("A", 16);
+        let fa = rt.forest_mut().add_field(root_a, "v");
+        let root_b = rt.forest_mut().create_root_1d("B", 16);
+        let fb = rt.forest_mut().add_field(root_b, "v");
+        let metrics = rt.pipeline_metrics().unwrap();
+        let core = Arc::clone(&rt.core);
+        let gate = core.write().unwrap();
+        // Primary ring: two facade launches. Tenant ring: two more.
+        for _ in 0..2 {
+            rt.submit(LaunchSpec::new(
+                "p",
+                0,
+                vec![RegionRequirement::read_write(root_a, fa)],
+                0,
+                None,
+            ))
+            .unwrap();
+        }
+        let mut ctx = rt.new_context().unwrap();
+        for _ in 0..2 {
+            ctx.submit(LaunchSpec::new(
+                "t",
+                0,
+                vec![RegionRequirement::read_write(root_b, fb)],
+                0,
+                None,
+            ))
+            .unwrap();
+        }
+        // The dispatcher may have grabbed at most one early sub-batch
+        // before blocking on the core lock; everything still queued when
+        // the gate opens commits in combined sweeps.
+        drop(gate);
+        drop(ctx);
+        rt.flush();
+        assert_eq!(metrics.submitted(), 4);
+        assert_eq!(metrics.retired(), 4);
+        assert_eq!(metrics.combined_specs(), 4);
+        assert!(metrics.combines() >= 1);
+        assert!(metrics.max_combine() >= 2, "queued pushes combined");
+        assert_eq!(
+            metrics.ring(0).submitted + metrics.ring(1).submitted,
+            4,
+            "per-ring counters decompose the total"
+        );
     }
 }

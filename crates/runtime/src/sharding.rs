@@ -13,6 +13,13 @@
 //! Analysis *state* (histories, composite views, equivalence sets) is owned
 //! by nodes on a first-touch basis, mirroring Legion's migration of
 //! equivalence sets to their first user.
+//!
+//! Ownership versioning is keyed by the **global launch id**, which the
+//! combining dispatcher assigns at commit time (PR 7). A combined batch
+//! that interleaves several producer contexts therefore needs no special
+//! handling here: whatever order the rings were drained in, each launch's
+//! view of the shard map is determined solely by its committed id, exactly
+//! as if the interleaved stream had been submitted by one producer.
 
 use viz_geometry::FxHashMap;
 use viz_region::RegionId;
@@ -117,5 +124,25 @@ mod tests {
         assert_eq!(s.owner(r, 2), 0, "launch 2 predates the touch");
         assert_eq!(s.owner(r, 3), 1, "the toucher itself sees it");
         assert_eq!(s.owner(r, 9), 1, "so does everyone after");
+    }
+
+    #[test]
+    fn combined_multi_context_batches_version_by_commit_order() {
+        // PR 7: a combined sweep interleaves launches from several rings;
+        // ids are assigned at commit, so the touch order below is exactly
+        // the dispatcher's commit order regardless of the source ring.
+        // Context A committed ids {0, 2}, context B ids {1, 3}.
+        let mut s = ShardMap::new(4, true);
+        let ra = RegionId(1);
+        let rb = RegionId(2);
+        s.touch(ra, 3, 0); // A's first launch claims its region on node 3
+        s.touch(rb, 2, 1); // B's first launch claims its region on node 2
+        s.touch(ra, 1, 2); // A's second launch: already owned, no-op
+        s.touch(rb, 1, 3); // B's second launch: already owned, no-op
+        assert_eq!(s.owner(ra, 2), 3, "A's state stays where A first put it");
+        assert_eq!(s.owner(rb, 3), 2, "B's state stays where B first put it");
+        // A launch committed before a region's first touch never sees it,
+        // even when the touch came from another context's ring.
+        assert_eq!(s.owner(rb, 0), 0);
     }
 }

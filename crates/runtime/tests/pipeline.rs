@@ -514,6 +514,72 @@ fn trace_misnesting_errors_pipelined() {
     assert!(rt.try_end_trace(1).unwrap().is_none());
 }
 
+/// Satellite 1 (PR 7): a driver panic mid-batch must not silently lose
+/// dequeued-but-unretired specs. The panic is latched, later submissions
+/// fail with [`RuntimeError::DriverPanicked`] carrying the exact count of
+/// queued launches that will never be analyzed, and dropping the runtime
+/// re-raises the original panic payload.
+#[test]
+fn driver_panic_surfaces_lost_launches_and_rethrows() {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(EngineKind::RayCast)
+            .nodes(2)
+            .pipeline(true)
+            // Let a poison spec reach the driver thread: producer-side
+            // validation would otherwise reject it before enqueue.
+            .validate(false),
+    );
+    let (root, field, _regions) = setup_regions(&mut rt);
+    let metrics = rt.pipeline_metrics().unwrap();
+    let ok = |i: usize| {
+        LaunchSpec::new(
+            format!("ok{i}"),
+            0,
+            vec![RegionRequirement::read_write(root, field)],
+            0,
+            None,
+        )
+    };
+    let poison = LaunchSpec::new(
+        "poison",
+        0,
+        vec![RegionRequirement::read(viz_region::RegionId(9999), field)],
+        0,
+        None,
+    );
+    // The poison rides last: all three pushes land before the driver can
+    // possibly panic, so `submitted` is exactly 3.
+    rt.submit_batch(vec![ok(0), ok(1), poison]).unwrap();
+    let start = std::time::Instant::now();
+    while !metrics.panicked() {
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "driver never panicked on the poison spec"
+        );
+        std::thread::yield_now();
+    }
+    assert_eq!(metrics.submitted(), 3);
+    let lost = metrics.lost();
+    assert!(
+        (1..=3).contains(&lost),
+        "the poison spec itself can never retire (lost = {lost})"
+    );
+    assert_eq!(lost, metrics.submitted() - metrics.retired());
+    // Subsequent submissions are refused with the loss count attached.
+    let err = rt.submit(ok(2)).expect_err("post-panic submissions fail");
+    match &err {
+        RuntimeError::DriverPanicked { lost: l } => assert_eq!(*l, lost),
+        e => panic!("expected DriverPanicked, got {e}"),
+    }
+    assert!(err.to_string().contains("unanalyzed"));
+    // Dropping the runtime propagates the driver's panic payload.
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || drop(rt)));
+    assert!(unwound.is_err(), "drop must propagate the driver panic");
+    // The metrics handle outlives the runtime and still reports the loss.
+    assert!(metrics.panicked());
+    assert_eq!(metrics.lost(), lost);
+}
+
 /// Handles resolve to program-order ids across every submission spelling
 /// (submit, submit_batch, builder, fence, inline_read).
 #[test]

@@ -86,14 +86,24 @@ pub mod test_runner {
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(64),
+            }
         }
     }
 
     impl ProptestConfig {
+        /// Like real proptest, `PROPTEST_CASES` overrides any in-source
+        /// count — CI uses it to trim expensive suites (e.g. under TSAN).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
+    }
+
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
     }
 }
 
