@@ -1,0 +1,296 @@
+//! Candidate-resolution microbench: scalar per-query K-d walks vs the
+//! batched SoA sweep over the flattened snapshot (`VIZ_VIS_BACKEND=batch`).
+//!
+//! The workload replays what the raycast backward scan hands a shard per
+//! launch batch: a set of requirements, each contributing a handful of
+//! query rectangles, resolved against the live-set interval tree. Leaf
+//! density is held constant as the tree grows, so per-query hit counts
+//! stay flat and the curves isolate traversal cost. Reported per tree
+//! size (32 is below the default `VIZ_VIS_BATCH_MIN`, so the batch
+//! backend's scalar fallback runs there — the no-regression row):
+//!
+//! * best-of-reps wall-clock of the full batch stream for each backend
+//!   (reps interleaved between the two paths to cancel ambient load);
+//! * throughput in resolved queries per second and the batch/scalar
+//!   speedup — the acceptance target is ≥ 2x at ≥ 1024 spaces;
+//! * a TSV at `results/visibility_batch.tsv` and machine-readable JSON at
+//!   the repo root (`BENCH_visibility.json`);
+//! * criterion timings for both backends at the largest size.
+//!
+//! Correctness is not measured here — it is proved by the differential
+//! suite in `viz-runtime/tests/prop_vis_backend_differential.rs` and the
+//! snapshot property tests in `viz-geometry/tests/prop_spatial_indexes.rs`.
+//! Set `VIZ_BENCH_SMOKE=1` for a single-sample CI smoke run that still
+//! writes both artifacts but skips the speedup assertions.
+
+use criterion::Criterion;
+use std::hint::black_box;
+use std::time::Instant;
+use viz_geometry::{DynamicBvh, Rect};
+use viz_runtime::analysis::visibility::{
+    BatchVisibility, QuerySpan, ScalarVisibility, VisibilityBackend, DEFAULT_BATCH_MIN,
+};
+
+/// Tree sizes (live index spaces). 32 sits below `DEFAULT_BATCH_MIN`.
+const SIZES: [usize; 5] = [32, 64, 256, 1024, 4096];
+/// Requirements per shard batch, each with two query rects (a primary
+/// span and a halo strip), like the scan's per-launch query lists.
+const REQS: usize = 96;
+
+/// Deterministic xorshift so runs are reproducible without seeding rand.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: i64) -> i64 {
+        (self.next() % n.max(1) as u64) as i64
+    }
+}
+
+/// Constant-density fixture: `n` 10x8 leaves scattered over a square that
+/// grows with `n`, plus the REQS x 2 query batch.
+fn fixture(n: usize) -> (DynamicBvh, Vec<Rect>, Vec<QuerySpan>) {
+    let side = (((n as f64).sqrt() * 24.0) as i64).max(64);
+    let mut rng = Lcg(0x9e37_79b9 ^ n as u64);
+    let mut tree = DynamicBvh::new();
+    for i in 0..n {
+        let x = rng.below(side);
+        let y = rng.below(side);
+        tree.insert(i as u64, Rect::xy(x, x + 10, y, y + 8));
+    }
+    let mut queries = Vec::new();
+    let mut spans = Vec::new();
+    for _ in 0..REQS {
+        let start = queries.len() as u32;
+        let (x, y) = (rng.below(side), rng.below(side));
+        queries.push(Rect::xy(x, x + 120, y, y + 96));
+        let (hx, hy) = (rng.below(side), rng.below(side));
+        queries.push(Rect::xy(hx, hx + 200, hy, hy + 8));
+        spans.push((start, 2));
+    }
+    (tree, queries, spans)
+}
+
+/// One full shard batch through a backend: every requirement resolved and
+/// its candidate list checksummed (so no work can be elided). The scan's
+/// downstream sort/dedup is *not* timed — it costs the same either way and
+/// this bench isolates resolution throughput.
+fn run_batch(
+    backend: &mut dyn VisibilityBackend,
+    tree: &DynamicBvh,
+    queries: &[Rect],
+    spans: &[QuerySpan],
+    out: &mut Vec<u64>,
+) -> u64 {
+    backend.begin_batch();
+    let mut sum = 0u64;
+    for k in 0..spans.len() {
+        out.clear();
+        backend.resolve(tree, queries, spans, k, out);
+        for &id in out.iter() {
+            sum = sum.wrapping_add(id ^ (id << 7));
+        }
+        sum = sum.wrapping_add(out.len() as u64);
+    }
+    sum
+}
+
+/// One timed rep: `rounds` batches, seconds per batch.
+fn time_rep(
+    backend: &mut dyn VisibilityBackend,
+    tree: &DynamicBvh,
+    queries: &[Rect],
+    spans: &[QuerySpan],
+    out: &mut Vec<u64>,
+    rounds: usize,
+) -> f64 {
+    let t0 = Instant::now();
+    let mut sum = 0u64;
+    for _ in 0..rounds {
+        sum = sum.wrapping_add(run_batch(backend, tree, queries, spans, out));
+    }
+    black_box(sum);
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+/// Best-of-reps seconds per batch for both backends, reps *interleaved*
+/// so ambient load and frequency drift on a shared box hit both paths
+/// alike; the minimum is the least-noise estimator of the true cost.
+fn measure_pair(
+    scalar: &mut dyn VisibilityBackend,
+    batch: &mut dyn VisibilityBackend,
+    tree: &DynamicBvh,
+    queries: &[Rect],
+    spans: &[QuerySpan],
+    reps: usize,
+    rounds: usize,
+) -> (f64, f64) {
+    let mut out = Vec::new();
+    // Warm-up sizes every scratch buffer (and takes the flat snapshot).
+    black_box(run_batch(scalar, tree, queries, spans, &mut out));
+    black_box(run_batch(batch, tree, queries, spans, &mut out));
+    let (mut best_s, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..reps {
+        best_s = best_s.min(time_rep(scalar, tree, queries, spans, &mut out, rounds));
+        best_b = best_b.min(time_rep(batch, tree, queries, spans, &mut out, rounds));
+    }
+    (best_s, best_b)
+}
+
+struct Row {
+    spaces: usize,
+    scalar_us: f64,
+    batch_us: f64,
+    speedup: f64,
+    scalar_qps: f64,
+    batch_qps: f64,
+}
+
+fn speedup_report(smoke: bool) -> Vec<Row> {
+    let (reps, rounds) = if smoke { (1, 1) } else { (7, 40) };
+    let mut rows = Vec::new();
+    for &n in &SIZES {
+        let (tree, queries, spans) = fixture(n);
+        // Sanity: the two backends return the same candidates.
+        {
+            let mut s = ScalarVisibility::default();
+            let mut b = BatchVisibility::new(0);
+            let (mut so, mut bo) = (Vec::new(), Vec::new());
+            assert_eq!(
+                run_batch(&mut s, &tree, &queries, &spans, &mut so),
+                run_batch(&mut b, &tree, &queries, &spans, &mut bo),
+                "backends diverged at {n} spaces"
+            );
+        }
+        let mut scalar = ScalarVisibility::default();
+        // Default threshold: at 32 spaces this exercises the fallback row.
+        let mut batch = BatchVisibility::new(DEFAULT_BATCH_MIN);
+        let (scalar_s, batch_s) = measure_pair(
+            &mut scalar,
+            &mut batch,
+            &tree,
+            &queries,
+            &spans,
+            reps,
+            rounds,
+        );
+        let nq = queries.len() as f64;
+        rows.push(Row {
+            spaces: n,
+            scalar_us: scalar_s * 1e6,
+            batch_us: batch_s * 1e6,
+            speedup: scalar_s / batch_s,
+            scalar_qps: nq / scalar_s,
+            batch_qps: nq / batch_s,
+        });
+    }
+    rows
+}
+
+fn write_artifacts(rows: &[Row], smoke: bool) {
+    println!(
+        "\n# Candidate resolution: scalar K-d walks vs batched SoA sweep \
+         ({REQS} reqs x 2 rects per batch; 32 spaces = fallback row)"
+    );
+    let mut tsv = String::from(
+        "spaces\tscalar_us_per_batch\tbatch_us_per_batch\tspeedup\tscalar_qps\tbatch_qps\n",
+    );
+    for r in rows {
+        tsv.push_str(&format!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.0}\t{:.0}\n",
+            r.spaces, r.scalar_us, r.batch_us, r.speedup, r.scalar_qps, r.batch_qps
+        ));
+    }
+    print!("{tsv}");
+    let out = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/visibility_batch.tsv"
+    );
+    match std::fs::write(out, &tsv) {
+        Ok(()) => println!("# wrote {out}"),
+        Err(e) => println!("# could not write {out}: {e}"),
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"visibility_batch\",\n");
+    json.push_str(&format!(
+        "  \"smoke\": {smoke},\n  \"reqs_per_batch\": {REQS},\n  \
+         \"queries_per_batch\": {},\n  \"batch_min\": {DEFAULT_BATCH_MIN},\n  \"rows\": [\n",
+        REQS * 2
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"spaces\": {}, \"scalar_us_per_batch\": {:.2}, \
+             \"batch_us_per_batch\": {:.2}, \"speedup\": {:.3}, \
+             \"scalar_queries_per_sec\": {:.0}, \"batch_queries_per_sec\": {:.0}}}{}\n",
+            r.spaces,
+            r.scalar_us,
+            r.batch_us,
+            r.speedup,
+            r.scalar_qps,
+            r.batch_qps,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let jout = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_visibility.json");
+    match std::fs::write(jout, &json) {
+        Ok(()) => println!("# wrote {jout}"),
+        Err(e) => println!("# could not write {jout}: {e}"),
+    }
+}
+
+fn criterion_benches(c: &mut Criterion) {
+    let n = *SIZES.last().unwrap();
+    let (tree, queries, spans) = fixture(n);
+    let mut g = c.benchmark_group("visibility_batch");
+    let mut scalar = ScalarVisibility::default();
+    let mut out = Vec::new();
+    g.bench_function("scalar_4096", |b| {
+        b.iter(|| run_batch(&mut scalar, &tree, black_box(&queries), &spans, &mut out))
+    });
+    let mut batch = BatchVisibility::new(DEFAULT_BATCH_MIN);
+    g.bench_function("batch_4096", |b| {
+        b.iter(|| run_batch(&mut batch, &tree, black_box(&queries), &spans, &mut out))
+    });
+    g.finish();
+}
+
+fn main() {
+    let smoke = std::env::var("VIZ_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let rows = speedup_report(smoke);
+    write_artifacts(&rows, smoke);
+    if !smoke {
+        for r in &rows {
+            if r.spaces >= 1024 {
+                assert!(
+                    r.speedup >= 2.0,
+                    "batch sweep reached only {:.2}x at {} spaces (target: >= 2x)",
+                    r.speedup,
+                    r.spaces
+                );
+            } else if r.spaces < DEFAULT_BATCH_MIN {
+                assert!(
+                    r.speedup >= 0.75,
+                    "fallback path regressed to {:.2}x at {} spaces (below threshold \
+                     it must track scalar)",
+                    r.speedup,
+                    r.spaces
+                );
+            }
+        }
+        let mut c = Criterion::default()
+            .measurement_time(std::time::Duration::from_secs(1))
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .configure_from_args();
+        criterion_benches(&mut c);
+        c.final_summary();
+    }
+}

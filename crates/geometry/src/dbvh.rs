@@ -24,19 +24,19 @@ use crate::rect::Rect;
 const NONE: u32 = u32::MAX;
 
 #[derive(Clone, Debug)]
-struct Node {
-    bbox: Rect,
-    parent: u32,
+pub(crate) struct Node {
+    pub(crate) bbox: Rect,
+    pub(crate) parent: u32,
     /// `NONE` for leaves.
-    left: u32,
-    right: u32,
+    pub(crate) left: u32,
+    pub(crate) right: u32,
     /// Item id (leaves only).
-    id: u64,
+    pub(crate) id: u64,
 }
 
 impl Node {
     #[inline]
-    fn is_leaf(&self) -> bool {
+    pub(crate) fn is_leaf(&self) -> bool {
         self.left == NONE
     }
 }
@@ -47,12 +47,17 @@ impl Node {
 /// a live id is a logic error and panics in debug builds).
 #[derive(Clone, Debug, Default)]
 pub struct DynamicBvh {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
     free: Vec<u32>,
-    root: u32,
+    pub(crate) root: u32,
     leaf_of: FxHashMap<u64, u32>,
     refits: u64,
     rebuilds: u64,
+    /// Bumped on every structural mutation (insert/remove, including the
+    /// rebuilds they trigger). Flat snapshots ([`crate::FlatBvh`]) record
+    /// the epoch they were taken at; a mismatch means the snapshot is
+    /// stale and must be re-taken.
+    epoch: u64,
 }
 
 impl DynamicBvh {
@@ -64,6 +69,7 @@ impl DynamicBvh {
             leaf_of: FxHashMap::default(),
             refits: 0,
             rebuilds: 0,
+            epoch: 0,
         }
     }
 
@@ -84,6 +90,45 @@ impl DynamicBvh {
     /// Full rebuilds triggered by the degradation heuristic.
     pub fn rebuilds(&self) -> u64 {
         self.rebuilds
+    }
+
+    /// Mutation epoch: bumped by every [`insert`](Self::insert) of a
+    /// non-empty rect and every successful [`remove`](Self::remove)
+    /// (rebuilds happen inside those and are covered). Two calls observing
+    /// the same epoch observe the identical tree, which is what lets a
+    /// [`crate::FlatBvh`] snapshot be reused across queries.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Check that every stored bounding box is *exactly tight*: each inner
+    /// node's bbox equals the union of its children's, transitively the
+    /// union of its descendant leaves — the invariant the ancestor-refit
+    /// early break relies on. Returns the first violation, if any.
+    /// Test/audit support; walks the whole tree.
+    pub fn validate_tight(&self) -> Result<(), String> {
+        if self.root == NONE {
+            return Ok(());
+        }
+        let mut stack = vec![self.root];
+        while let Some(cur) = stack.pop() {
+            let n = &self.nodes[cur as usize];
+            if n.is_leaf() {
+                continue;
+            }
+            let merged = self.nodes[n.left as usize]
+                .bbox
+                .union_bbox(&self.nodes[n.right as usize].bbox);
+            if n.bbox != merged {
+                return Err(format!(
+                    "node {cur}: stored bbox {:?} != children union {merged:?}",
+                    n.bbox
+                ));
+            }
+            stack.push(n.left);
+            stack.push(n.right);
+        }
+        Ok(())
     }
 
     fn alloc(&mut self, node: Node) -> u32 {
@@ -115,6 +160,7 @@ impl DynamicBvh {
             !self.leaf_of.contains_key(&id),
             "duplicate live id {id} inserted"
         );
+        self.epoch += 1;
         let leaf = self.alloc(Node {
             bbox: rect,
             parent: NONE,
@@ -173,6 +219,7 @@ impl DynamicBvh {
         let Some(leaf) = self.leaf_of.remove(&id) else {
             return false;
         };
+        self.epoch += 1;
         let parent = self.nodes[leaf as usize].parent;
         self.free.push(leaf);
         if parent == NONE {
@@ -289,10 +336,19 @@ impl DynamicBvh {
 
     /// Ids of all live items whose rect overlaps `query`.
     pub fn query(&self, query: &Rect, out: &mut Vec<u64>) {
+        let mut stack = Vec::new();
+        self.query_with(query, &mut stack, out);
+    }
+
+    /// [`query`](Self::query) with a caller-owned traversal stack, so hot
+    /// callers (the raycast backward scan) can reuse one buffer across
+    /// queries instead of allocating per call.
+    pub fn query_with(&self, query: &Rect, stack: &mut Vec<u32>, out: &mut Vec<u64>) {
         if self.root == NONE || query.is_empty() {
             return;
         }
-        let mut stack = vec![self.root];
+        stack.clear();
+        stack.push(self.root);
         while let Some(cur) = stack.pop() {
             let n = &self.nodes[cur as usize];
             if !n.bbox.overlaps(query) {

@@ -19,6 +19,10 @@
 //! * [`DynamicBvh`] — an incrementally maintained BVH (leaf insert/remove
 //!   with ancestor refits, rebuild on degradation) for equivalence-set
 //!   indexes that churn under refinement.
+//! * [`FlatBvh`] — a flattened structure-of-arrays snapshot of a
+//!   [`DynamicBvh`] (pre-order nodes with skip offsets, SoA bounds) with a
+//!   stackless batched query API for resolving whole shards' candidate
+//!   sets in one SIMD-friendly sweep.
 //! * [`KdTree`] — a dynamic K-d tree used by the ray-casting engine when no
 //!   disjoint-and-complete partition subtree exists (paper §7.1).
 //! * [`intern`] — hash-consed index spaces ([`SpaceId`]/[`SpaceInterner`])
@@ -34,6 +38,7 @@
 
 pub mod bvh;
 pub mod dbvh;
+pub mod flat_bvh;
 pub mod hash;
 pub mod index_space;
 pub mod intern;
@@ -43,6 +48,7 @@ pub mod rect;
 
 pub use bvh::Bvh;
 pub use dbvh::DynamicBvh;
+pub use flat_bvh::FlatBvh;
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use index_space::IndexSpace;
 pub use intern::{AlgebraStats, InternConfig, SpaceAlgebra, SpaceId, SpaceInterner};

@@ -103,6 +103,12 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::BvhMaintain { refits, rebuilds } => {
             let _ = write!(out, "{{\"refits\":{refits},\"rebuilds\":{rebuilds}}}");
         }
+        EventKind::FlatSnapshot { nodes } => {
+            let _ = write!(out, "{{\"nodes\":{nodes}}}");
+        }
+        EventKind::BatchQuery { queries, hits } => {
+            let _ = write!(out, "{{\"queries\":{queries},\"hits\":{hits}}}");
+        }
         EventKind::HistoryRecord { launches } => {
             let _ = write!(out, "{{\"launches\":{launches}}}");
         }

@@ -92,6 +92,12 @@ pub enum EventKind {
     /// Incremental BVH maintenance on one shard since the last report:
     /// `refits` ancestor-refit passes vs `rebuilds` full rebuilds.
     BvhMaintain { refits: u64, rebuilds: u64 },
+    /// A shard's `DynamicBvh` was flattened into a `FlatBvh` snapshot of
+    /// `nodes` SoA nodes (batched visibility backend).
+    FlatSnapshot { nodes: u64 },
+    /// One batched candidate-resolution sweep answered `queries` queries
+    /// producing `hits` candidate ids (batch-size histogram source).
+    BatchQuery { queries: u64, hits: u64 },
     /// A launch history snapshot of `launches` launches was exported for
     /// the consistency oracle.
     HistoryRecord { launches: u64 },
@@ -123,6 +129,8 @@ impl EventKind {
             EventKind::SubmitCombine { .. } => "submit_combine",
             EventKind::AlgebraCache { .. } => "algebra_cache",
             EventKind::BvhMaintain { .. } => "bvh_maintain",
+            EventKind::FlatSnapshot { .. } => "flat_snapshot",
+            EventKind::BatchQuery { .. } => "batch_query",
             EventKind::HistoryRecord { .. } => "history_record",
             EventKind::OracleCheck { .. } => "oracle_check",
         }
@@ -153,6 +161,9 @@ impl EventKind {
             // A cache report counts lookups; maintenance counts operations.
             EventKind::AlgebraCache { hits, misses } => hits + misses,
             EventKind::BvhMaintain { refits, rebuilds } => refits + rebuilds,
+            EventKind::FlatSnapshot { nodes } => nodes,
+            // A batch report counts the queries it resolved in one sweep.
+            EventKind::BatchQuery { queries, .. } => queries,
             EventKind::HistoryRecord { launches } => launches,
             // A check report counts the precedence pairs it proved.
             EventKind::OracleCheck { pairs, .. } => pairs,

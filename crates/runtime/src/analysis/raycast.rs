@@ -22,12 +22,15 @@
 //! Everything for one `(root, field)` — sets, spatial index, anchor memo,
 //! usage counters — is one shard; nothing an analysis does crosses shards.
 
+use crate::analysis::visibility::{QuerySpan, VisibilityBackend, VisibilityConfig};
 use crate::analysis::warnock::{scan_eq_history, EqEntry};
 use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
 use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
 use crate::plan::MaterializePlan;
 use crate::task::TaskLaunch;
-use viz_geometry::{AlgebraStats, DynamicBvh, FxHashMap, InternConfig, SpaceAlgebra, SpaceId};
+use viz_geometry::{
+    AlgebraStats, DynamicBvh, FxHashMap, InternConfig, Rect, SpaceAlgebra, SpaceId,
+};
 use viz_region::{PartitionId, Privilege, RegionForest, RegionId};
 use viz_sim::{ChargeLog, NodeId, Op};
 
@@ -65,6 +68,28 @@ enum SetIndex {
     Kd { tree: DynamicBvh },
 }
 
+/// Reusable backward-scan buffers, one struct per shard. Every vector here
+/// used to be allocated fresh per requirement (or per shard batch); holding
+/// them in the shard means the scan stops allocating once each has grown to
+/// the workload's high-water mark.
+#[derive(Default)]
+struct ScanScratch {
+    /// Flat list of every requirement's query rects for the current shard
+    /// batch — the batched backend resolves all of them in one sweep (and
+    /// it is exactly the query buffer a GPU dispatch would upload).
+    queries: Vec<Rect>,
+    /// One `(first rect, rect count)` span into `queries` per requirement.
+    spans: Vec<QuerySpan>,
+    /// Raw index hits for one requirement, before sort + dedup.
+    hits: Vec<u64>,
+    /// Deduplicated candidate set ids for one requirement.
+    candidates: Vec<u32>,
+    /// Anchor positions the current requirement resolved to.
+    req_anchors: Vec<u32>,
+    /// Sets killed by refinement within the current requirement.
+    killed: Vec<u32>,
+}
+
 /// Per-(root, field) ray-casting state — one shard.
 struct FieldState {
     sets: Vec<RaySet>,
@@ -78,6 +103,10 @@ struct FieldState {
     shifts: u64,
     /// Interned-space storage and memoized set algebra for this shard.
     alg: SpaceAlgebra,
+    /// Candidate-resolution backend for the K-d path (scalar walk or
+    /// flattened batched sweep — see [`crate::analysis::visibility`]).
+    vis: Box<dyn VisibilityBackend>,
+    scratch: ScanScratch,
     last_stats: AlgebraStats,
     last_refits: u64,
     last_rebuilds: u64,
@@ -111,6 +140,7 @@ pub struct RayCast {
     force_kd: bool,
     use_anchor_memo: bool,
     intern: InternConfig,
+    vis: VisibilityConfig,
 }
 
 impl RayCast {
@@ -118,13 +148,22 @@ impl RayCast {
         Self::with_intern(InternConfig::from_env())
     }
 
-    /// Build with an explicit interning configuration.
+    /// Build with an explicit interning configuration; the visibility
+    /// backend still defaults from the environment.
     pub fn with_intern(intern: InternConfig) -> Self {
+        Self::with_config(intern, VisibilityConfig::from_env())
+    }
+
+    /// Build with both the interning and the candidate-resolution
+    /// configuration pinned (the differential tests compare backends in
+    /// one process without touching the environment).
+    pub fn with_config(intern: InternConfig, vis: VisibilityConfig) -> Self {
         RayCast {
             shards: ShardedState::new(),
             force_kd: false,
             use_anchor_memo: true,
             intern,
+            vis,
         }
     }
 
@@ -156,6 +195,7 @@ impl RayCast {
         root: RegionId,
         force_kd: bool,
         intern: InternConfig,
+        vis: VisibilityConfig,
     ) -> FieldState {
         let mut alg = SpaceAlgebra::new(intern);
         let root_domain = forest.domain(root);
@@ -197,6 +237,8 @@ impl RayCast {
                     usage: FxHashMap::default(),
                     shifts: 0,
                     alg,
+                    vis: vis.build(),
+                    scratch: ScanScratch::default(),
                     last_stats: AlgebraStats::default(),
                     last_refits: 0,
                     last_rebuilds: 0,
@@ -220,6 +262,8 @@ impl RayCast {
                     usage: FxHashMap::default(),
                     shifts: 0,
                     alg,
+                    vis: vis.build(),
+                    scratch: ScanScratch::default(),
                     last_stats: AlgebraStats::default(),
                     last_refits: 0,
                     last_rebuilds: 0,
@@ -349,8 +393,9 @@ impl CoherenceEngine for RayCast {
         for (key, _) in &groups {
             let force_kd = self.force_kd;
             let intern = self.intern;
+            let vis = self.vis;
             self.shards.get_or_insert_with(*key, || {
-                Self::init_state(ctx.forest, key.0, force_kd, intern)
+                Self::init_state(ctx.forest, key.0, force_kd, intern, vis)
             });
         }
         groups
@@ -372,7 +417,24 @@ impl CoherenceEngine for RayCast {
         // Deferred commits: (set ids, entry) per requirement.
         let mut commits: Vec<(Vec<u32>, EqEntry)> = Vec::with_capacity(reqs.len());
 
-        for &ri in reqs {
+        // On the K-d path, collect every requirement's query rects up
+        // front so the batched backend can resolve the whole shard's
+        // candidate set in one sweep (a requirement later in the batch
+        // re-resolves against the current tree when an earlier one
+        // refined it — see `analysis::visibility`).
+        state.scratch.queries.clear();
+        state.scratch.spans.clear();
+        if matches!(state.index, SetIndex::Kd { .. }) {
+            for &ri in reqs {
+                let rects = ctx.forest.domain(launch.reqs[ri as usize].region).rects();
+                let start = state.scratch.queries.len() as u32;
+                state.scratch.queries.extend_from_slice(rects);
+                state.scratch.spans.push((start, rects.len() as u32));
+            }
+            state.vis.begin_batch();
+        }
+
+        for (qk, &ri) in reqs.iter().enumerate() {
             let req = &launch.reqs[ri as usize];
             let mut out = ReqOutcome {
                 req: ri,
@@ -388,10 +450,15 @@ impl CoherenceEngine for RayCast {
             // ---- Ray casting: find the candidate sets through the index.
             // With anchors this is a (replicated, local) region-tree query;
             // the memoized anchor list makes the steady state O(1).
-            let mut candidates: Vec<u32> = Vec::new();
+            // `candidates`/`req_anchors` are shard scratch, moved out for
+            // the duration of this requirement (borrow split) and returned
+            // below — the scan allocates nothing at steady state.
+            let mut candidates = std::mem::take(&mut state.scratch.candidates);
+            candidates.clear();
             // The anchor positions this requirement resolved to (used again
             // by the dominating-write commit below).
-            let mut req_anchors: Vec<u32> = Vec::new();
+            let mut req_anchors = std::mem::take(&mut state.scratch.req_anchors);
+            req_anchors.clear();
             match &mut state.index {
                 SetIndex::Anchored {
                     partition, buckets, ..
@@ -414,23 +481,22 @@ impl CoherenceEngine for RayCast {
                             })
                             .collect::<Vec<u32>>()
                     };
-                    let anchors = if self.use_anchor_memo {
+                    if self.use_anchor_memo {
                         out.scan_log.op(origin, Op::Memo);
                         match state.anchor_memo.get(&req.region) {
-                            Some(a) => a.clone(),
+                            Some(a) => req_anchors.extend_from_slice(a),
                             None => {
                                 let idx = compute(&mut out.scan_log);
-                                state.anchor_memo.insert(req.region, idx.clone());
-                                idx
+                                req_anchors.extend_from_slice(&idx);
+                                state.anchor_memo.insert(req.region, idx);
                             }
                         }
                     } else {
-                        compute(&mut out.scan_log)
-                    };
-                    for a in &anchors {
+                        req_anchors.extend_from_slice(&compute(&mut out.scan_log));
+                    }
+                    for a in &req_anchors {
                         candidates.extend(buckets[*a as usize].iter().copied());
                     }
-                    req_anchors = anchors;
                     // A set spanning several anchors appears in each bucket:
                     // deduplicate so it is scanned (and folded) once.
                     candidates.sort_unstable();
@@ -440,10 +506,11 @@ impl CoherenceEngine for RayCast {
                     });
                 }
                 SetIndex::Kd { tree } => {
-                    let mut hits = Vec::new();
-                    for r in target.rects() {
-                        tree.query(r, &mut hits);
-                    }
+                    let hits = &mut state.scratch.hits;
+                    hits.clear();
+                    state
+                        .vis
+                        .resolve(tree, &state.scratch.queries, &state.scratch.spans, qk, hits);
                     hits.sort_unstable();
                     hits.dedup();
                     out.scan_log.op(
@@ -452,7 +519,7 @@ impl CoherenceEngine for RayCast {
                             rects: hits.len().max(1),
                         },
                     );
-                    candidates = hits.into_iter().map(|h| h as u32).collect();
+                    candidates.extend(hits.iter().map(|h| *h as u32));
                     viz_profile::instant(viz_profile::EventKind::KdTraversal {
                         nodes: candidates.len() as u64,
                     });
@@ -460,14 +527,16 @@ impl CoherenceEngine for RayCast {
             }
 
             // ---- Refine straddlers; collect the constituent sets.
+            // (`relevant` stays requirement-owned: it moves into `commits`.)
             let mut relevant: Vec<u32> = Vec::new();
-            let mut killed: Vec<u32> = Vec::new();
+            let mut killed = std::mem::take(&mut state.scratch.killed);
+            killed.clear();
             let mut tests = 0usize;
             // All remote work for this requirement — refinements, history
             // scans, invalidations — is batched into one concurrent flush
             // (Legion issues these as parallel active messages).
             let mut charges = ChargeSet::new();
-            for c in candidates {
+            for &c in &candidates {
                 if !state.sets[c as usize].live {
                     continue;
                 }
@@ -632,6 +701,10 @@ impl CoherenceEngine for RayCast {
             }
             charges.flush_into(&mut out.scan_log, origin);
             outcomes.push(out);
+            // Return the scratch buffers (capacity intact) to the shard.
+            state.scratch.candidates = candidates;
+            state.scratch.req_anchors = req_anchors;
+            state.scratch.killed = killed;
         }
 
         // ---- Commit: append to each requirement's target sets. The sets

@@ -1,6 +1,6 @@
 //! The coherence-engine interface shared by all three visibility algorithms.
 
-use crate::analysis::{paint, paint_naive, raycast, warnock, ReqOutcome, ShardKey};
+use crate::analysis::{paint, paint_naive, raycast, visibility, warnock, ReqOutcome, ShardKey};
 use crate::plan::{AnalysisResult, MaterializePlan};
 use crate::sharding::ShardMap;
 use crate::task::TaskLaunch;
@@ -166,21 +166,34 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Instantiate the engine with the environment's interning
-    /// configuration (`VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP`).
+    /// Instantiate the engine with the environment's interning and
+    /// visibility-backend configuration (`VIZ_INTERN` /
+    /// `VIZ_ALGEBRA_CACHE_CAP` / `VIZ_VIS_BACKEND` / `VIZ_VIS_BATCH_MIN`).
     pub fn build(self) -> Box<dyn CoherenceEngine> {
         self.build_with(viz_geometry::InternConfig::from_env())
     }
 
     /// Instantiate the engine with an explicit interning configuration
     /// (used by the differential tests to compare the memoized and direct
-    /// algebra paths without touching the process environment).
+    /// algebra paths without touching the process environment); the
+    /// visibility backend still defaults from the environment.
     pub fn build_with(self, intern: viz_geometry::InternConfig) -> Box<dyn CoherenceEngine> {
+        self.build_configured(intern, visibility::VisibilityConfig::from_env())
+    }
+
+    /// Instantiate the engine with every analysis knob pinned. The
+    /// candidate-resolution backend only affects the raycast K-d path —
+    /// the other engines take no spatial-index batch and ignore it.
+    pub fn build_configured(
+        self,
+        intern: viz_geometry::InternConfig,
+        vis: visibility::VisibilityConfig,
+    ) -> Box<dyn CoherenceEngine> {
         match self {
             EngineKind::PaintNaive => Box::new(paint_naive::PaintNaive::with_intern(intern)),
             EngineKind::Paint => Box::new(paint::Painter::with_intern(intern)),
             EngineKind::Warnock => Box::new(warnock::Warnock::with_intern(intern)),
-            EngineKind::RayCast => Box::new(raycast::RayCast::with_intern(intern)),
+            EngineKind::RayCast => Box::new(raycast::RayCast::with_config(intern, vis)),
         }
     }
 

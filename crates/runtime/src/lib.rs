@@ -52,6 +52,7 @@ pub mod task;
 pub mod trace;
 pub mod validate;
 
+pub use analysis::visibility::{VisibilityBackend, VisibilityConfig, VisibilityKind};
 pub use autotrace::AutoTraceConfig;
 pub use dag::TaskDag;
 pub use engine::{CoherenceEngine, EngineKind};

@@ -14,6 +14,7 @@
 //!   mode the same code runs on the application thread, so both modes
 //!   produce byte-identical results.
 
+use crate::analysis::visibility::VisibilityConfig;
 use crate::autotrace::{AutoTraceConfig, AutoTracer};
 use crate::dag::TaskDag;
 use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
@@ -49,6 +50,8 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 /// | `VIZ_SUBMIT_RINGS` | [`submit_rings`](Self::submit_rings) | submission rings in the pipelined plane: ring 0 is the `Runtime` facade, the rest serve concurrent [`Context`]s (default 8, min 2) |
 /// | `VIZ_INTERN` | — (engine construction) | `0`/`false`/`off` disables the interned-algebra fast paths and cache; every set operation runs the direct rectangle sweep (see [`viz_geometry::InternConfig`]) |
 /// | `VIZ_ALGEBRA_CACHE_CAP` | — (engine construction) | per-shard algebra-cache capacity in entries (default 4096; `0` disables caching only) |
+/// | `VIZ_VIS_BACKEND` | [`visibility_backend`](Self::visibility_backend) | `batch` resolves the raycast K-d path's candidate queries through a flattened SoA snapshot, whole shard batches in one sweep; anything else (or unset) keeps the scalar per-query walk |
+/// | `VIZ_VIS_BATCH_MIN` | [`visibility_backend`](Self::visibility_backend) | minimum live K-d leaves before the batch backend flattens — smaller trees fall back to the scalar walk (default 64) |
 /// | `VIZ_ORACLE` | [`record_history`](Self::record_history) | `1`/`true` records every committed launch (requirements, signature, emitted dependence edges, retirement order) for the external consistency oracle (`viz-oracle`) |
 ///
 /// Marked `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and
@@ -98,6 +101,11 @@ pub struct RuntimeConfig {
     /// from the environment; the differential tests pin it explicitly so
     /// both modes can run in one process.
     pub intern: Option<viz_geometry::InternConfig>,
+    /// Candidate-resolution backend for the raycast K-d path (scalar
+    /// per-query walk vs. flattened batched sweep). `None` (the default)
+    /// reads `VIZ_VIS_BACKEND` / `VIZ_VIS_BATCH_MIN` from the environment;
+    /// the differential tests pin it so both backends run in one process.
+    pub visibility_backend: Option<VisibilityConfig>,
     /// Record the launch history (submitted requirements + emitted
     /// dependence edges + retirement order) for the external consistency
     /// oracle. Defaults from `VIZ_ORACLE`. Export with
@@ -183,6 +191,7 @@ impl RuntimeConfig {
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
             submit_rings: default_submit_rings(),
             intern: None,
+            visibility_backend: None,
             record_history: default_record_history(),
         }
     }
@@ -252,6 +261,13 @@ impl RuntimeConfig {
     /// `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP` from the environment.
     pub fn intern(mut self, cfg: viz_geometry::InternConfig) -> Self {
         self.intern = Some(cfg);
+        self
+    }
+
+    /// Pin the raycast candidate-resolution backend instead of reading
+    /// `VIZ_VIS_BACKEND` / `VIZ_VIS_BATCH_MIN` from the environment.
+    pub fn visibility_backend(mut self, cfg: VisibilityConfig) -> Self {
+        self.visibility_backend = Some(cfg);
         self
     }
 
@@ -753,10 +769,14 @@ impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         let forest = Arc::new(RwLock::new(RegionForest::new()));
         let core = Arc::new(RwLock::new(Core {
-            engine: match config.intern {
-                Some(cfg) => config.engine.build_with(cfg),
-                None => config.engine.build(),
-            },
+            engine: config.engine.build_configured(
+                config
+                    .intern
+                    .unwrap_or_else(viz_geometry::InternConfig::from_env),
+                config
+                    .visibility_backend
+                    .unwrap_or_else(VisibilityConfig::from_env),
+            ),
             machine: Machine::with_cost(config.nodes, config.cost),
             shards: ShardMap::new(config.nodes, config.dcr),
             launches: Vec::new(),

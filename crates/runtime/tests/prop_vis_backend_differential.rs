@@ -1,0 +1,262 @@
+//! Differential property test for the batched visibility backend
+//! (`VIZ_VIS_BACKEND`).
+//!
+//! The flattened-snapshot batch sweep is pure memoization of the scalar
+//! K-d walk: with either backend, every engine must produce *identical*
+//! analysis — the same dependences, the same materialization plans
+//! (compared structurally), and the same executed values — across serial
+//! and sharded drivers, with automatic trace replay on, and through the
+//! pipelined frontend. The backends are pinned through
+//! [`RuntimeConfig::visibility_backend`] rather than the environment so
+//! both run in one process.
+//!
+//! The fixture deliberately creates only *aliased, incomplete* partitions:
+//! with no disjoint-and-complete partition the raycast engine takes the
+//! K-d fallback (§7.1), which is the only path the backend touches. The
+//! batch threshold is pinned to 0 so even proptest's small trees exercise
+//! the flattened sweep.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use viz_geometry::{IndexSpace, Point};
+use viz_region::{Privilege, RedOpRegistry};
+use viz_runtime::plan::AnalysisResult;
+use viz_runtime::{
+    EngineKind, LaunchSpec, PhysicalRegion, RegionRequirement, Runtime, RuntimeConfig,
+    VisibilityConfig,
+};
+
+const N: i64 = 48;
+const PIECES: usize = 4;
+
+#[derive(Clone, Debug)]
+enum Target {
+    /// One piece of the aliased partition (pieces overlap their neighbors).
+    Piece(usize),
+    Span(i64, i64),
+    Root,
+}
+
+#[derive(Clone, Debug)]
+struct AbsLaunch {
+    target: Target,
+    privilege: u8, // 0 = read, 1 = rw, 2 = reduce+, 3 = reduce-min
+    salt: u32,
+}
+
+fn abs_launch() -> impl Strategy<Value = AbsLaunch> {
+    (
+        prop_oneof![
+            4 => (0..PIECES).prop_map(Target::Piece),
+            2 => (0..N, 1..N / 3).prop_map(|(lo, len)| Target::Span(lo, (lo + len - 1).min(N - 1))),
+            1 => Just(Target::Root),
+        ],
+        0u8..4,
+        0u32..1000,
+    )
+        .prop_map(|(target, privilege, salt)| AbsLaunch {
+            target,
+            privilege,
+            salt,
+        })
+}
+
+/// Run one program under one configuration; return the per-launch analysis
+/// results (deps + plans, structural) and the final values of the root.
+fn run_config(
+    engine: EngineKind,
+    threads: usize,
+    auto_trace: bool,
+    pipeline: bool,
+    vis: VisibilityConfig,
+    launches: &[AbsLaunch],
+) -> (Vec<AnalysisResult>, Vec<f64>) {
+    let mut rt = Runtime::new(
+        RuntimeConfig::new(engine)
+            .nodes(2)
+            .analysis_threads(threads)
+            .auto_trace(auto_trace)
+            .pipeline(pipeline)
+            .visibility_backend(vis),
+    );
+    let root = rt.forest_mut().create_root_1d("A", N);
+    let field = rt.forest_mut().add_field(root, "v");
+    // Aliased, incomplete partition: overlapping pieces, nothing covering
+    // the root exactly — no disjoint-and-complete partition exists, so the
+    // raycast engine builds the K-d index this PR's backends serve.
+    let chunk = N / PIECES as i64;
+    let pieces: Vec<IndexSpace> = (0..PIECES as i64)
+        .map(|i| {
+            let lo = (i * chunk - 3).max(0);
+            let hi = ((i + 1) * chunk + 2).min(N - 2);
+            IndexSpace::span(lo, hi)
+        })
+        .collect();
+    let g = rt.forest_mut().create_partition(root, "G", pieces);
+    rt.try_set_initial(root, field, |pt| (pt.x % 17) as f64)
+        .unwrap();
+
+    for (i, l) in launches.iter().enumerate() {
+        let region = match l.target {
+            Target::Piece(k) => rt.forest().subregion(g, k),
+            Target::Span(lo, hi) => {
+                let space = IndexSpace::span(lo, hi);
+                let part = rt.forest_mut().create_partition_with_flags(
+                    root,
+                    format!("S{i}"),
+                    vec![space],
+                    true,
+                    false,
+                );
+                rt.forest().subregion(part, 0)
+            }
+            Target::Root => root,
+        };
+        let salt = l.salt as f64 + i as f64;
+        let (privilege, body): (Privilege, viz_runtime::TaskBody) = match l.privilege {
+            0 => (Privilege::Read, Arc::new(|_: &mut [PhysicalRegion]| {})),
+            1 => (
+                Privilege::ReadWrite,
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    rs[0].update_all(|pt, v| ((v * 3.0 + salt + pt.x as f64) as i64 % 257) as f64);
+                }),
+            ),
+            2 => (
+                Privilege::Reduce(RedOpRegistry::SUM),
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    let dom = rs[0].domain().clone();
+                    for pt in dom.points() {
+                        rs[0].reduce(pt, ((salt as i64 + pt.x) % 13) as f64);
+                    }
+                }),
+            ),
+            _ => (
+                Privilege::Reduce(RedOpRegistry::MIN),
+                Arc::new(move |rs: &mut [PhysicalRegion]| {
+                    let dom = rs[0].domain().clone();
+                    for pt in dom.points() {
+                        rs[0].reduce(pt, ((salt as i64 * 7 + pt.x) % 300) as f64);
+                    }
+                }),
+            ),
+        };
+        rt.submit(LaunchSpec::new(
+            format!("t{i}"),
+            i % 2,
+            vec![RegionRequirement::new(region, field, privilege)],
+            100,
+            Some(body),
+        ))
+        .unwrap()
+        .id();
+    }
+
+    let probe = rt.inline_read(root, field).unwrap();
+    let results = rt.results();
+    let store = rt.execute_values();
+    let vals: Vec<f64> = (0..N)
+        .map(|x| store.inline(probe).get(Point::p1(x)))
+        .collect();
+    (results, vals)
+}
+
+/// scalar == batch(min 0) == batch(default threshold) for every listed
+/// engine × driver configuration.
+fn assert_backend_invariant(
+    launches: &[AbsLaunch],
+    engines: &[EngineKind],
+    configs: &[(usize, bool, bool)],
+) {
+    for &engine in engines {
+        for &(threads, auto_trace, pipeline) in configs {
+            let (res_s, vals_s) = run_config(
+                engine,
+                threads,
+                auto_trace,
+                pipeline,
+                VisibilityConfig::scalar(),
+                launches,
+            );
+            for vis in [
+                VisibilityConfig::batch().batch_min(0),
+                VisibilityConfig::batch(),
+            ] {
+                let (res_b, vals_b) =
+                    run_config(engine, threads, auto_trace, pipeline, vis, launches);
+                assert_eq!(
+                    res_s, res_b,
+                    "{engine:?} threads={threads} auto_trace={auto_trace} \
+                     pipeline={pipeline} {vis:?}: backend changed deps/plans"
+                );
+                assert_eq!(
+                    vals_s, vals_b,
+                    "{engine:?} threads={threads} auto_trace={auto_trace} \
+                     pipeline={pipeline} {vis:?}: backend changed executed values"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random programs: the batch backend is invisible for every engine,
+    /// serial and sharded drivers.
+    #[test]
+    fn batch_backend_is_invisible_to_analysis(
+        launches in prop::collection::vec(abs_launch(), 1..14)
+    ) {
+        assert_backend_invariant(
+            &launches,
+            &EngineKind::all(),
+            &[(1, false, false), (4, false, false)],
+        );
+    }
+}
+
+/// A long alternating loop: deterministic heavy case covering auto-trace
+/// replay (trace templates must be byte-identical too) and the pipelined
+/// frontend, where the backward scans run on the driver thread.
+#[test]
+fn paper_loop_backend_invariant_with_auto_trace_and_pipeline() {
+    let mut launches = Vec::new();
+    for iter in 0..6u32 {
+        for k in 0..PIECES {
+            launches.push(AbsLaunch {
+                target: Target::Piece(k),
+                privilege: 1,
+                salt: iter * 10,
+            });
+        }
+        for k in 0..PIECES {
+            launches.push(AbsLaunch {
+                target: Target::Piece(PIECES - 1 - k),
+                privilege: 2,
+                salt: iter * 10 + 5,
+            });
+        }
+    }
+    assert_backend_invariant(
+        &launches,
+        &EngineKind::all(),
+        &[(1, true, false), (4, true, false), (4, false, true)],
+    );
+}
+
+/// The deep-churn case: enough refinement splits and dominating writes to
+/// force mid-batch snapshot invalidation (epoch bumps between requirements
+/// of one launch batch) on a tree well above the default threshold.
+#[test]
+fn churny_program_above_default_threshold() {
+    let mut launches = Vec::new();
+    for i in 0..60u32 {
+        let lo = (i as i64 * 7) % (N - 6);
+        launches.push(AbsLaunch {
+            target: Target::Span(lo, lo + 5),
+            privilege: (i % 4) as u8,
+            salt: i,
+        });
+    }
+    assert_backend_invariant(&launches, &[EngineKind::RayCast], &[(1, false, false)]);
+}
