@@ -64,8 +64,8 @@ fn a1_paint_views_report() {
             "{iterations}\t{}\t{}\t{}\t{}",
             tree.machine().counters().hist_entries_scanned,
             naive.machine().counters().hist_entries_scanned,
-            tree.state_size().history_entries,
-            naive.state_size().history_entries,
+            tree.stats().state.history_entries,
+            naive.stats().state.history_entries,
         );
         if iterations >= 40 {
             assert!(

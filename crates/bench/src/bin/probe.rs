@@ -144,7 +144,7 @@ fn main() {
             .map(|(n, c)| (*n, *c as f64 * 1e-9))
             .collect::<Vec<_>>()
     );
-    let state = rt.state_size();
+    let state = rt.stats().state;
     println!(
         "state[{}]: history_entries={} equivalence_sets={} composite_views={} \
          index_nodes={} memo_entries={}",

@@ -236,7 +236,7 @@ pub fn measure(
         0.0
     };
     let counters = rt.machine().counters().clone();
-    let state = rt.state_size();
+    let state = rt.stats().state;
     Measurement {
         app: app.label(),
         config,

@@ -77,6 +77,12 @@ impl Default for InternConfig {
 
 impl InternConfig {
     /// Read `VIZ_INTERN` / `VIZ_ALGEBRA_CACHE_CAP` from the environment.
+    #[deprecated(
+        since = "0.9.0",
+        note = "env parsing moved behind the runtime's config front door: \
+                use viz_runtime::config::env_intern(), or pin the config \
+                explicitly with RuntimeConfig::intern"
+    )]
     pub fn from_env() -> Self {
         let enabled = match std::env::var("VIZ_INTERN") {
             Ok(v) => !matches!(v.trim(), "0" | "false" | "off" | "no"),

@@ -115,6 +115,20 @@ fn push_args(out: &mut String, kind: &EventKind) {
         EventKind::OracleCheck { pairs, edges } => {
             let _ = write!(out, "{{\"pairs\":{pairs},\"edges\":{edges}}}");
         }
+        EventKind::GcSweep {
+            watermark,
+            retired,
+            freed_words,
+            dropped,
+            coarsened,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"watermark\":{watermark},\"retired\":{retired},\
+                 \"freed_words\":{freed_words},\"dropped\":{dropped},\
+                 \"coarsened\":{coarsened}}}"
+            );
+        }
     }
 }
 

@@ -104,6 +104,17 @@ pub enum EventKind {
     /// The oracle's saturation checker judged one history: `pairs`
     /// interfering launch pairs verified against `edges` engine edges.
     OracleCheck { pairs: u64, edges: u64 },
+    /// One history-GC sweep: the watermark reached `watermark`, `retired`
+    /// ledger entries and `freed_words` precedence-tag words were
+    /// reclaimed, engines dropped `dropped` dead state entries, and
+    /// coarsening performed `coarsened` sibling merges.
+    GcSweep {
+        watermark: u64,
+        retired: u64,
+        freed_words: u64,
+        dropped: u64,
+        coarsened: u64,
+    },
 }
 
 impl EventKind {
@@ -133,6 +144,7 @@ impl EventKind {
             EventKind::BatchQuery { .. } => "batch_query",
             EventKind::HistoryRecord { .. } => "history_record",
             EventKind::OracleCheck { .. } => "oracle_check",
+            EventKind::GcSweep { .. } => "gc_sweep",
         }
     }
 
@@ -167,6 +179,10 @@ impl EventKind {
             EventKind::HistoryRecord { launches } => launches,
             // A check report counts the precedence pairs it proved.
             EventKind::OracleCheck { pairs, .. } => pairs,
+            // A sweep report counts the state entries it reclaimed.
+            EventKind::GcSweep {
+                retired, dropped, ..
+            } => retired + dropped,
         }
     }
 }

@@ -130,7 +130,10 @@ impl RegionForest {
         name: impl Into<String>,
         subdomains: Vec<IndexSpace>,
     ) -> PartitionId {
-        let mut alg = SpaceAlgebra::new(InternConfig::from_env());
+        // A throwaway validation algebra: the defaults behave identically
+        // to any interning configuration (structural fidelity invariant),
+        // so there is no reason to consult the environment here.
+        let mut alg = SpaceAlgebra::new(InternConfig::default());
         let parent_id = alg.intern(self.domain(parent));
         let ids: Vec<_> = subdomains.iter().map(|s| alg.intern(s)).collect();
         for (i, s) in ids.iter().enumerate() {

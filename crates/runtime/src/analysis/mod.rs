@@ -142,6 +142,14 @@ impl<S> ShardedState<S> {
         ShardRef { cell }
     }
 
+    /// Iterate shard states mutably. `&mut self` guarantees no worker holds
+    /// a shard — used by the GC sweep on the driver thread between batches.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&ShardKey, &mut S)> {
+        self.shards
+            .iter_mut()
+            .map(|(k, cell)| (k, cell.state.get_mut()))
+    }
+
     /// Iterate shard states for instrumentation. Requires quiescence: panics
     /// if any shard is currently claimed by a worker.
     pub fn iter(&self) -> impl Iterator<Item = (&ShardKey, &S)> {

@@ -34,7 +34,7 @@
 
 use crate::analysis::history::{HistEntry, VisScan};
 use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
-use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::engine::{CoherenceEngine, GcSweep, ShardCtx, StateSize};
 use crate::sharding::ShardMap;
 use crate::task::TaskLaunch;
 use std::sync::Arc;
@@ -367,7 +367,7 @@ pub struct Painter {
 
 impl Painter {
     pub fn new() -> Self {
-        Self::with_intern(InternConfig::from_env())
+        Self::with_intern(crate::config::env_intern())
     }
 
     /// Build with an explicit interning configuration.
@@ -590,6 +590,42 @@ impl CoherenceEngine for Painter {
         }
         shard.last_stats = shard.alg.stats();
         outcomes
+    }
+
+    /// Occlusion pruning already drops dead views (their `Arc`s are freed
+    /// when the last referencing entry goes), but two side tables outlive
+    /// them: the `fetched` replication cache keeps `(view, node)` pairs for
+    /// views that no longer exist, and captured/pruned regions keep empty
+    /// `NodeState` records. Both are invisible to future scans — a missing
+    /// `fetched` pair for a dead view is never consulted (the view cannot
+    /// be scanned again), and an absent node state behaves exactly like an
+    /// empty one — so dropping them is behavior-preserving.
+    fn collect(&mut self, _floor: crate::task::TaskId) -> GcSweep {
+        fn alive_view_ids(entries: &[PathEntry], out: &mut FxHashSet<u64>) {
+            for e in entries {
+                if let PathEntry::View(v) = e {
+                    if out.insert(v.id) {
+                        for (_, hist) in &v.nodes {
+                            alive_view_ids(hist, out);
+                        }
+                    }
+                }
+            }
+        }
+        let mut sweep = GcSweep::default();
+        for (_, shard) in self.shards.iter_mut() {
+            let before_nodes = shard.nodes.len();
+            shard.nodes.retain(|_, ns| !ns.is_empty());
+            sweep.index_nodes += before_nodes - shard.nodes.len();
+            let mut alive = FxHashSet::default();
+            for ns in shard.nodes.values() {
+                alive_view_ids(&ns.hist, &mut alive);
+            }
+            let before_fetched = shard.fetched.len();
+            shard.fetched.retain(|(vid, _)| alive.contains(vid));
+            sweep.memo_entries += before_fetched - shard.fetched.len();
+        }
+        sweep
     }
 
     fn state_size(&self) -> StateSize {

@@ -17,9 +17,9 @@
 
 use crate::analysis::history::{HistEntry, VisScan};
 use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
-use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::engine::{CoherenceEngine, GcSweep, ShardCtx, StateSize};
 use crate::task::TaskLaunch;
-use viz_geometry::{AlgebraStats, InternConfig, SpaceAlgebra};
+use viz_geometry::{AlgebraStats, IndexSpace, InternConfig, SpaceAlgebra};
 use viz_sim::Op;
 
 /// One shard's state: the global history plus the shard's interned-algebra
@@ -39,7 +39,7 @@ pub struct PaintNaive {
 
 impl PaintNaive {
     pub fn new() -> Self {
-        Self::with_intern(InternConfig::from_env())
+        Self::with_intern(crate::config::env_intern())
     }
 
     /// Build with an explicit interning configuration.
@@ -180,6 +180,45 @@ impl CoherenceEngine for PaintNaive {
         }
         shard.last_stats = shard.alg.stats();
         outcomes
+    }
+
+    fn collect(&mut self, _floor: crate::task::TaskId) -> GcSweep {
+        // Union occlusion: the commit-time prune only drops an entry when a
+        // *single* newer write covers it; a sweep can accumulate the union
+        // of all newer write domains and drop anything underneath (e.g. a
+        // whole-region read jointly occluded by four piece writes). An
+        // entry fully covered by newer writes is invisible to every future
+        // backward scan — it contributes no dependence and no plan source
+        // (occluded entries yield no edges; ordering is transitive through
+        // the covering writes, §3.2) — so dropping it is observationally
+        // identical, independent of the watermark.
+        let mut sweep = GcSweep::default();
+        for (_, s) in self.shards.iter_mut() {
+            if !self.prune_occluded {
+                continue; // literal Fig 7 mode: the history only grows
+            }
+            let mut cover = IndexSpace::empty();
+            let mut keep = vec![true; s.hist.len()];
+            for (i, e) in s.hist.iter().enumerate().rev() {
+                if !cover.is_empty() && cover.contains(&e.domain) {
+                    keep[i] = false;
+                    continue;
+                }
+                if e.privilege.is_write() {
+                    cover = cover.union(&e.domain);
+                }
+            }
+            let mut idx = 0;
+            s.hist.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                if !k {
+                    sweep.history_entries += 1;
+                }
+                k
+            });
+        }
+        sweep
     }
 
     fn state_size(&self) -> StateSize {

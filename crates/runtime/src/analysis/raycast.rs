@@ -25,7 +25,7 @@
 use crate::analysis::visibility::{QuerySpan, VisibilityBackend, VisibilityConfig};
 use crate::analysis::warnock::{scan_eq_history, EqEntry};
 use crate::analysis::{group_reqs_by_shard, ChargeSet, ReqOutcome, ShardKey, ShardedState};
-use crate::engine::{CoherenceEngine, ShardCtx, StateSize};
+use crate::engine::{CoherenceEngine, GcSweep, ShardCtx, StateSize};
 use crate::plan::MaterializePlan;
 use crate::task::TaskLaunch;
 use viz_geometry::{
@@ -145,13 +145,13 @@ pub struct RayCast {
 
 impl RayCast {
     pub fn new() -> Self {
-        Self::with_intern(InternConfig::from_env())
+        Self::with_intern(crate::config::env_intern())
     }
 
     /// Build with an explicit interning configuration; the visibility
     /// backend still defaults from the environment.
     pub fn with_intern(intern: InternConfig) -> Self {
-        Self::with_config(intern, VisibilityConfig::from_env())
+        Self::with_config(intern, crate::config::env_visibility())
     }
 
     /// Build with both the interning and the candidate-resolution
@@ -758,6 +758,71 @@ impl CoherenceEngine for RayCast {
         }
         outcomes
     }
+
+    /// Drop the dead sets that refinement and dominating writes leave
+    /// behind. Compaction is **order-preserving**: live sets keep their
+    /// relative order (and new sets still get larger ids than every
+    /// retained one), so the id-sorted candidate lists visit sets in the
+    /// same sequence as an uncollected engine — which is what keeps deps,
+    /// plans, and charges byte-identical. Reusing freed ids via a free
+    /// list would break exactly that ordering.
+    ///
+    /// `replaced_by` chains only forward commits *within* one launch's
+    /// `analyze_shard`, so between launches the dead sets (and their cloned
+    /// histories) are unreachable garbage.
+    fn collect(&mut self, _floor: crate::task::TaskId) -> GcSweep {
+        let mut sweep = GcSweep::default();
+        for (_, s) in self.shards.iter_mut() {
+            if s.live == s.sets.len() {
+                continue;
+            }
+            let mut remap = vec![u32::MAX; s.sets.len()];
+            let mut next = 0u32;
+            for (i, set) in s.sets.iter().enumerate() {
+                if set.live {
+                    remap[i] = next;
+                    next += 1;
+                } else {
+                    sweep.equivalence_sets += 1;
+                    sweep.history_entries += set.hist.len();
+                }
+            }
+            s.sets.retain(|set| set.live);
+            for set in &mut s.sets {
+                set.replaced_by.clear();
+            }
+            match &mut s.index {
+                SetIndex::Anchored { buckets, .. } => {
+                    // Buckets hold only live ids (`index_remove_dead` runs
+                    // after every kill) — just renumber them.
+                    for bucket in buckets.iter_mut() {
+                        for id in bucket.iter_mut() {
+                            debug_assert_ne!(remap[*id as usize], u32::MAX);
+                            *id = remap[*id as usize];
+                        }
+                    }
+                }
+                SetIndex::Kd { tree } => {
+                    // Rebuild over the renumbered live sets: the hit set of
+                    // a query depends only on the leaves, not the tree
+                    // shape, so a fresh tree answers identically.
+                    let mut fresh = DynamicBvh::new();
+                    for (i, set) in s.sets.iter().enumerate() {
+                        fresh.insert(i as u64, s.alg.bbox(set.domain));
+                    }
+                    *tree = fresh;
+                    s.last_refits = tree.refits();
+                    s.last_rebuilds = tree.rebuilds();
+                }
+            }
+        }
+        sweep
+    }
+
+    // Coarsening is native here: a dominating write already replaces every
+    // covered set with one fresh set per anchor (Fig 11), so the engine
+    // ignores `set_coarsening` — there is no re-converged sibling state a
+    // sweep could find that the next write wave would not coalesce anyway.
 
     fn state_size(&self) -> StateSize {
         let mut size = StateSize::default();

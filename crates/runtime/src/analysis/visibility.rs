@@ -29,9 +29,10 @@
 //! `crates/runtime/tests/prop_vis_backend_differential.rs` pin this.
 //!
 //! Backend selection follows the [`intern`](viz_geometry::InternConfig)
-//! pattern: [`VisibilityConfig::from_env`] reads `VIZ_VIS_BACKEND` /
-//! `VIZ_VIS_BATCH_MIN`, and `RuntimeConfig::visibility` pins it in-process
-//! for the differential tests.
+//! pattern: `crate::config::env_visibility()` reads `VIZ_VIS_BACKEND` /
+//! `VIZ_VIS_BATCH_MIN` (through the config front door), and
+//! `RuntimeConfig::visibility_backend` pins it in-process for the
+//! differential tests.
 
 use viz_geometry::{DynamicBvh, FlatBvh, Rect};
 
@@ -91,16 +92,14 @@ impl VisibilityConfig {
     /// Read `VIZ_VIS_BACKEND` (`batch` enables the flattened sweep;
     /// anything else — or unset — stays scalar) and `VIZ_VIS_BATCH_MIN`
     /// (default [`DEFAULT_BATCH_MIN`]).
+    #[deprecated(
+        since = "0.9.0",
+        note = "env parsing moved behind the config front door: use \
+                crate::config::env_visibility(), or pin the backend with \
+                RuntimeConfig::visibility_backend"
+    )]
     pub fn from_env() -> Self {
-        let kind = match std::env::var("VIZ_VIS_BACKEND") {
-            Ok(s) if s.trim().eq_ignore_ascii_case("batch") => VisibilityKind::Batch,
-            _ => VisibilityKind::Scalar,
-        };
-        let batch_min = std::env::var("VIZ_VIS_BATCH_MIN")
-            .ok()
-            .and_then(|s| s.trim().parse::<usize>().ok())
-            .unwrap_or(DEFAULT_BATCH_MIN);
-        VisibilityConfig { kind, batch_min }
+        crate::config::env_visibility()
     }
 
     /// Instantiate the configured backend (one per shard: backends hold

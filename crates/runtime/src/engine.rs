@@ -94,6 +94,75 @@ pub trait CoherenceEngine: Send + Sync {
     fn state_size(&self) -> StateSize {
         StateSize::default()
     }
+
+    /// Reclaim analysis state that can no longer influence any future
+    /// launch — superseded equivalence sets, unreachable composite-view
+    /// chains, stale memo entries. `floor` is the history-GC watermark
+    /// (every launch below it has retired); engines whose liveness is
+    /// purely reachability-based may ignore it.
+    ///
+    /// Contract: the sweep must be *behavior-preserving* — every future
+    /// `analyze` produces byte-identical deps, plans, and machine charges
+    /// whether or not `collect` ever ran. (Coarsening, which deliberately
+    /// changes charges, is a separate opt-in: see
+    /// [`CoherenceEngine::set_coarsening`].) Must not charge the machine.
+    fn collect(&mut self, _floor: crate::task::TaskId) -> GcSweep {
+        GcSweep::default()
+    }
+
+    /// Enable equivalence-set coarsening: during [`collect`]
+    /// (CoherenceEngine::collect), merge sibling sets whose per-field
+    /// states have re-converged — the inverse of refinement, which the
+    /// paper's engines never perform. Coarsening preserves dependences and
+    /// plan *coverage* (plan ranges over merged sets coalesce) but shrinks
+    /// retained state and therefore changes simulated charge counts, so it
+    /// is off by default and excluded from the GC byte-differential.
+    ///
+    /// Only Warnock — the engine with monotonic refinement — implements
+    /// it. Ray casting coalesces natively through dominating writes
+    /// (Fig 11) and the painters have no equivalence sets; they ignore the
+    /// flag.
+    fn set_coarsening(&mut self, _on: bool) {}
+}
+
+/// What one [`CoherenceEngine::collect`] sweep reclaimed (counts of
+/// dropped state, accumulated into [`crate::stats::GcStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcSweep {
+    pub history_entries: usize,
+    pub equivalence_sets: usize,
+    pub composite_views: usize,
+    pub index_nodes: usize,
+    pub memo_entries: usize,
+    /// Sibling-set merges performed by coarsening (not "dropped" state,
+    /// but reported with the sweep that did them).
+    pub coarsen_merges: usize,
+}
+
+impl GcSweep {
+    /// Total state entries dropped (coarsening merges excluded).
+    pub fn total(&self) -> usize {
+        self.history_entries
+            + self.equivalence_sets
+            + self.composite_views
+            + self.index_nodes
+            + self.memo_entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0 && self.coarsen_merges == 0
+    }
+}
+
+impl std::ops::AddAssign for GcSweep {
+    fn add_assign(&mut self, rhs: GcSweep) {
+        self.history_entries += rhs.history_entries;
+        self.equivalence_sets += rhs.equivalence_sets;
+        self.composite_views += rhs.composite_views;
+        self.index_nodes += rhs.index_nodes;
+        self.memo_entries += rhs.memo_entries;
+        self.coarsen_merges += rhs.coarsen_merges;
+    }
 }
 
 /// Replay per-requirement charge logs in canonical order (all scans in
@@ -170,7 +239,7 @@ impl EngineKind {
     /// visibility-backend configuration (`VIZ_INTERN` /
     /// `VIZ_ALGEBRA_CACHE_CAP` / `VIZ_VIS_BACKEND` / `VIZ_VIS_BATCH_MIN`).
     pub fn build(self) -> Box<dyn CoherenceEngine> {
-        self.build_with(viz_geometry::InternConfig::from_env())
+        self.build_with(crate::config::env_intern())
     }
 
     /// Instantiate the engine with an explicit interning configuration
@@ -178,7 +247,7 @@ impl EngineKind {
     /// algebra paths without touching the process environment); the
     /// visibility backend still defaults from the environment.
     pub fn build_with(self, intern: viz_geometry::InternConfig) -> Box<dyn CoherenceEngine> {
-        self.build_configured(intern, visibility::VisibilityConfig::from_env())
+        self.build_configured(intern, crate::config::env_visibility())
     }
 
     /// Instantiate the engine with every analysis knob pinned. The

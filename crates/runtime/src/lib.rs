@@ -34,12 +34,14 @@
 
 pub mod analysis;
 pub mod autotrace;
+pub mod config;
 pub mod dag;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod index_launch;
 pub mod instance;
+mod ledger;
 pub mod mapper;
 pub mod pipeline;
 pub mod plan;
@@ -48,14 +50,19 @@ pub(crate) mod ring;
 pub mod runtime;
 pub mod sharding;
 pub mod spec;
+pub mod stats;
 pub mod task;
 pub mod trace;
 pub mod validate;
 
 pub use analysis::visibility::{VisibilityBackend, VisibilityConfig, VisibilityKind};
 pub use autotrace::AutoTraceConfig;
+pub use config::{
+    default_analysis_threads, default_auto_trace, default_pipeline, default_record_history,
+    default_submit_rings, EnvOverrides, GcConfig, Knob, KNOBS,
+};
 pub use dag::TaskDag;
-pub use engine::{CoherenceEngine, EngineKind};
+pub use engine::{CoherenceEngine, EngineKind, GcSweep};
 pub use error::RuntimeError;
 pub use index_launch::{IndexLaunchResult, Projection};
 pub use instance::PhysicalRegion;
@@ -66,10 +73,10 @@ pub use plan::{
 };
 pub use record::{LaunchRecord, RecordedHistory};
 pub use runtime::{
-    default_analysis_threads, default_auto_trace, default_pipeline, default_record_history,
-    default_submit_rings, Context, CtxHandle, LaunchBuilder, LaunchSpec, Runtime, RuntimeConfig,
-    TaskHandle, CTX_GLOBAL, CTX_PRIMARY,
+    Context, CtxHandle, LaunchBuilder, LaunchSpec, Runtime, RuntimeConfig, TaskHandle, CTX_GLOBAL,
+    CTX_PRIMARY,
 };
 pub use sharding::ShardMap;
+pub use stats::{DagStats, GcStats, PipelineStats, RuntimeStats, TracingStats};
 pub use task::{RegionRequirement, TaskBody, TaskId, TaskLaunch};
 pub use trace::{TraceId, TraceViolation, ViolationKind};

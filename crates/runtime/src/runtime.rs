@@ -16,10 +16,12 @@
 
 use crate::analysis::visibility::VisibilityConfig;
 use crate::autotrace::{AutoTraceConfig, AutoTracer};
+use crate::config::GcConfig;
 use crate::dag::TaskDag;
-use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, StateSize};
+use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, GcSweep, StateSize};
 use crate::error::RuntimeError;
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
+use crate::ledger::Ledger;
 use crate::pipeline::{CoreRead, CoreWrite, CtxState, Pipeline, PipelineMetrics, SubmitPlane};
 use crate::plan::{AnalysisResult, StoredResult, TaskShift};
 use crate::record::{HistoryRecorder, RecordedHistory};
@@ -38,21 +40,13 @@ use viz_sim::{CostModel, Machine, NodeId, SimTime};
 ///
 /// # Environment variables
 ///
-/// Several knobs default from the environment so existing binaries and the
-/// differential CI jobs can flip execution strategies without code
-/// changes. Builder setters always win over the environment.
-///
-/// | Variable | Field | Effect |
-/// |---|---|---|
-/// | `VIZ_ANALYSIS_THREADS` | [`analysis_threads`](Self::analysis_threads) | worker threads for the sharded batch analysis (unset/`1` = serial) |
-/// | `VIZ_AUTO_TRACE` | [`auto_trace`](Self::auto_trace) | `1`/`true` enables online automatic trace detection |
-/// | `VIZ_PIPELINE` | [`pipeline`](Self::pipeline) | `1`/`true` runs the analysis on a dedicated driver thread, overlapped with submission |
-/// | `VIZ_SUBMIT_RINGS` | [`submit_rings`](Self::submit_rings) | submission rings in the pipelined plane: ring 0 is the `Runtime` facade, the rest serve concurrent [`Context`]s (default 8, min 2) |
-/// | `VIZ_INTERN` | — (engine construction) | `0`/`false`/`off` disables the interned-algebra fast paths and cache; every set operation runs the direct rectangle sweep (see [`viz_geometry::InternConfig`]) |
-/// | `VIZ_ALGEBRA_CACHE_CAP` | — (engine construction) | per-shard algebra-cache capacity in entries (default 4096; `0` disables caching only) |
-/// | `VIZ_VIS_BACKEND` | [`visibility_backend`](Self::visibility_backend) | `batch` resolves the raycast K-d path's candidate queries through a flattened SoA snapshot, whole shard batches in one sweep; anything else (or unset) keeps the scalar per-query walk |
-/// | `VIZ_VIS_BATCH_MIN` | [`visibility_backend`](Self::visibility_backend) | minimum live K-d leaves before the batch backend flattens — smaller trees fall back to the scalar walk (default 64) |
-/// | `VIZ_ORACLE` | [`record_history`](Self::record_history) | `1`/`true` records every committed launch (requirements, signature, emitted dependence edges, retirement order) for the external consistency oracle (`viz-oracle`) |
+/// Every `VIZ_*` knob parses through one module — [`crate::config`], which
+/// documents the full table ([`crate::config::KNOBS`]) — so existing
+/// binaries and the differential CI jobs can flip execution strategies
+/// without code changes. Precedence is strict: builder setters beat the
+/// environment beats the built-in default ([`RuntimeConfig::new`] applies
+/// [`crate::config::EnvOverrides`] once, setters run after;
+/// [`RuntimeConfig::base`] skips the environment entirely).
 ///
 /// Marked `#[non_exhaustive]`: construct with [`RuntimeConfig::new`] and
 /// the builder setters.
@@ -111,59 +105,23 @@ pub struct RuntimeConfig {
     /// oracle. Defaults from `VIZ_ORACLE`. Export with
     /// [`Runtime::recorded_history`].
     pub record_history: bool,
-}
-
-/// The `VIZ_ANALYSIS_THREADS` default for
-/// [`RuntimeConfig::analysis_threads`] (1 when unset or unparsable).
-pub fn default_analysis_threads() -> usize {
-    std::env::var("VIZ_ANALYSIS_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|n| *n >= 1)
-        .unwrap_or(1)
-}
-
-fn env_flag(name: &str) -> bool {
-    std::env::var(name)
-        .ok()
-        .map(|s| {
-            let s = s.trim();
-            s == "1" || s.eq_ignore_ascii_case("true")
-        })
-        .unwrap_or(false)
-}
-
-/// The `VIZ_AUTO_TRACE` default for [`RuntimeConfig::auto_trace`]
-/// (disabled when unset; "1"/"true" enable).
-pub fn default_auto_trace() -> bool {
-    env_flag("VIZ_AUTO_TRACE")
-}
-
-/// The `VIZ_PIPELINE` default for [`RuntimeConfig::pipeline`]
-/// (disabled when unset; "1"/"true" enable).
-pub fn default_pipeline() -> bool {
-    env_flag("VIZ_PIPELINE")
-}
-
-/// The `VIZ_ORACLE` default for [`RuntimeConfig::record_history`]
-/// (disabled when unset; "1"/"true" enable).
-pub fn default_record_history() -> bool {
-    env_flag("VIZ_ORACLE")
+    /// History garbage collection + equivalence-set coarsening (see
+    /// [`GcConfig`]). Defaults from `VIZ_GC` / `VIZ_GC_INTERVAL` /
+    /// `VIZ_GC_RETAIN` / `VIZ_COARSEN`. With GC enabled the runtime
+    /// retires per-task bookkeeping below a watermark, so whole-history
+    /// operations ([`Runtime::execute_values`],
+    /// [`Runtime::timed_schedule`]) panic once anything has retired —
+    /// GC mode is for analysis streaming, not value execution.
+    pub gc: GcConfig,
+    /// Width (in task ids) of the ragged ancestor-bitset window backing
+    /// O(1) [`TaskDag::must_follow`] answers; queries reaching below the
+    /// window fall back to the exact graph walk. Defaults from
+    /// `VIZ_TAG_WINDOW` (else [`crate::dag::DEFAULT_TAG_WINDOW`]).
+    pub tag_window: u32,
 }
 
 const DEFAULT_PIPELINE_DEPTH: usize = 256;
-const DEFAULT_SUBMIT_RINGS: usize = 8;
-
-/// The `VIZ_SUBMIT_RINGS` default for [`RuntimeConfig::submit_rings`]
-/// (8 when unset or unparsable; clamped to at least 2 so one tenant
-/// context always fits next to the facade's ring).
-pub fn default_submit_rings() -> usize {
-    std::env::var("VIZ_SUBMIT_RINGS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(DEFAULT_SUBMIT_RINGS)
-        .max(2)
-}
+pub(crate) const DEFAULT_SUBMIT_RINGS: usize = 8;
 
 /// The context id of the [`Runtime`] facade's own submission stream.
 pub const CTX_PRIMARY: u32 = 0;
@@ -175,24 +133,38 @@ pub const CTX_PRIMARY: u32 = 0;
 pub const CTX_GLOBAL: u32 = u32::MAX;
 
 impl RuntimeConfig {
+    /// The standard constructor: built-in defaults with the captured
+    /// `VIZ_*` environment applied on top ([`crate::config::EnvOverrides`]).
+    /// Builder setters run after and therefore win.
     pub fn new(engine: EngineKind) -> Self {
+        crate::config::EnvOverrides::capture().apply(Self::base(engine))
+    }
+
+    /// Explicit alias for [`RuntimeConfig::new`], for call sites that want
+    /// to spell out that the environment participates.
+    pub fn from_env(engine: EngineKind) -> Self {
+        Self::new(engine)
+    }
+
+    /// The pure built-in defaults — the environment is *not* consulted.
+    /// Hermetic tests and the config-precedence suite start here.
+    pub fn base(engine: EngineKind) -> Self {
         RuntimeConfig {
             nodes: 1,
             engine,
             dcr: false,
             cost: CostModel::default(),
             validate_launches: true,
-            analysis_threads: default_analysis_threads(),
-            auto_trace: AutoTraceConfig {
-                enabled: default_auto_trace(),
-                ..AutoTraceConfig::default()
-            },
-            pipeline: default_pipeline(),
+            analysis_threads: 1,
+            auto_trace: AutoTraceConfig::default(),
+            pipeline: false,
             pipeline_depth: DEFAULT_PIPELINE_DEPTH,
-            submit_rings: default_submit_rings(),
+            submit_rings: DEFAULT_SUBMIT_RINGS,
             intern: None,
             visibility_backend: None,
-            record_history: default_record_history(),
+            record_history: false,
+            gc: GcConfig::default(),
+            tag_window: crate::dag::DEFAULT_TAG_WINDOW,
         }
     }
 
@@ -276,6 +248,45 @@ impl RuntimeConfig {
         self.record_history = on;
         self
     }
+
+    /// Toggle history garbage collection (retire per-task bookkeeping and
+    /// dead engine state below the watermark).
+    pub fn history_gc(mut self, on: bool) -> Self {
+        self.gc.enabled = on;
+        self
+    }
+
+    /// Launches between collection sweeps (min 1).
+    pub fn gc_interval(mut self, n: u32) -> Self {
+        self.gc.interval = n.max(1);
+        self
+    }
+
+    /// Launches kept below the frontier at each sweep — the unretired
+    /// window readers may still address.
+    pub fn gc_retain(mut self, n: u32) -> Self {
+        self.gc.retain = n;
+        self
+    }
+
+    /// Toggle equivalence-set coarsening (merge sibling sets whose
+    /// per-field states re-converged — the inverse of refinement).
+    pub fn coarsen(mut self, on: bool) -> Self {
+        self.gc.coarsen = on;
+        self
+    }
+
+    /// Pin the whole GC block at once.
+    pub fn gc_config(mut self, cfg: GcConfig) -> Self {
+        self.gc = cfg;
+        self
+    }
+
+    /// Width of the DAG's ancestor-tag window (clamped to at least 64).
+    pub fn tag_window(mut self, w: u32) -> Self {
+        self.tag_window = w.max(64);
+        self
+    }
 }
 
 /// One deferred launch, as data: the unit of the submission queue and of
@@ -348,18 +359,45 @@ pub(crate) struct Core {
     pub(crate) engine: Box<dyn CoherenceEngine>,
     pub(crate) machine: Machine,
     pub(crate) shards: ShardMap,
-    pub(crate) launches: Vec<TaskLaunch>,
-    pub(crate) bodies: Vec<Option<TaskBody>>,
-    pub(crate) results: Vec<StoredResult>,
-    /// Simulated time at which each launch's analysis completed on its
-    /// origin node — execution cannot start earlier.
-    pub(crate) analysis_done: Vec<SimTime>,
+    /// Per-task commit bookkeeping (launches, bodies, stored results,
+    /// analysis-completion times) with a GC watermark.
+    pub(crate) ledger: Ledger,
     pub(crate) dag: TaskDag,
     pub(crate) tracing: Tracing,
     pub(crate) analysis_threads: usize,
     /// Launch-history recording for the consistency oracle (`None` when
     /// [`RuntimeConfig::record_history`] is off — zero cost).
     pub(crate) recorder: Option<HistoryRecorder>,
+    pub(crate) gc: GcState,
+}
+
+/// Collection bookkeeping: configuration plus running counters, surfaced
+/// through [`crate::stats::GcStats`].
+pub(crate) struct GcState {
+    pub(crate) cfg: GcConfig,
+    /// Next launch count at which a sweep runs (amortizes the check to a
+    /// compare per `run_specs` call).
+    next_due: u32,
+    pub(crate) collections: u64,
+    /// Sweeps whose floor was clamped by trace pinning.
+    pub(crate) pins: u64,
+    pub(crate) retired_launches: u64,
+    pub(crate) tag_words_freed: u64,
+    pub(crate) sweep: GcSweep,
+}
+
+impl GcState {
+    fn new(cfg: GcConfig) -> Self {
+        GcState {
+            next_due: cfg.interval.max(1),
+            cfg,
+            collections: 0,
+            pins: 0,
+            retired_launches: 0,
+            tag_words_freed: 0,
+            sweep: GcSweep::default(),
+        }
+    }
 }
 
 impl Core {
@@ -367,7 +405,7 @@ impl Core {
     /// measures). Requirements are assumed validated by the facade.
     /// `ctx` is the submitting context, recorded for the oracle.
     fn launch_one(&mut self, ctx: u32, spec: LaunchSpec, forest: &RegionForest) -> TaskId {
-        let id = TaskId(self.launches.len() as u32);
+        let id = TaskId(self.ledger.next_id());
         let launch = TaskLaunch {
             id,
             name: spec.name,
@@ -391,7 +429,7 @@ impl Core {
                 // algorithm. The shared result is *not* cloned; the
                 // instance's shift is applied lazily by readers.
                 self.machine.op(origin, viz_sim::Op::Memo);
-                self.analysis_done.push(self.machine.now(origin));
+                self.ledger.push_done(self.machine.now(origin));
                 let deps: Vec<TaskId> = result.deps.iter().map(|d| shift.apply(*d)).collect();
                 if let Some(rec) = &mut self.recorder {
                     rec.commit(
@@ -440,7 +478,7 @@ impl Core {
                 // Stale references into a recorded-and-replayed instance
                 // move onto its latest replay.
                 self.tracing.rebase_result(&mut result);
-                self.analysis_done.push(self.machine.now(origin));
+                self.ledger.push_done(self.machine.now(origin));
                 if let Some(rec) = &mut self.recorder {
                     rec.commit(
                         ctx,
@@ -475,9 +513,8 @@ impl Core {
             }
             TraceAction::Violation(_) => unreachable!("demotion resolves violations"),
         };
-        self.results.push(stored);
-        self.launches.push(launch);
-        self.bodies.push(spec.body);
+        self.ledger.push_result(stored);
+        self.ledger.push_launch(launch, spec.body);
         id
     }
 
@@ -517,7 +554,71 @@ impl Core {
             }
             ids.extend(self.run_batch_sharded(ctx, &mut items, forest));
         }
+        self.maybe_collect();
         ids
+    }
+
+    /// Run a collection sweep if the watermark interval has elapsed:
+    /// reclaim dead engine state, then retire ledger entries and DAG tag
+    /// rows below `next_id - retain` (clamped by trace pinning). Called at
+    /// the quiescent points of both frontends (`run_specs`,
+    /// `fence_scoped`), so the pipelined and synchronous paths collect at
+    /// the same launch counts.
+    fn maybe_collect(&mut self) {
+        if !self.gc.cfg.enabled && !self.gc.cfg.coarsen {
+            return;
+        }
+        let next = self.ledger.next_id();
+        if next < self.gc.next_due {
+            return;
+        }
+        self.gc.next_due = next + self.gc.cfg.interval.max(1);
+        self.gc.collections += 1;
+        let mut floor = if self.gc.cfg.enabled {
+            next.saturating_sub(self.gc.cfg.retain)
+        } else {
+            0
+        };
+        // Tracing-aware pinning: an in-flight instance (or a pending auto
+        // capture) keeps everything from its base launch alive — the
+        // template's footprint survives as long as it replays.
+        if let Some(pin) = self.tracing.pin_floor() {
+            if pin < floor {
+                self.gc.pins += 1;
+                floor = pin;
+            }
+        }
+        // Engines reclaim *unreachable* state (superseded equivalence
+        // sets, dead composite chains) — reachability-based, so the sweep
+        // is behavior-preserving by construction; `floor` only gates the
+        // ledger and tag rows below.
+        let sweep = self.engine.collect(TaskId(floor));
+        self.gc.sweep += sweep;
+        let mut freed_words = 0u64;
+        let mut retired = 0u64;
+        if self.gc.cfg.enabled && floor > self.ledger.base() {
+            freed_words = self.dag.retire_to(TaskId(floor)) as u64;
+            retired = self.ledger.retire_to(floor) as u64;
+            self.gc.tag_words_freed += freed_words;
+            self.gc.retired_launches += retired;
+        }
+        if viz_profile::enabled() {
+            let origin = self.shards.origin(0);
+            viz_profile::sim_event(
+                self.machine.now(origin),
+                0,
+                viz_profile::Track::SimProgram {
+                    node: origin as u32,
+                },
+                viz_profile::EventKind::GcSweep {
+                    watermark: self.ledger.base() as u64,
+                    retired,
+                    freed_words,
+                    dropped: sweep.total() as u64,
+                    coarsened: sweep.coarsen_merges as u64,
+                },
+            );
+        }
     }
 
     /// The sharded scan pipeline over the untraced prefix of `items`:
@@ -529,7 +630,7 @@ impl Core {
         items: &mut VecDeque<LaunchSpec>,
         forest: &RegionForest,
     ) -> Vec<TaskId> {
-        let base = self.launches.len() as u32;
+        let base = self.ledger.next_id();
         let mut batch: Vec<TaskLaunch> = Vec::with_capacity(items.len());
         let mut batch_bodies: Vec<Option<TaskBody>> = Vec::with_capacity(items.len());
         let mut groups: Vec<Vec<(crate::analysis::ShardKey, Vec<u32>)>> =
@@ -583,8 +684,7 @@ impl Core {
             let engine: &dyn CoherenceEngine = &*self.engine;
             let shards = &self.shards;
             let machine = &mut self.machine;
-            let results = &mut self.results;
-            let analysis_done = &mut self.analysis_done;
+            let ledger = &mut self.ledger;
             let dag = &mut self.dag;
             let tracing = &self.tracing;
             let recorder = &mut self.recorder;
@@ -620,7 +720,7 @@ impl Core {
                         );
                     }
                     tracing.rebase_result(&mut result);
-                    analysis_done.push(machine.now(origin));
+                    ledger.push_done(machine.now(origin));
                     if let Some(rec) = recorder.as_mut() {
                         rec.commit(
                             ctx,
@@ -634,19 +734,18 @@ impl Core {
                         );
                     }
                     dag.push(result.deps.clone());
-                    results.push(StoredResult::Owned(result));
+                    ledger.push_result(StoredResult::Owned(result));
                 },
             );
         }
-        self.launches.append(&mut batch);
-        self.bodies.append(&mut batch_bodies);
+        self.ledger.append_launches(&mut batch, &mut batch_bodies);
         (0..count as u32).map(|k| TaskId(base + k)).collect()
     }
 
     /// The global fence construction (see [`Runtime::fence`]): ordered
     /// after every launch committed so far, from every context.
     fn fence(&mut self) -> TaskId {
-        let deps: Vec<TaskId> = (0..self.launches.len() as u32).map(TaskId).collect();
+        let deps: Vec<TaskId> = (0..self.ledger.next_id()).map(TaskId).collect();
         self.fence_scoped(CTX_GLOBAL, deps)
     }
 
@@ -658,26 +757,29 @@ impl Core {
         // trace instance and break detected periodicity. Scoped fences do
         // this too — conservative, but it keeps trace capture linear.
         self.tracing.barrier();
-        let id = TaskId(self.launches.len() as u32);
+        let id = TaskId(self.ledger.next_id());
         let origin = self.shards.origin(0);
         self.machine.op(origin, viz_sim::Op::LaunchOverhead);
-        self.analysis_done.push(self.machine.now(origin));
+        self.ledger.push_done(self.machine.now(origin));
         if let Some(rec) = &mut self.recorder {
             rec.commit(ctx, id, "fence", 0, &[], &deps, false, true);
         }
         self.dag.push(deps.clone());
-        self.results.push(StoredResult::Owned(AnalysisResult {
+        self.ledger.push_result(StoredResult::Owned(AnalysisResult {
             deps,
             plans: Vec::new(),
         }));
-        self.launches.push(TaskLaunch {
-            id,
-            name: "fence".into(),
-            node: 0,
-            reqs: Vec::new(),
-            duration_ns: 0,
-        });
-        self.bodies.push(None);
+        self.ledger.push_launch(
+            TaskLaunch {
+                id,
+                name: "fence".into(),
+                node: 0,
+                reqs: Vec::new(),
+                duration_ns: 0,
+            },
+            None,
+        );
+        self.maybe_collect();
         id
     }
 }
@@ -768,22 +870,19 @@ pub struct Runtime {
 impl Runtime {
     pub fn new(config: RuntimeConfig) -> Self {
         let forest = Arc::new(RwLock::new(RegionForest::new()));
+        // `RuntimeConfig::new` already applied the environment; `None`
+        // here only means "neither the env nor a setter pinned it".
+        let mut engine = config.engine.build_configured(
+            config.intern.unwrap_or_default(),
+            config.visibility_backend.unwrap_or_default(),
+        );
+        engine.set_coarsening(config.gc.coarsen);
         let core = Arc::new(RwLock::new(Core {
-            engine: config.engine.build_configured(
-                config
-                    .intern
-                    .unwrap_or_else(viz_geometry::InternConfig::from_env),
-                config
-                    .visibility_backend
-                    .unwrap_or_else(VisibilityConfig::from_env),
-            ),
+            engine,
             machine: Machine::with_cost(config.nodes, config.cost),
             shards: ShardMap::new(config.nodes, config.dcr),
-            launches: Vec::new(),
-            bodies: Vec::new(),
-            results: Vec::new(),
-            analysis_done: Vec::new(),
-            dag: TaskDag::new(),
+            ledger: Ledger::new(),
+            dag: TaskDag::with_window(config.tag_window),
             tracing: Tracing::new(
                 config
                     .auto_trace
@@ -792,6 +891,7 @@ impl Runtime {
             ),
             analysis_threads: config.analysis_threads,
             recorder: config.record_history.then(HistoryRecorder::new),
+            gc: GcState::new(config.gc),
         }));
         let pipeline = config.pipeline.then(|| {
             Pipeline::spawn(
@@ -940,7 +1040,12 @@ impl Runtime {
             Some(p) => p.enqueue(spec)?,
             None => {
                 let forest = self.forest_read()?;
-                let id = self.core_write()?.launch_one(CTX_PRIMARY, spec, &forest);
+                // Single-item run_specs rather than launch_one directly so the
+                // GC hook at the end of run_specs covers every launch path.
+                let ids = self
+                    .core_write()?
+                    .run_specs(CTX_PRIMARY, vec![spec], &forest);
+                let id = ids[0];
                 self.primary.record_inline(id);
                 debug_assert!(self.multi_producer() || id.0 == seq);
             }
@@ -1062,7 +1167,7 @@ impl Runtime {
     pub fn try_begin_trace(&mut self, id: u32) -> Result<(), RuntimeError> {
         self.drain();
         let mut core = self.core.write().unwrap();
-        let next = core.launches.len() as u32;
+        let next = core.ledger.next_id();
         core.tracing.begin(TraceId(id), next)
     }
 
@@ -1074,7 +1179,7 @@ impl Runtime {
         self.drain();
         let forest = self.forest.read().unwrap();
         let mut core = self.core.write().unwrap();
-        let next = core.launches.len() as u32;
+        let next = core.ledger.next_id();
         core.tracing.end(TraceId(id), next, &forest)
     }
 
@@ -1104,7 +1209,7 @@ impl Runtime {
     /// deep-cloning the `AnalysisResult`.
     pub fn shared_result_addr(&self, t: TaskId) -> Option<usize> {
         self.drain();
-        match &self.core.read().unwrap().results[t.index()] {
+        match self.core.read().unwrap().ledger.result(t) {
             StoredResult::Shared { result, .. } => Some(Arc::as_ptr(result) as usize),
             StoredResult::Owned(_) => None,
         }
@@ -1184,12 +1289,17 @@ impl Runtime {
         self.drain();
         let forest = self.forest.read().unwrap();
         let core = self.core.read().unwrap();
+        let (launches, bodies, results, _) = core.ledger.full().expect(
+            "execute_values replays the whole program and cannot run once \
+             history GC has retired launches; disable RuntimeConfig::history_gc \
+             for value execution",
+        );
         crate::exec::execute_values(
             &forest,
             &self.redops,
-            &core.launches,
-            &core.bodies,
-            &core.results,
+            launches,
+            bodies,
+            results,
             &core.dag,
             &self.initial,
         )
@@ -1202,12 +1312,17 @@ impl Runtime {
         self.drain();
         let forest = self.forest.read().unwrap();
         let core = &mut *self.core.write().unwrap();
+        let (launches, _, results, analysis_done) = core.ledger.full().expect(
+            "timed_schedule replays the whole program and cannot run once \
+             history GC has retired launches; disable RuntimeConfig::history_gc \
+             for schedule simulation",
+        );
         TimedSchedule::run(
             &forest,
-            &core.launches,
-            &core.results,
+            launches,
+            results,
             &core.dag,
-            &core.analysis_done,
+            analysis_done,
             &mut core.machine,
         )
     }
@@ -1221,23 +1336,31 @@ impl Runtime {
         CoreRead::new(&self.core, |c| &c.dag)
     }
 
+    /// The *retained* launches (with history GC: ids
+    /// [`Runtime::retired_watermark`]`..` in order; without: all of them).
     pub fn launches(&self) -> CoreRead<'_, [TaskLaunch]> {
         self.drain();
-        CoreRead::new(&self.core, |c| c.launches.as_slice())
+        CoreRead::new(&self.core, |c| c.ledger.launches())
     }
 
-    /// Every launch's analysis result, fully materialized (replayed
-    /// launches get their template result with the instance shift applied).
+    /// Every retained launch's analysis result, fully materialized
+    /// (replayed launches get their template result with the instance
+    /// shift applied). With history GC the vector starts at the watermark.
     pub fn results(&self) -> Vec<AnalysisResult> {
         self.drain();
         let core = self.core.read().unwrap();
-        core.results.iter().map(StoredResult::resolve).collect()
+        core.ledger
+            .results()
+            .iter()
+            .map(StoredResult::resolve)
+            .collect()
     }
 
-    /// One launch's analysis result, materialized.
+    /// One launch's analysis result, materialized. Panics if `t` was
+    /// retired by history GC.
     pub fn result(&self, t: TaskId) -> AnalysisResult {
         self.drain();
-        self.core.read().unwrap().results[t.index()].resolve()
+        self.core.read().unwrap().ledger.result(t).resolve()
     }
 
     pub fn machine(&self) -> CoreRead<'_, Machine> {
@@ -1254,9 +1377,62 @@ impl Runtime {
         self.core.read().unwrap().engine.name()
     }
 
+    #[deprecated(
+        since = "0.9.0",
+        note = "use Runtime::stats().state — one snapshot carries the state \
+                sizes, GC counters, trace counters, and pipeline counters"
+    )]
     pub fn state_size(&self) -> StateSize {
+        self.stats().state
+    }
+
+    /// One coherent snapshot of every observable counter: engine state
+    /// sizes (with the algebra roll-up), history-GC/coarsening counters,
+    /// DAG shape and tag footprint, trace statistics, and the submission
+    /// plane. A drain point. This is the stats front door — prefer it over
+    /// the historical per-subsystem accessors.
+    pub fn stats(&self) -> crate::stats::RuntimeStats {
         self.drain();
-        self.core.read().unwrap().engine.state_size()
+        let core = self.core.read().unwrap();
+        let gc = &core.gc;
+        crate::stats::RuntimeStats {
+            engine: core.engine.name(),
+            tasks: core.ledger.total() as u64,
+            retained: core.ledger.retained() as u64,
+            watermark: core.ledger.base(),
+            state: core.engine.state_size(),
+            gc: crate::stats::GcStats {
+                enabled: gc.cfg.enabled,
+                coarsen: gc.cfg.coarsen,
+                collections: gc.collections,
+                pins: gc.pins,
+                retired_launches: gc.retired_launches,
+                tag_words_freed: gc.tag_words_freed,
+                history_entries: gc.sweep.history_entries as u64,
+                equivalence_sets: gc.sweep.equivalence_sets as u64,
+                composite_views: gc.sweep.composite_views as u64,
+                index_nodes: gc.sweep.index_nodes as u64,
+                memo_entries: gc.sweep.memo_entries as u64,
+                coarsen_merges: gc.sweep.coarsen_merges as u64,
+            },
+            dag: crate::stats::DagStats {
+                tasks: core.dag.len() as u64,
+                edges: core.dag.edge_count() as u64,
+                tag_words: core.dag.tag_words() as u64,
+                retired_floor: core.dag.retired_floor(),
+            },
+            tracing: crate::stats::TracingStats {
+                replayed_launches: core.tracing.replayed_launches,
+                auto_promotions: core.tracing.auto_promotions,
+                auto_demotions: core.tracing.auto_demotions,
+                violations: core.tracing.violations().len() as u64,
+                rebase_ranges: core.tracing.rebase_ranges() as u64,
+            },
+            pipeline: self
+                .pipeline
+                .as_ref()
+                .map(|p| crate::stats::PipelineStats::snapshot(&p.metrics())),
+        }
     }
 
     /// Number of simulated machine nodes. Constant for the runtime's
@@ -1270,13 +1446,22 @@ impl Runtime {
     /// point: queued launches are counted once the plane quiesces.
     pub fn num_tasks(&self) -> usize {
         self.drain();
-        self.core.read().unwrap().launches.len()
+        self.core.read().unwrap().ledger.total()
     }
 
-    /// Simulated time at which the analysis of task `t` completed.
+    /// The history-GC watermark: every task id below it has been retired
+    /// (0 when GC is off or nothing has been collected yet). A drain
+    /// point.
+    pub fn retired_watermark(&self) -> u32 {
+        self.drain();
+        self.core.read().unwrap().ledger.base()
+    }
+
+    /// Simulated time at which the analysis of task `t` completed. Panics
+    /// if `t` was retired by history GC.
     pub fn analysis_done(&self, t: TaskId) -> SimTime {
         self.drain();
-        self.core.read().unwrap().analysis_done[t.index()]
+        self.core.read().unwrap().ledger.done(t)
     }
 
     /// Snapshot the recorded launch history for the consistency oracle

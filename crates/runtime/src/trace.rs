@@ -873,6 +873,20 @@ impl Tracing {
         self.active.is_some() || self.pending_auto.is_some()
     }
 
+    /// The lowest task id whose commit-ledger entry trace bookkeeping may
+    /// still consult: the base of the in-flight instance (end-of-trace
+    /// validation and shift computation look back to it) or of a pending
+    /// auto capture. `None` when nothing is pinned. Templates themselves
+    /// hold `Arc`s to their recorded results and pin nothing.
+    pub fn pin_floor(&self) -> Option<u32> {
+        let a = self.active.as_ref().map(|a| a.base);
+        let p = self.pending_auto.as_ref().map(|p| p.base);
+        match (a, p) {
+            (Some(a), Some(p)) => Some(a.min(p)),
+            (x, y) => x.or(y),
+        }
+    }
+
     pub fn violations(&self) -> &[TraceViolation] {
         &self.violations
     }

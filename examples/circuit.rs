@@ -26,7 +26,7 @@ fn main() {
             let got: Vec<f64> = store.inline(*probe).iter().map(|(_, v)| v).collect();
             assert_eq!(&got, exp);
         }
-        let st = rt.state_size();
+        let st = rt.stats().state;
         println!(
             "{:<10} {:>6} {:>7} {:>9} {:>11} {:>14}",
             rt.engine_name(),

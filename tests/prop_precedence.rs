@@ -1,0 +1,151 @@
+//! Property tests for the order-maintenance precedence tags (DESIGN.md §7i):
+//! on random DAGs, the O(1) tag answer of `TaskDag::must_follow` must equal
+//! the exact predecessor walk for **every** pair — across tag-window widths,
+//! and across arbitrary interleavings of pushes with GC retirement.
+//!
+//! Release builds skip the DAG's internal debug cross-checks, so this suite
+//! is the differential that runs everywhere `cargo test` does.
+
+use proptest::prelude::*;
+use visibility::runtime::{TaskDag, TaskId};
+
+/// A compressed random program: task `i` depends on `preds[i]`, each a set
+/// of earlier ids picked by index.
+#[derive(Clone, Debug)]
+struct RandomDag {
+    /// For each task: (fan_in, pred_picks) — resolved against earlier ids.
+    picks: Vec<Vec<prop::sample::Index>>,
+}
+
+fn random_dag(max_tasks: usize, max_fanin: usize) -> impl Strategy<Value = RandomDag> {
+    prop::collection::vec(
+        prop::collection::vec(any::<prop::sample::Index>(), 0..max_fanin + 1),
+        1..max_tasks + 1,
+    )
+    .prop_map(|picks| RandomDag { picks })
+}
+
+/// Materialize the random program into a `TaskDag`, optionally retiring
+/// tag rows below a moving floor every `retire_every` pushes.
+fn build(dag: &RandomDag, window: u32, retire_every: Option<usize>) -> TaskDag {
+    let mut out = TaskDag::with_window(window);
+    for (i, picks) in dag.picks.iter().enumerate() {
+        let mut deps: Vec<TaskId> = picks
+            .iter()
+            .filter(|_| i > 0)
+            .map(|p| TaskId(p.index(i) as u32))
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        out.push(deps);
+        if let Some(k) = retire_every {
+            if i > 0 && i % k == 0 {
+                // Keep roughly half the pushed ids tagged.
+                out.retire_to(TaskId((i / 2) as u32));
+            }
+        }
+    }
+    out
+}
+
+/// Assert tags == walk on all O(n²) ordered pairs.
+fn assert_tags_match_walk(dag: &TaskDag) {
+    let n = dag.len() as u32;
+    for t in 0..n {
+        for anc in 0..n {
+            let (t, anc) = (TaskId(t), TaskId(anc));
+            assert_eq!(
+                dag.must_follow(t, anc),
+                dag.must_follow_walk(t, anc),
+                "tag answer diverged from the walk oracle for ({t:?}, {anc:?})"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Wide window: every pair should be answered by tags alone.
+    #[test]
+    fn tags_equal_walk_wide_window(dag in random_dag(120, 5)) {
+        assert_tags_match_walk(&build(&dag, 4096, None));
+    }
+
+    /// Window narrower than the program: deep queries cross the row base
+    /// and must fall back to the walk; near queries stay tagged. Both
+    /// paths and their boundary must agree with the oracle.
+    #[test]
+    fn tags_equal_walk_narrow_window(dag in random_dag(200, 6)) {
+        assert_tags_match_walk(&build(&dag, 64, None));
+    }
+
+    /// Retirement interleaved with pushes: rows freed below the floor and
+    /// rows whose base was raised by it must still answer exactly.
+    #[test]
+    fn tags_equal_walk_with_retirement(
+        dag in random_dag(160, 5),
+        every in 8usize..40,
+    ) {
+        assert_tags_match_walk(&build(&dag, 128, Some(every)));
+    }
+
+    /// Depth tags define a valid schedule: every task's depth is strictly
+    /// greater than each predecessor's, and `waves()` partitions by depth.
+    #[test]
+    fn depth_is_topological(dag in random_dag(120, 5)) {
+        let dag = build(&dag, 256, None);
+        let waves = dag.waves();
+        let mut wave_of = vec![0usize; dag.len()];
+        for (w, tasks) in waves.iter().enumerate() {
+            for t in tasks {
+                wave_of[t.index()] = w;
+            }
+        }
+        for t in 0..dag.len() {
+            for d in dag.preds(TaskId(t as u32)) {
+                prop_assert!(
+                    wave_of[d.index()] < wave_of[t],
+                    "predecessor {d:?} not in an earlier wave than {t}"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic worst cases that proptest's generator is unlikely to hit.
+#[test]
+fn adversarial_shapes() {
+    // Dense diamond lattice: every task depends on the previous two.
+    let mut dag = TaskDag::with_window(64);
+    dag.push(vec![]);
+    dag.push(vec![TaskId(0)]);
+    for i in 2..300u32 {
+        dag.push(vec![TaskId(i - 2), TaskId(i - 1)]);
+    }
+    assert_tags_match_walk(&dag);
+
+    // Star with a long-range spoke: deps reach arbitrarily far below the
+    // window (regression shape for the out-of-range row union).
+    let mut star = TaskDag::with_window(64);
+    star.push(vec![]);
+    star.push(vec![TaskId(0)]);
+    for _ in 2..200u32 {
+        star.push(vec![]);
+    }
+    star.push(vec![TaskId(1), TaskId(150)]);
+    star.push(vec![TaskId(1)]);
+    assert_tags_match_walk(&star);
+
+    // Retire *everything*, then keep pushing: new rows start at the floor.
+    let mut gc = TaskDag::with_window(128);
+    gc.push(vec![]);
+    for i in 1..100u32 {
+        gc.push(vec![TaskId(i - 1)]);
+    }
+    gc.retire_to(TaskId(100));
+    for i in 100..160u32 {
+        gc.push(vec![TaskId(i - 1)]);
+    }
+    assert_tags_match_walk(&gc);
+}

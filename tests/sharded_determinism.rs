@@ -33,7 +33,7 @@ fn run_one(
     let clocks = rt.machine().clocks().to_vec();
     let service_clocks = rt.machine().service_clocks().to_vec();
     let counters = rt.machine().counters().clone();
-    let state = rt.state_size();
+    let state = rt.stats().state;
     let report = rt.timed_schedule();
     let makespan = report.completion_through(*run.iter_end.last().unwrap());
     Snapshot {

@@ -81,7 +81,7 @@ fn long_run_state_stays_bounded() {
         let app = Stencil::new(StencilConfig::small(4, 6, 8));
         let mut rt = Runtime::single_node(engine);
         app.execute(&mut rt);
-        let sets = rt.state_size().equivalence_sets;
+        let sets = rt.stats().state.equivalence_sets;
         assert!(
             sets < 200,
             "{engine:?}: {sets} equivalence sets after 8 iterations"
@@ -99,7 +99,7 @@ fn raycast_coalesces_more_than_warnock_on_apps() {
             let app = Circuit::new(CircuitConfig::small(6, iterations));
             let mut rt = Runtime::single_node(engine);
             app.execute(&mut rt);
-            counts.push(rt.state_size().equivalence_sets);
+            counts.push(rt.stats().state.equivalence_sets);
         }
         assert!(
             counts[1] <= counts[0],
