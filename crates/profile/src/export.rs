@@ -129,6 +129,9 @@ fn push_args(out: &mut String, kind: &EventKind) {
                  \"coarsened\":{coarsened}}}"
             );
         }
+        EventKind::ScanSweep { candidates, swept } => {
+            let _ = write!(out, "{{\"candidates\":{candidates},\"swept\":{swept}}}");
+        }
     }
 }
 

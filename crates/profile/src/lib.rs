@@ -115,6 +115,10 @@ pub enum EventKind {
         dropped: u64,
         coarsened: u64,
     },
+    /// One launch-analysis scan: the locality index produced `candidates`
+    /// candidate sets and the refine loop swept `swept` of them (the
+    /// bounded-scan signal — tracks requirement overlap, not live sets).
+    ScanSweep { candidates: u64, swept: u64 },
 }
 
 impl EventKind {
@@ -145,6 +149,7 @@ impl EventKind {
             EventKind::HistoryRecord { .. } => "history_record",
             EventKind::OracleCheck { .. } => "oracle_check",
             EventKind::GcSweep { .. } => "gc_sweep",
+            EventKind::ScanSweep { .. } => "scan_sweep",
         }
     }
 
@@ -183,6 +188,8 @@ impl EventKind {
             EventKind::GcSweep {
                 retired, dropped, ..
             } => retired + dropped,
+            // A scan report counts the sets it actually swept.
+            EventKind::ScanSweep { swept, .. } => swept,
         }
     }
 }

@@ -35,6 +35,7 @@ pub struct PaintNaive {
     shards: ShardedState<NaiveShard>,
     prune_occluded: bool,
     intern: InternConfig,
+    dirty_only: bool,
 }
 
 impl PaintNaive {
@@ -48,6 +49,7 @@ impl PaintNaive {
             shards: ShardedState::new(),
             prune_occluded: true,
             intern,
+            dirty_only: true,
         }
     }
 
@@ -193,7 +195,7 @@ impl CoherenceEngine for PaintNaive {
         // the covering writes, §3.2) — so dropping it is observationally
         // identical, independent of the watermark.
         let mut sweep = GcSweep::default();
-        for (_, s) in self.shards.iter_mut() {
+        for (_, s) in self.shards.sweep_mut(self.dirty_only) {
             if !self.prune_occluded {
                 continue; // literal Fig 7 mode: the history only grows
             }

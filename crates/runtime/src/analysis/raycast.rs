@@ -29,7 +29,7 @@ use crate::engine::{CoherenceEngine, GcSweep, ShardCtx, StateSize};
 use crate::plan::MaterializePlan;
 use crate::task::TaskLaunch;
 use viz_geometry::{
-    AlgebraStats, DynamicBvh, FxHashMap, InternConfig, Rect, SpaceAlgebra, SpaceId,
+    AlgebraStats, Bvh, DynamicBvh, FxHashMap, InternConfig, Rect, SpaceAlgebra, SpaceId,
 };
 use viz_region::{PartitionId, Privilege, RegionForest, RegionId};
 use viz_sim::{ChargeLog, NodeId, Op};
@@ -49,6 +49,11 @@ struct RaySet {
     /// of a pending same-launch commit: interfering requirements of one
     /// launch must be disjoint, commuting ones never occlude).
     replaced_by: Vec<u32>,
+    /// Anchor positions whose buckets hold this set (anchored index only;
+    /// stays empty on the K-d path). Removal walks exactly these buckets
+    /// instead of sweeping every bucket in the shard — the per-launch cost
+    /// of a kill is the set's own anchor count, not the live-set count.
+    anchors: Vec<u32>,
 }
 
 /// Spatial index over the live sets.
@@ -59,8 +64,16 @@ enum SetIndex {
     Anchored {
         partition: PartitionId,
         buckets: Vec<Vec<u32>>,
-        /// Bounding boxes of the anchor children, for bucket placement.
-        anchor_bboxes: Vec<viz_geometry::Rect>,
+        /// Static BVH over the anchor-children bounding boxes: placing a
+        /// new set resolves the overlapping anchors in O(log anchors +
+        /// hits) instead of sweeping every anchor. Exact (leaf rects are
+        /// tested), so membership is identical to the linear scan it
+        /// replaces.
+        lookup: Bvh,
+        /// Partition child → anchor position, so anchor resolution from a
+        /// region-tree query is a hash lookup, not a `position()` sweep of
+        /// the child list.
+        child_pos: FxHashMap<RegionId, u32>,
     },
     /// Fallback when no such partition exists (§7.1): an incrementally
     /// maintained BVH — set churn is absorbed by leaf insert/remove with
@@ -103,6 +116,14 @@ struct FieldState {
     shifts: u64,
     /// Interned-space storage and memoized set algebra for this shard.
     alg: SpaceAlgebra,
+    /// Cumulative candidate ids produced by the spatial index across every
+    /// requirement scanned against this shard (post-dedup). Flatness under
+    /// weak scaling is *measured* from this, not inferred.
+    candidates_visited: u64,
+    /// Cumulative live sets actually overlap-tested by the backward scans
+    /// (the sweep work a launch pays; tracks requirement overlap, not the
+    /// live-set count).
+    sets_swept: u64,
     /// Candidate-resolution backend for the K-d path (scalar walk or
     /// flattened batched sweep — see [`crate::analysis::visibility`]).
     vis: Box<dyn VisibilityBackend>,
@@ -121,6 +142,7 @@ impl FieldState {
             owner,
             live: true,
             replaced_by: Vec::new(),
+            anchors: Vec::new(),
         });
         self.live += 1;
         id
@@ -141,6 +163,10 @@ pub struct RayCast {
     use_anchor_memo: bool,
     intern: InternConfig,
     vis: VisibilityConfig,
+    /// GC sweeps visit only shards scanned since the previous sweep (see
+    /// [`ShardedState::sweep_mut`]); `set_dirty_tracking(false)` restores
+    /// the full sweep.
+    dirty_only: bool,
 }
 
 impl RayCast {
@@ -164,6 +190,7 @@ impl RayCast {
             use_anchor_memo: true,
             intern,
             vis,
+            dirty_only: true,
         }
     }
 
@@ -210,6 +237,8 @@ impl RayCast {
                 let mut sets = Vec::with_capacity(children.len());
                 let mut buckets = Vec::with_capacity(children.len());
                 let mut anchor_bboxes = Vec::with_capacity(children.len());
+                let mut child_pos =
+                    FxHashMap::with_capacity_and_hasher(children.len(), Default::default());
                 // Initial sets: one per anchor (they cover the root since
                 // the partition is complete).
                 for (i, c) in children.iter().enumerate() {
@@ -221,22 +250,28 @@ impl RayCast {
                         owner: 0,
                         live: true,
                         replaced_by: Vec::new(),
+                        anchors: vec![i as u32],
                     });
                     buckets.push(vec![i as u32]);
+                    child_pos.insert(*c, i as u32);
                 }
                 let live = sets.len();
+                let lookup = Self::anchor_lookup(&anchor_bboxes);
                 FieldState {
                     sets,
                     index: SetIndex::Anchored {
                         partition: *p,
                         buckets,
-                        anchor_bboxes,
+                        lookup,
+                        child_pos,
                     },
                     anchor_memo: FxHashMap::default(),
                     live,
                     usage: FxHashMap::default(),
                     shifts: 0,
                     alg,
+                    candidates_visited: 0,
+                    sets_swept: 0,
                     vis: vis.build(),
                     scratch: ScanScratch::default(),
                     last_stats: AlgebraStats::default(),
@@ -255,6 +290,7 @@ impl RayCast {
                         owner: 0,
                         live: true,
                         replaced_by: Vec::new(),
+                        anchors: Vec::new(),
                     }],
                     index: SetIndex::Kd { tree },
                     anchor_memo: FxHashMap::default(),
@@ -262,6 +298,8 @@ impl RayCast {
                     usage: FxHashMap::default(),
                     shifts: 0,
                     alg,
+                    candidates_visited: 0,
+                    sets_swept: 0,
                     vis: vis.build(),
                     scratch: ScanScratch::default(),
                     last_stats: AlgebraStats::default(),
@@ -270,6 +308,20 @@ impl RayCast {
                 }
             }
         }
+    }
+
+    /// The anchor-placement index: a static BVH over the anchor bounding
+    /// boxes. Queries are exact (leaf rects are overlap-tested), so the
+    /// anchors reported for a set's bbox are precisely those the linear
+    /// `anchor_bboxes` sweep would report.
+    fn anchor_lookup(anchor_bboxes: &[Rect]) -> Bvh {
+        Bvh::build(
+            anchor_bboxes
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i as u32, *r))
+                .collect(),
+        )
     }
 }
 
@@ -320,13 +372,21 @@ impl RayCast {
             return;
         }
         // Shift: rebuild the anchor buckets under the new partition and
-        // re-bucket every live set.
+        // re-bucket every live set. This wholesale pass is the one place
+        // that still walks every live set — shifts are rare (usage must
+        // 4x-dominate) and rebuild the lookup structures anyway.
         let children = forest.children(home).to_vec();
         let anchor_bboxes: Vec<viz_geometry::Rect> =
             children.iter().map(|c| forest.domain(*c).bbox()).collect();
+        let child_pos: FxHashMap<RegionId, u32> = children
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (*c, i as u32))
+            .collect();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); children.len()];
         let mut moved = 0usize;
-        for (id, set) in state.sets.iter().enumerate() {
+        for (id, set) in state.sets.iter_mut().enumerate() {
+            set.anchors.clear();
             if !set.live {
                 continue;
             }
@@ -335,6 +395,7 @@ impl RayCast {
             for (i, abb) in anchor_bboxes.iter().enumerate() {
                 if abb.overlaps(&bb) {
                     buckets[i].push(id as u32);
+                    set.anchors.push(i as u32);
                 }
             }
         }
@@ -342,10 +403,12 @@ impl RayCast {
         for _ in 0..moved {
             log.op(origin, Op::SetTouch);
         }
+        let lookup = Self::anchor_lookup(&anchor_bboxes);
         state.index = SetIndex::Anchored {
             partition: home,
             buckets,
-            anchor_bboxes,
+            lookup,
+            child_pos,
         };
         // Refresh the anchor memo instead of clearing it wholesale: a
         // memoized list is stale only if the region's overlapping-anchor
@@ -356,6 +419,9 @@ impl RayCast {
         // the *current* partition, and the kept value equals the fresh
         // computation against it.
         let memo = std::mem::take(&mut state.anchor_memo);
+        let SetIndex::Anchored { child_pos, .. } = &state.index else {
+            unreachable!("index was just re-anchored")
+        };
         for (region, old) in memo {
             let overlapping = forest.overlapping_children(home, forest.domain(region));
             log.op(
@@ -364,10 +430,7 @@ impl RayCast {
                     rects: overlapping.len().max(1),
                 },
             );
-            let fresh: Vec<u32> = overlapping
-                .into_iter()
-                .map(|c| children.iter().position(|k| *k == c).unwrap() as u32)
-                .collect();
+            let fresh: Vec<u32> = overlapping.into_iter().map(|c| child_pos[&c]).collect();
             if fresh == old {
                 state.anchor_memo.insert(region, fresh);
             }
@@ -461,7 +524,10 @@ impl CoherenceEngine for RayCast {
             req_anchors.clear();
             match &mut state.index {
                 SetIndex::Anchored {
-                    partition, buckets, ..
+                    partition,
+                    buckets,
+                    child_pos,
+                    ..
                 } => {
                     let compute = |log: &mut ChargeLog| {
                         let kids = ctx.forest.overlapping_children(*partition, &target);
@@ -472,13 +538,7 @@ impl CoherenceEngine for RayCast {
                             },
                         );
                         kids.into_iter()
-                            .map(|c| {
-                                ctx.forest
-                                    .children(*partition)
-                                    .iter()
-                                    .position(|k| *k == c)
-                                    .unwrap() as u32
-                            })
+                            .map(|c| child_pos[&c])
                             .collect::<Vec<u32>>()
                     };
                     if self.use_anchor_memo {
@@ -525,6 +585,7 @@ impl CoherenceEngine for RayCast {
                     });
                 }
             }
+            state.candidates_visited += candidates.len() as u64;
 
             // ---- Refine straddlers; collect the constituent sets.
             // (`relevant` stays requirement-owned: it moves into `commits`.)
@@ -565,7 +626,7 @@ impl CoherenceEngine for RayCast {
                 state.sets[c as usize].replaced_by = vec![inside_id, outside_id];
                 Self::index_replace(
                     &mut state.index,
-                    &state.sets,
+                    &mut state.sets,
                     &state.alg,
                     c,
                     &[inside_id, outside_id],
@@ -581,7 +642,7 @@ impl CoherenceEngine for RayCast {
                 relevant.push(inside_id);
             }
             if !killed.is_empty() {
-                Self::index_remove_dead(&mut state.index, &state.sets, &killed);
+                Self::index_remove_dead(&mut state.index, &mut state.sets, &killed);
                 viz_profile::instant(viz_profile::EventKind::EqSetRefined {
                     count: killed.len() as u64,
                 });
@@ -595,6 +656,11 @@ impl CoherenceEngine for RayCast {
                     rects: tests.max(1),
                 },
             );
+            state.sets_swept += tests as u64;
+            viz_profile::instant(viz_profile::EventKind::ScanSweep {
+                candidates: candidates.len() as u64,
+                swept: tests as u64,
+            });
 
             // ---- Scan histories for dependences + plan.
             let mut deps = Vec::new();
@@ -659,7 +725,10 @@ impl CoherenceEngine for RayCast {
                 // as in Fig 11).
                 let pieces: Vec<SpaceId> = match &state.index {
                     SetIndex::Anchored { partition, .. } => {
-                        let kids = ctx.forest.children(*partition).to_vec();
+                        // Borrow the child list instead of cloning it: the
+                        // clone was O(anchors) per write requirement — the
+                        // single largest per-launch term at weak scale.
+                        let kids = ctx.forest.children(*partition);
                         let alg = &mut state.alg;
                         let mut out = Vec::with_capacity(req_anchors.len());
                         for a in &req_anchors {
@@ -689,12 +758,12 @@ impl CoherenceEngine for RayCast {
                 });
                 Self::index_replace(
                     &mut state.index,
-                    &state.sets,
+                    &mut state.sets,
                     &state.alg,
                     u32::MAX,
                     &new_ids,
                 );
-                Self::index_remove_dead(&mut state.index, &state.sets, &relevant);
+                Self::index_remove_dead(&mut state.index, &mut state.sets, &relevant);
                 commits.push((new_ids, entry));
             } else {
                 commits.push((relevant, entry));
@@ -772,7 +841,7 @@ impl CoherenceEngine for RayCast {
     /// histories) are unreachable garbage.
     fn collect(&mut self, _floor: crate::task::TaskId) -> GcSweep {
         let mut sweep = GcSweep::default();
-        for (_, s) in self.shards.iter_mut() {
+        for (_, s) in self.shards.sweep_mut(self.dirty_only) {
             if s.live == s.sets.len() {
                 continue;
             }
@@ -824,6 +893,10 @@ impl CoherenceEngine for RayCast {
     // ignores `set_coarsening` — there is no re-converged sibling state a
     // sweep could find that the next write wave would not coalesce anyway.
 
+    fn set_dirty_tracking(&mut self, on: bool) {
+        self.dirty_only = on;
+    }
+
     fn state_size(&self) -> StateSize {
         let mut size = StateSize::default();
         for (_, s) in self.shards.iter() {
@@ -843,6 +916,8 @@ impl CoherenceEngine for RayCast {
             size.algebra_cache_entries += a.cache_entries;
             size.algebra_hits += a.hits + a.fast_hits;
             size.algebra_misses += a.misses;
+            size.candidates_visited += s.candidates_visited;
+            size.sets_swept += s.sets_swept;
         }
         size
     }
@@ -851,26 +926,29 @@ impl CoherenceEngine for RayCast {
 impl RayCast {
     /// Register new sets in the index: for the anchored index, each set is
     /// placed in every anchor bucket its bounding box overlaps (queries
-    /// filter exactly and deduplicate).
+    /// filter exactly and deduplicate). The overlapping anchors come from
+    /// the static anchor-lookup BVH — O(log anchors + hits) per set, with
+    /// membership identical to a linear sweep of `anchor_bboxes` — and are
+    /// recorded on the set so its eventual removal touches only those
+    /// buckets.
     fn index_replace(
         index: &mut SetIndex,
-        sets: &[RaySet],
+        sets: &mut [RaySet],
         alg: &SpaceAlgebra,
         _old: u32,
         new_ids: &[u32],
     ) {
         match index {
             SetIndex::Anchored {
-                buckets,
-                anchor_bboxes,
-                ..
+                buckets, lookup, ..
             } => {
                 for id in new_ids {
                     let bb = alg.bbox(sets[*id as usize].domain);
-                    for (bucket, abb) in buckets.iter_mut().zip(anchor_bboxes.iter()) {
-                        if abb.overlaps(&bb) {
-                            bucket.push(*id);
-                        }
+                    let anchors = &mut sets[*id as usize].anchors;
+                    anchors.clear();
+                    lookup.query(&bb, anchors);
+                    for a in anchors.iter() {
+                        buckets[*a as usize].push(*id);
                     }
                 }
             }
@@ -882,11 +960,23 @@ impl RayCast {
         }
     }
 
-    fn index_remove_dead(index: &mut SetIndex, sets: &[RaySet], dead: &[u32]) {
+    /// Unregister dead sets. Each dead set's recorded anchor list names
+    /// exactly the buckets holding it, so the cost is the dead sets' own
+    /// footprint — the wholesale `retain` over every bucket this replaces
+    /// was O(live sets) per kill batch. `swap_remove` is safe because
+    /// queries sort + dedup their candidate lists, so bucket-internal
+    /// order is unobservable.
+    fn index_remove_dead(index: &mut SetIndex, sets: &mut [RaySet], dead: &[u32]) {
         match index {
             SetIndex::Anchored { buckets, .. } => {
-                for bucket in buckets.iter_mut() {
-                    bucket.retain(|m| sets[*m as usize].live);
+                for d in dead {
+                    let anchors = std::mem::take(&mut sets[*d as usize].anchors);
+                    for a in &anchors {
+                        let bucket = &mut buckets[*a as usize];
+                        if let Some(pos) = bucket.iter().position(|m| m == d) {
+                            bucket.swap_remove(pos);
+                        }
+                    }
                 }
             }
             SetIndex::Kd { tree } => {

@@ -96,6 +96,7 @@ pub struct EnvOverrides {
     pub gc_retain: Option<u32>,
     pub coarsen: Option<bool>,
     pub tag_window: Option<u32>,
+    pub dirty_shards: Option<bool>,
 }
 
 fn parse_flag(s: &str) -> bool {
@@ -140,6 +141,7 @@ impl EnvOverrides {
             gc_retain: num32("VIZ_GC_RETAIN"),
             coarsen: flag("VIZ_COARSEN"),
             tag_window: num32("VIZ_TAG_WINDOW"),
+            dirty_shards: get("VIZ_DIRTY_SHARDS").map(|s| !parse_off(&s)),
         }
     }
 
@@ -195,6 +197,9 @@ impl EnvOverrides {
         }
         if let Some(n) = self.tag_window {
             cfg.tag_window = n;
+        }
+        if let Some(on) = self.dirty_shards {
+            cfg.dirty_shards = on;
         }
         cfg
     }
@@ -329,6 +334,11 @@ pub const KNOBS: &[Knob] = &[
         var: "VIZ_TAG_WINDOW",
         default: "4096",
         effect: "width (task ids) of the precedence ancestor-bitset window",
+    },
+    Knob {
+        var: "VIZ_DIRTY_SHARDS",
+        default: "on",
+        effect: "0/false/off/no makes GC sweeps visit every shard instead of only dirty ones",
     },
 ];
 

@@ -123,6 +123,15 @@ pub trait CoherenceEngine: Send + Sync {
     /// (Fig 11) and the painters have no equivalence sets; they ignore the
     /// flag.
     fn set_coarsening(&mut self, _on: bool) {}
+
+    /// Enable dirty-shard GC sweeps: [`collect`](CoherenceEngine::collect)
+    /// visits only the `(root, field)` shards scanned since the previous
+    /// sweep (plus a periodic full pass — see
+    /// [`crate::analysis::FULL_SWEEP_PERIOD`]) instead of walking every
+    /// shard in the engine. On by default (`VIZ_DIRTY_SHARDS`);
+    /// behavior-preserving either way — an untouched shard has accumulated
+    /// nothing new for a reachability-based sweep to reclaim.
+    fn set_dirty_tracking(&mut self, _on: bool) {}
 }
 
 /// What one [`CoherenceEngine::collect`] sweep reclaimed (counts of
@@ -214,6 +223,15 @@ pub struct StateSize {
     pub algebra_hits: u64,
     /// Cumulative algebra-cache misses across the shards.
     pub algebra_misses: u64,
+    /// Cumulative candidate set ids the spatial indexes handed to the
+    /// backward scans (post-dedup), across every requirement analyzed.
+    /// Reported by the engines with candidate-producing indexes (ray
+    /// casting); flat per launch at fixed requirement overlap.
+    pub candidates_visited: u64,
+    /// Cumulative live sets the backward scans overlap-tested. The
+    /// weak-scale flatness signal: tracks what launches *see*, not how
+    /// many sets are alive.
+    pub sets_swept: u64,
 }
 
 /// The four engines of this reproduction. `Paint`, `Warnock` and `RayCast`

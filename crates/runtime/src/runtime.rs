@@ -18,7 +18,7 @@ use crate::analysis::visibility::VisibilityConfig;
 use crate::autotrace::{AutoTraceConfig, AutoTracer};
 use crate::config::GcConfig;
 use crate::dag::TaskDag;
-use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, GcSweep, StateSize};
+use crate::engine::{AnalysisCtx, CoherenceEngine, EngineKind, GcSweep};
 use crate::error::RuntimeError;
 use crate::exec::{TimedReport, TimedSchedule, ValueStore};
 use crate::ledger::Ledger;
@@ -118,6 +118,13 @@ pub struct RuntimeConfig {
     /// window fall back to the exact graph walk. Defaults from
     /// `VIZ_TAG_WINDOW` (else [`crate::dag::DEFAULT_TAG_WINDOW`]).
     pub tag_window: u32,
+    /// Dirty-shard scanning: GC sweeps visit only the (root, field) shards
+    /// touched since the last sweep, with a full sweep every
+    /// [`crate::analysis::FULL_SWEEP_PERIOD`]-th collection as the
+    /// watermark-retirement backstop. Behavior-preserving (the differential
+    /// suite pins dirty-on == dirty-off); on by default, `VIZ_DIRTY_SHARDS=0`
+    /// disables.
+    pub dirty_shards: bool,
 }
 
 const DEFAULT_PIPELINE_DEPTH: usize = 256;
@@ -165,6 +172,7 @@ impl RuntimeConfig {
             record_history: false,
             gc: GcConfig::default(),
             tag_window: crate::dag::DEFAULT_TAG_WINDOW,
+            dirty_shards: true,
         }
     }
 
@@ -285,6 +293,12 @@ impl RuntimeConfig {
     /// Width of the DAG's ancestor-tag window (clamped to at least 64).
     pub fn tag_window(mut self, w: u32) -> Self {
         self.tag_window = w.max(64);
+        self
+    }
+
+    /// Toggle dirty-shard scanning for GC sweeps (on by default).
+    pub fn dirty_shards(mut self, on: bool) -> Self {
+        self.dirty_shards = on;
         self
     }
 }
@@ -877,6 +891,7 @@ impl Runtime {
             config.visibility_backend.unwrap_or_default(),
         );
         engine.set_coarsening(config.gc.coarsen);
+        engine.set_dirty_tracking(config.dirty_shards);
         let core = Arc::new(RwLock::new(Core {
             engine,
             machine: Machine::with_cost(config.nodes, config.cost),
@@ -1375,15 +1390,6 @@ impl Runtime {
 
     pub fn engine_name(&self) -> &'static str {
         self.core.read().unwrap().engine.name()
-    }
-
-    #[deprecated(
-        since = "0.9.0",
-        note = "use Runtime::stats().state — one snapshot carries the state \
-                sizes, GC counters, trace counters, and pipeline counters"
-    )]
-    pub fn state_size(&self) -> StateSize {
-        self.stats().state
     }
 
     /// One coherent snapshot of every observable counter: engine state

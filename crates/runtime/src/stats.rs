@@ -1,9 +1,9 @@
 //! The one stats front door: [`crate::Runtime::stats`] returns a
 //! [`RuntimeStats`] snapshot unifying what used to require three ad-hoc
-//! accessors (`Runtime::state_size` for [`StateSize`] — which itself
+//! accessors (an engine-state getter for [`StateSize`] — which itself
 //! carries the interner's `AlgebraStats` roll-up — `pipeline_metrics` for
 //! the submission-plane counters, and the trace statistics getters) plus
-//! the history-GC and coarsening counters new in this PR.
+//! the history-GC and coarsening counters.
 //!
 //! Everything in the snapshot is plain data (`Clone`, `Debug`): probes and
 //! benches can take one, drop the runtime borrow, and format at leisure.

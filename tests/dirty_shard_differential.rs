@@ -1,0 +1,149 @@
+//! Dirty-shard scanning must be *observationally invisible*: a GC'd run
+//! that sweeps only the shards touched since the last collection (plus the
+//! periodic full sweep, `analysis::FULL_SWEEP_PERIOD`) must produce
+//! byte-identical dependences, materialization plans, launch records, and
+//! simulated machine counters to the same run sweeping every shard every
+//! time. Checked across all four engines × serial/sharded analysis ×
+//! pipelined submission × auto-tracing.
+//!
+//! What is deliberately *not* compared: engine state sizes. Dirty-only
+//! sweeps may defer reclaiming dead state on idle shards until the next
+//! full sweep, so `stats().state` can legitimately lag — the contract is
+//! about observable behavior, not reclamation latency.
+
+use visibility::apps::{Circuit, CircuitConfig, Stencil, StencilConfig, Workload};
+use visibility::prelude::*;
+use visibility::runtime::AnalysisResult;
+use visibility::sim::Counters;
+
+/// The submission/analysis shapes the differential covers.
+#[derive(Copy, Clone, Debug)]
+enum Mode {
+    Serial,
+    Sharded,
+    Pipelined,
+    AutoTraced,
+}
+
+const MODES: [Mode; 4] = [
+    Mode::Serial,
+    Mode::Sharded,
+    Mode::Pipelined,
+    Mode::AutoTraced,
+];
+
+fn configure(engine: EngineKind, mode: Mode, nodes: usize) -> RuntimeConfig {
+    let cfg = RuntimeConfig::new(engine).nodes(nodes).validate(false);
+    match mode {
+        Mode::Serial => cfg.analysis_threads(1),
+        Mode::Sharded => cfg.analysis_threads(4),
+        Mode::Pipelined => cfg.analysis_threads(1).pipeline(true),
+        Mode::AutoTraced => cfg.analysis_threads(1).auto_trace(true),
+    }
+}
+
+struct Observed {
+    tasks: usize,
+    watermark: u32,
+    results: Vec<AnalysisResult>,
+    names: Vec<String>,
+    counters: Counters,
+}
+
+fn run(
+    workload: &dyn Workload,
+    engine: EngineKind,
+    mode: Mode,
+    nodes: usize,
+    dirty: bool,
+) -> Observed {
+    let mut rt = Runtime::new(
+        configure(engine, mode, nodes)
+            // GC on with an aggressive cadence so many sweeps land inside a
+            // small program — including several dirty-only ones between the
+            // periodic full sweeps.
+            .history_gc(true)
+            .gc_interval(16)
+            .gc_retain(24)
+            .dirty_shards(dirty),
+    );
+    workload.execute(&mut rt);
+    let stats = rt.stats();
+    let names = rt.launches().iter().map(|l| l.name.clone()).collect();
+    let counters = rt.machine().counters().clone();
+    Observed {
+        tasks: rt.num_tasks(),
+        watermark: stats.watermark,
+        results: rt.results(),
+        names,
+        counters,
+    }
+}
+
+fn differential(workload: &dyn Workload, nodes: usize) {
+    for engine in EngineKind::all() {
+        for mode in MODES {
+            let full = run(workload, engine, mode, nodes, false);
+            let dirty = run(workload, engine, mode, nodes, true);
+            let ctx = format!("{} {engine:?} {mode:?}", workload.name());
+
+            assert_eq!(dirty.tasks, full.tasks, "{ctx}: program length diverged");
+            assert!(
+                full.watermark > 0,
+                "{ctx}: GC never fired — the differential tested nothing \
+                 (tasks={}, interval=16)",
+                full.tasks
+            );
+            assert_eq!(
+                dirty.watermark, full.watermark,
+                "{ctx}: retirement watermark diverged"
+            );
+            assert_eq!(
+                dirty.results, full.results,
+                "{ctx}: retained analysis results diverged from the full-sweep run"
+            );
+            assert_eq!(
+                dirty.names, full.names,
+                "{ctx}: retained launch records diverged"
+            );
+            assert_eq!(
+                dirty.counters, full.counters,
+                "{ctx}: simulated machine observed a different operation stream"
+            );
+        }
+    }
+}
+
+#[test]
+fn stencil_dirty_and_full_sweeps_agree() {
+    let app = Stencil::new(StencilConfig {
+        nodes: 4,
+        iterations: 8,
+        ..StencilConfig::small(4, 6, 2)
+    });
+    differential(&app, 4);
+}
+
+#[test]
+fn circuit_dirty_and_full_sweeps_agree() {
+    let app = Circuit::new(CircuitConfig {
+        nodes: 4,
+        iterations: 8,
+        ..CircuitConfig::small(4, 2)
+    });
+    differential(&app, 4);
+}
+
+/// Traces and fences interleaved with dirty-only sweeps: replayed launches
+/// resolve through templates that must survive retirement regardless of
+/// which shards the sweep visited.
+#[test]
+fn traced_stencil_dirty_and_full_sweeps_agree() {
+    let app = Stencil::new(StencilConfig {
+        nodes: 2,
+        iterations: 10,
+        traced: true,
+        ..StencilConfig::small(4, 6, 2)
+    });
+    differential(&app, 2);
+}
